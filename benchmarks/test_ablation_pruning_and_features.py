@@ -1,0 +1,151 @@
+"""Ablations — boundary pruning, β-switch pruning, and the feature extension.
+
+Three design choices DESIGN.md calls out:
+
+1. boundary pruning (§IV-E): optimization latency and search-space size
+   with and without it;
+2. TDGEN's β-switch pruning (§VI-A): how β controls the job space;
+3. the per-platform aggregate feature block (a reproduction extension):
+   its contribution to plan-ordering accuracy.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.bench.synthetic_setup import latency_setup
+from repro.core.enumeration import EnumerationContext
+from repro.core.enumerator import PriorityEnumerator
+from repro.core.operations import enumerate_abstract, vectorize
+from repro.core.pruning import ml_cost, prune_switches
+from repro.ml.model import RuntimeModel
+from repro.workloads import synthetic
+
+
+def test_ablation_boundary_pruning(benchmark, report):
+    registry, schema, model, _ = latency_setup(3)
+    rows = []
+    for n_ops in (6, 9, 12):
+        plan = synthetic.pipeline_plan(n_ops)
+        pruned = PriorityEnumerator(
+            registry, ml_cost(model), schema=schema
+        ).enumerate_plan(plan)
+        full = PriorityEnumerator(
+            registry, ml_cost(model), pruning=False, schema=schema
+        ).enumerate_plan(plan)
+        rows.append(
+            [
+                n_ops,
+                pruned.stats.vectors_created,
+                full.stats.vectors_created,
+                pruned.stats.latency_s * 1e3,
+                full.stats.latency_s * 1e3,
+            ]
+        )
+    benchmark(
+        lambda: PriorityEnumerator(
+            registry, ml_cost(model), schema=schema
+        ).enumerate_plan(synthetic.pipeline_plan(9))
+    )
+    report(
+        "Ablation — boundary pruning on/off (3 platforms)",
+        ["#ops", "subplans w/", "subplans w/o", "latency w/ (ms)", "latency w/o (ms)"],
+        rows,
+        note="without pruning both columns grow as k^n",
+    )
+    assert rows[-1][1] < rows[-1][2] / 10
+
+
+def test_ablation_switch_pruning_beta(benchmark, report):
+    registry, schema, _, _ = latency_setup(3)
+    plan = synthetic.pipeline_plan(7)
+    ctx = EnumerationContext(plan, registry, schema)
+    enum = benchmark.pedantic(
+        lambda: enumerate_abstract(vectorize(ctx)), rounds=1, iterations=1
+    )
+    rows = []
+    previous = 0
+    for beta in (0, 1, 2, 3, 5, 100):
+        survivors = prune_switches(enum, beta=beta).n_vectors
+        rows.append([beta, survivors, enum.n_vectors])
+        assert survivors >= previous
+        previous = survivors
+    report(
+        "Ablation — TDGEN β-switch pruning (7 ops, 3 platforms)",
+        ["beta", "surviving plans", "total plans"],
+        rows,
+        note="TDGEN defaults to beta=3: plans with many switches are rarely optimal",
+    )
+    assert rows[0][1] == 3  # single-platform plans only
+    assert rows[-1][1] == enum.n_vectors
+
+
+def test_ablation_platform_aggregate_features(benchmark, report):
+    """Zeroing the per-platform aggregate block degrades plan ordering —
+    the justification for this reproduction extension to §IV-A."""
+    from repro.bench.context import get_context
+    from repro.ml.metrics import spearman
+    from repro.rheem.execution_plan import single_platform_plan
+    from repro.simulator.executor import SimulatedExecutor
+    from repro.tdgen.generator import TrainingDataGenerator
+    from repro.workloads import sgd, wordcount
+
+    ctx = get_context(("java", "spark", "flink"))
+    schema = ctx.schema
+    agg_cols = []
+    for i in range(len(ctx.registry)):
+        agg_cols.extend(
+            [
+                schema.platform_count_cell(i),
+                schema.platform_in_card_cell(i),
+                schema.platform_out_card_cell(i),
+                schema.platform_bytes_cell(i),
+                schema.platform_loop_cell(i),
+                schema.platform_loop_work_cell(i),
+            ]
+        )
+    agg_cols = np.asarray(agg_cols)
+
+    executor = SimulatedExecutor.default(ctx.registry)
+    tdgen = TrainingDataGenerator(ctx.registry, executor, seed=77, schema=schema)
+    dataset = tdgen.generate(5000, assignments_per_plan=6)
+
+    ablated = dataset.take(np.arange(len(dataset)))
+    ablated.X[:, agg_cols] = 0.0
+
+    params = dict(n_estimators=32, max_depth=18, max_features=64)
+
+    def train_both():
+        return (
+            RuntimeModel.train(dataset, "random_forest", seed=0, **params),
+            RuntimeModel.train(ablated, "random_forest", seed=0, **params),
+        )
+
+    full_model, ablated_model = benchmark.pedantic(train_both, rounds=1, iterations=1)
+
+    GB = 1024 ** 3
+    plans = [wordcount.plan(s) for s in (0.03 * GB, 3 * GB, 100 * GB)]
+    plans += [sgd.plan(s) for s in (2 * GB, 7.4 * GB)]
+    truths, vectors = [], []
+    for plan in plans:
+        for platform in ctx.registry.names:
+            xp = single_platform_plan(plan, platform, ctx.registry)
+            record = executor.execute(xp)
+            truths.append(record.runtime_s if record.ok else 7200.0)
+            vectors.append(schema.encode_execution_plan(xp))
+    truths = np.asarray(truths)
+    matrix = np.vstack(vectors)
+    matrix_ablated = matrix.copy()
+    matrix_ablated[:, agg_cols] = 0.0
+
+    s_full = spearman(truths, full_model.predict(matrix))
+    s_ablated = spearman(truths, ablated_model.predict(matrix_ablated))
+    report(
+        "Ablation — per-platform aggregate features",
+        ["features", "workload spearman"],
+        [["full plan vector", s_full], ["aggregates zeroed", s_ablated]],
+        note="the aggregate block exposes per-platform load (bytes, loop work) "
+        "that tree models cannot reassemble from per-kind cells",
+    )
+    assert s_full >= s_ablated - 0.02

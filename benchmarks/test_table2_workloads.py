@@ -1,0 +1,100 @@
+"""Table II — The real queries and datasets of the evaluation.
+
+Not an experiment per se, but the harness verifies that every workload
+plan has exactly the operator count the paper reports and spans the
+dataset-size ranges the figures sweep, and prints the table.
+"""
+
+import pytest
+
+from repro.rheem.datasets import GB, MB, PAPER_DATASETS
+from repro.workloads import (
+    TABLE2,
+    crocopr,
+    kmeans,
+    sgd,
+    simwords,
+    tpch,
+    word2nvec,
+    wordcount,
+)
+
+#: query -> (expected ops, dataset, size range of the figures)
+EXPECTED = {
+    "WordCount": (6, "wikipedia", "30MB - 1TB"),
+    "Word2NVec": (14, "wikipedia", "3MB - 150MB"),
+    "SimWords": (26, "wikipedia", "3MB - 150MB"),
+    "TPC-H Q1": (7, "tpch", "1GB - 1TB"),
+    "TPC-H Q3": (18, "tpch", "1GB - 1TB"),
+    "Kmeans": (7, "uscensus1990", "36MB - 1TB"),
+    "SGD": (6, "higgs", "740MB - 1TB"),
+    "CrocoPR": (22, "dbpedia", "200MB - 1TB"),
+}
+
+
+def _build(name):
+    module, _, _ = TABLE2[name]
+    if name == "TPC-H Q1":
+        return module.q1()
+    if name == "TPC-H Q3":
+        return module.q3()
+    return module.plan()
+
+
+def test_table2_operator_counts(benchmark, report):
+    plans = benchmark.pedantic(
+        lambda: {name: _build(name) for name in TABLE2}, rounds=1, iterations=1
+    )
+    rows = []
+    for name, plan in plans.items():
+        expected_ops, dataset, size_range = EXPECTED[name]
+        topo = plan.topology_counts()
+        rows.append(
+            [
+                name,
+                plan.n_operators,
+                expected_ops,
+                dataset,
+                size_range,
+                f"p{topo.pipeline}/j{topo.juncture}/r{topo.replicate}/l{topo.loop}",
+            ]
+        )
+        assert plan.n_operators == expected_ops, name
+        plan.validate()
+    report(
+        "Table II — real queries and datasets",
+        ["query", "#operators", "paper", "dataset", "sizes", "topologies"],
+        rows,
+        note="topologies: pipelines/junctures/replicates/loops in the plan",
+    )
+
+
+def test_table2_every_query_is_optimizable(benchmark, report, ctx3):
+    """Every Table II plan flows through the full optimizer."""
+    robopt = ctx3.robopt()
+    rows = []
+
+    def run_all():
+        out = []
+        for name in TABLE2:
+            plan = _build(name)
+            result = robopt.optimize(plan)
+            out.append((name, result))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, result in results:
+        rows.append(
+            [
+                name,
+                "+".join(result.execution_plan.platforms_used()),
+                result.predicted_runtime,
+                result.stats.latency_s * 1e3,
+            ]
+        )
+    report(
+        "Table II companion — Robopt on every query (default sizes)",
+        ["query", "chosen platforms", "predicted runtime (s)", "opt. latency (ms)"],
+        rows,
+    )
+    assert len(rows) == len(TABLE2)

@@ -1,0 +1,62 @@
+"""Table III — Summary of Fig. 11: runtime difference from the optimum.
+
+Paper (seconds):
+
+===========  ==============  ==============  =============  =============
+query        RHEEMix max     RHEEMix avg     Robopt max     Robopt avg
+===========  ==============  ==============  =============  =============
+WordCount    0               0               0              0
+Word2NVec    8               5               1              0.2
+SimWords     0               0               0              0
+Aggregate    305             73.8            3              0.6
+Join         1152            317.2           4              0.8
+K-means      5               1.25            0              0
+SGD          343             120             343            63
+CrocoPR      5412            828             0              0
+===========  ==============  ==============  =============  =============
+
+The shape to reproduce: Robopt's differences are zero-to-small almost
+everywhere, while RHEEMix has a few catastrophic misses.
+"""
+
+import numpy as np
+import pytest
+
+from bench_helpers import FIG11_GRID, fig11_results
+
+
+def _summaries(cases):
+    out = {}
+    for query in FIG11_GRID:
+        rows = [c for c in cases if c.query == query]
+        rx = [c.diff(c.rheemix_runtime) for c in rows]
+        rb = [c.diff(c.robopt_runtime) for c in rows]
+        finite = lambda xs: [x if np.isfinite(x) else 7200.0 for x in xs]
+        rx, rb = finite(rx), finite(rb)
+        out[query] = (max(rx), float(np.mean(rx)), max(rb), float(np.mean(rb)))
+    return out
+
+
+def test_table3_diff_from_optimal(benchmark, report):
+    cases = benchmark.pedantic(fig11_results, rounds=1, iterations=1)
+    summaries = _summaries(cases)
+    rows = [
+        [query, rx_max, rx_avg, rb_max, rb_avg]
+        for query, (rx_max, rx_avg, rb_max, rb_avg) in summaries.items()
+    ]
+    report(
+        "Table III — runtime difference from the optimal single platform (s)",
+        ["query", "RHEEMix max", "RHEEMix avg", "Robopt max", "Robopt avg"],
+        rows,
+        note="negative-side differences (multi-platform plans beating every "
+        "single platform) count as 0, as in the paper",
+    )
+    total_rx = sum(v[1] for v in summaries.values())
+    total_rb = sum(v[1] for v in summaries.values())
+    robopt_avgs = [v[3] for v in summaries.values()]
+    rheemix_avgs = [v[1] for v in summaries.values()]
+    assert sum(robopt_avgs) <= sum(rheemix_avgs), (
+        "Robopt's aggregate deviation from optimal must not exceed RHEEMix's"
+    )
+    # Robopt's worst per-query average deviation stays moderate.
+    assert max(robopt_avgs) <= max(max(rheemix_avgs), 100.0)

@@ -1,0 +1,60 @@
+"""Multi-platform plans for iterative ML workloads (the Fig. 12 scenarios).
+
+K-means and SGD are the paper's showcase for *combining* platforms: the
+heavy per-point work belongs on a cluster engine, but the tiny per-
+iteration state (centroids, weights) is cheapest to keep on single-node
+Java and broadcast — a plan no single platform can match and a trade-off
+a linear cost model systematically misses.
+
+This example uses the cached benchmark context (built on first use, then
+reused), optimizes K-means across centroid counts and SGD across batch
+sizes, and prints the plans and their measured runtimes.
+
+Usage::
+
+    python examples/iterative_ml_workloads.py
+"""
+
+from repro.bench.context import get_context
+from repro.rheem.datasets import GB, MB
+from repro.workloads import kmeans, sgd
+
+
+def show(ctx, name, plan):
+    robopt = ctx.robopt()
+    rheemix = ctx.rheemix()
+    singles = ctx.single_platform_runtimes(plan)
+    chosen = robopt.optimize(plan).execution_plan
+    rx_plan = rheemix.optimize(plan).execution_plan
+    print(f"\n--- {name} ---")
+    for platform, runtime in singles.items():
+        shown = f"{runtime:.1f} s" if runtime != float("inf") else "out-of-memory"
+        print(f"  {platform:>6} alone: {shown}")
+    print(
+        f"  RHEEMix:  {'+'.join(rx_plan.platforms_used()):<18}"
+        f" {ctx.measure(rx_plan):.1f} s"
+    )
+    print(
+        f"  Robopt:   {'+'.join(chosen.platforms_used()):<18}"
+        f" {ctx.measure(chosen):.1f} s"
+    )
+    print("  Robopt plan:")
+    for line in chosen.describe().splitlines()[1:]:
+        print(f"    {line}")
+
+
+def main():
+    print("building/loading the benchmark context (cached under .artifacts/) ...")
+    ctx = get_context(("java", "spark", "flink"))
+
+    print("\n=== K-means, 3.6 GB census data, 20 Lloyd iterations ===")
+    for k in (10, 100, 1000):
+        show(ctx, f"K-means with {k} centroids", kmeans.plan(3610 * MB, n_centroids=k))
+
+    print("\n=== SGD, 7.4 GB HIGGS, 400 steps ===")
+    for batch in (1, 100, 1000):
+        show(ctx, f"SGD with batch size {batch}", sgd.plan(7.4 * GB, batch_size=batch))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Cross-platform plans for database-resident data (the Fig. 13 scenario).
+
+TPC-H Q3's relations live in Postgres. The obvious plan runs the whole
+query there; the profitable plan pushes only the scans, filters and
+projections into Postgres and ships the slimmed-down relations to a
+cluster engine for the join and aggregation. This example shows the
+optimizer discovering that plan, plus the CrocoPR-PG case where
+cross-platform execution is *mandatory* (Postgres cannot run PageRank).
+
+Usage::
+
+    python examples/postgres_offloading.py
+"""
+
+from repro.bench.context import get_context
+from repro.rheem.datasets import GB
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.workloads import crocopr, tpch
+
+
+def postgres_only_baseline(ctx, plan) -> ExecutionPlan:
+    """Everything Postgres supports stays in Postgres; the rest on Java."""
+    pg = ctx.registry["postgres"]
+    assignment = {
+        op_id: ("postgres" if pg.supports(op.kind_name) else "java")
+        for op_id, op in plan.operators.items()
+    }
+    return ExecutionPlan(plan, assignment, ctx.registry)
+
+
+def main():
+    print("building/loading the 4-platform context (cached under .artifacts/) ...")
+    ctx = get_context(("java", "spark", "flink", "postgres"))
+    robopt = ctx.robopt()
+
+    print("\n=== TPC-H Q3 with Postgres-resident relations ===")
+    for size in (10 * GB, 100 * GB):
+        plan = tpch.q3(size, in_postgres=True)
+        baseline = postgres_only_baseline(ctx, plan)
+        chosen = robopt.optimize(plan).execution_plan
+        t_pg = ctx.measure(baseline)
+        t_ml = ctx.measure(chosen)
+        print(f"\nQ3 @ {size / GB:.0f} GB")
+        print(f"  Postgres-only:     {t_pg:8.1f} s")
+        print(
+            f"  Robopt:            {t_ml:8.1f} s "
+            f"({'+'.join(chosen.platforms_used())}, {t_pg / t_ml:.2f}x)"
+        )
+        pushed_down = [
+            plan.operators[op_id].label
+            for op_id, platform in sorted(chosen.assignment.items())
+            if platform == "postgres"
+        ]
+        print(f"  pushed into Postgres: {', '.join(pushed_down)}")
+
+    print("\n=== CrocoPR with links stored in Postgres (cross-platform is mandatory) ===")
+    plan = crocopr.plan(2 * GB, iterations=10, in_postgres=True)
+    chosen = robopt.optimize(plan).execution_plan
+    print(f"  platforms: {'+'.join(chosen.platforms_used())}")
+    print(f"  runtime:   {ctx.measure(chosen):.1f} s")
+    print("  (Postgres filters the NULLs, a cluster engine preprocesses, and")
+    print("   the PageRank loop runs where iteration is cheapest)")
+
+
+if __name__ == "__main__":
+    main()

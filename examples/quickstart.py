@@ -1,0 +1,67 @@
+"""Quickstart: train a runtime model and optimize a query end to end.
+
+Runs the full Robopt pipeline on a small scale, with no cached artifacts:
+
+1. pick the platforms (Java, Spark, Flink — §VII-A's trio);
+2. generate training data with TDGEN against the simulated cluster;
+3. train the random-forest runtime model;
+4. optimize WordCount at two dataset sizes and compare the chosen plans
+   against every single-platform execution.
+
+Expected runtime: well under a minute.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Robopt, default_registry
+from repro.ml import RuntimeModel
+from repro.rheem.datasets import GB, MB
+from repro.rheem.execution_plan import single_platform_plan
+from repro.simulator import SimulatedExecutor
+from repro.tdgen import TrainingDataGenerator
+from repro.workloads import wordcount
+
+
+def main():
+    print("=== 1. platforms & simulated cluster ===")
+    registry = default_registry(("java", "spark", "flink"))
+    executor = SimulatedExecutor.default(registry)
+    print(f"platforms: {', '.join(registry.names)}")
+
+    print("\n=== 2. TDGEN training data ===")
+    tdgen = TrainingDataGenerator(registry, executor, seed=0)
+    dataset = tdgen.generate(6000)
+    stats = tdgen.stats
+    print(
+        f"{stats.n_points} labelled plans from {stats.n_templates} templates "
+        f"({stats.n_executed} executed, {stats.n_imputed} interpolated)"
+    )
+
+    print("\n=== 3. runtime model ===")
+    model = RuntimeModel.train(dataset, "random_forest", seed=0, n_estimators=32)
+    print(f"trained: {model}")
+    print(f"holdout metrics: {model.metrics}")
+
+    print("\n=== 4. optimize WordCount ===")
+    robopt = Robopt(registry, model)
+    for size, label in ((30 * MB, "30 MB"), (6 * GB, "6 GB")):
+        plan = wordcount.plan(size)
+        result = robopt.optimize(plan)
+        chosen = executor.execute(result.execution_plan)
+        print(f"\nWordCount @ {label}")
+        print(f"  optimization latency: {result.stats.latency_s * 1e3:.1f} ms")
+        print(f"  chosen platforms:     {'+'.join(result.execution_plan.platforms_used())}")
+        print(f"  measured runtime:     {chosen.runtime_s:.1f} s")
+        for platform in registry.names:
+            report = executor.execute(single_platform_plan(plan, platform, registry))
+            runtime = f"{report.runtime_s:.1f} s" if report.ok else report.status
+            print(f"  {platform:>6} alone:         {runtime}")
+        print("  chosen plan:")
+        for line in result.execution_plan.describe().splitlines()[1:]:
+            print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""TDGEN in depth: the three generation modes and the labelling economy.
+
+§VI describes three ways to produce training data:
+
+(i)   mimic a user-provided workload,
+(ii)  generate for given topology shapes and a maximum size,
+(iii) exhaustively cover all shapes up to a maximum size.
+
+This example runs all three, shows how much execution the interpolation
+saves, trains a model on the mode-(ii) data, and demonstrates the
+degree-5 runtime interpolation on one job family (the Fig. 8 picture,
+rendered as text).
+
+Usage::
+
+    python examples/training_data_generation.py
+"""
+
+import numpy as np
+
+from repro import default_registry
+from repro.ml import RuntimeModel
+from repro.rheem.execution_plan import single_platform_plan
+from repro.simulator import SimulatedExecutor
+from repro.tdgen import (
+    ConfigurationProfile,
+    TrainingDataGenerator,
+    default_cardinality_grid,
+    interpolate_runtimes,
+)
+from repro.workloads import kmeans, tpch, wordcount, synthetic
+
+
+def demo_modes(registry, executor):
+    profile = ConfigurationProfile(
+        cardinalities=tuple(default_cardinality_grid(1e4, 1e8, 6))
+    )
+
+    print("--- mode (ii): shapes + max size (the paper's evaluation setup) ---")
+    tdgen = TrainingDataGenerator(registry, executor, seed=1)
+    ds_shapes = tdgen.generate(
+        1200, shapes=("pipeline", "juncture", "loop"), max_operators=50,
+        profile=profile,
+    )
+    s = tdgen.stats
+    print(
+        f"  {s.n_points} points, executed fraction "
+        f"{s.executed_fraction:.0%} ({s.n_failures} failed runs kept as penalties)"
+    )
+
+    print("--- mode (i): mimic a user workload ---")
+    tdgen = TrainingDataGenerator(registry, executor, seed=2)
+    workload = [wordcount.plan(), tpch.q3(), kmeans.plan()]
+    ds_like = tdgen.generate(400, workload=workload, profile=profile)
+    shapes = sorted({m["shape"] for m in ds_like.meta})
+    print(f"  mimicked shapes: {shapes}")
+
+    print("--- mode (iii): exhaustive shape coverage ---")
+    tdgen = TrainingDataGenerator(registry, executor, seed=3)
+    templates = tdgen.jobgen.templates_exhaustive(max_operators=18)
+    print(f"  {len(templates)} templates across all shapes:")
+    counts = {}
+    for t in templates:
+        counts[t.shape] = counts.get(t.shape, 0) + 1
+    for shape, count in sorted(counts.items()):
+        print(f"    {shape:<10} {count}")
+    return ds_shapes
+
+
+def demo_interpolation(registry, executor):
+    print("\n--- Fig. 8-style interpolation (6-operator pipeline on Spark) ---")
+    grid = np.geomspace(1e4, 1e9, 10)
+    executed_idx = [0, 1, 2, 4, 6, 9]
+    runtimes = {}
+    for ci in executed_idx:
+        plan = synthetic.pipeline_plan(6, cardinality=grid[ci])
+        runtimes[ci] = executor.execute(
+            single_platform_plan(plan, "spark", registry)
+        ).runtime_s
+    predicted = interpolate_runtimes(
+        [grid[i] for i in executed_idx],
+        [runtimes[i] for i in executed_idx],
+        grid,
+    )
+    for ci, card in enumerate(grid):
+        marker = "executed " if ci in executed_idx else "predicted"
+        plan = synthetic.pipeline_plan(6, cardinality=card)
+        truth = executor.execute(
+            single_platform_plan(plan, "spark", registry)
+        ).runtime_s
+        bar = "#" * max(1, int(np.log10(predicted[ci] + 1.1) * 12))
+        print(
+            f"  {card:>12.2e} tuples  {marker}  "
+            f"spline={predicted[ci]:8.1f}s  true={truth:8.1f}s  {bar}"
+        )
+
+
+def main():
+    registry = default_registry(("java", "spark", "flink"))
+    executor = SimulatedExecutor.default(registry)
+
+    dataset = demo_modes(registry, executor)
+    demo_interpolation(registry, executor)
+
+    print("\n--- train + persist a model on the mode-(ii) data ---")
+    model = RuntimeModel.train(dataset, "random_forest", seed=0, n_estimators=24)
+    print(f"  {model}")
+    path = "/tmp/robopt_model.pkl"
+    model.save(path)
+    reloaded = RuntimeModel.load(path)
+    print(f"  saved and reloaded from {path}: {reloaded}")
+
+
+if __name__ == "__main__":
+    main()

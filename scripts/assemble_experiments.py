@@ -1,0 +1,92 @@
+"""Inject the recorded benchmark tables into EXPERIMENTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``: reads every table under
+``.artifacts/experiments/`` and replaces the ``<!-- TABLES -->`` marker in
+EXPERIMENTS.md with the rendered tables, grouped in the paper's order.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Paper order of the experiment record.
+ORDER = [
+    "test_fig01_improvement_factor",
+    "test_fig01_factor_grows",
+    "test_fig02_well_vs_simply_tuned",
+    "test_fig02_parameter_count",
+    "test_table1_counts",
+    "test_table1_pruning",
+    "test_fig08_interpolation_accuracy",
+    "test_fig08_executed_fraction",
+    "test_fig09a",
+    "test_fig09bcd_latency_vs_platforms[5]",
+    "test_fig09bcd_latency_vs_platforms[20]",
+    "test_fig09bcd_latency_vs_platforms[80]",
+    "test_fig09_rheem_ml_time_breakdown",
+    "test_fig10_priority_vs_topdown_bottomup[3]",
+    "test_fig10_priority_vs_topdown_bottomup[5]",
+    "test_fig10_all_strategies",
+    "test_table2_operator_counts",
+    "test_table2_every_query",
+    "test_fig11_bars_and_choices",
+    "test_fig11_choice_rates",
+    "test_table3_diff_from_optimal",
+    "test_fig12a_kmeans_centroids",
+    "test_fig12b_sgd_batch_size",
+    "test_fig12cd_crocopr_iterations[hdfs]",
+    "test_fig12cd_crocopr_iterations[postgres]",
+    "test_fig13_join_in_postgres",
+    "test_ablation_model_families",
+    "test_ablation_boundary_pruning",
+    "test_ablation_switch_pruning_beta",
+    "test_ablation_platform_aggregate_features",
+]
+
+
+def sort_key(path: Path):
+    name = path.stem
+    for i, prefix in enumerate(ORDER):
+        if name.startswith(prefix.split("[")[0]) and (
+            "[" not in prefix or prefix.split("[")[1].rstrip("]") in name
+        ):
+            return (i, name)
+    return (len(ORDER), name)
+
+
+def dedupe(text: str) -> str:
+    """Keep only the last occurrence of each table in a record file."""
+    chunks = re.split(r"\n(?==== )", text.strip())
+    seen = {}
+    for chunk in chunks:
+        title = chunk.splitlines()[0]
+        seen[title] = chunk
+    return "\n\n".join(seen.values())
+
+
+def main() -> int:
+    experiments = ROOT / ".artifacts" / "experiments"
+    target = ROOT / "EXPERIMENTS.md"
+    if not experiments.is_dir():
+        print("no .artifacts/experiments — run the benchmarks first", file=sys.stderr)
+        return 1
+    blocks = []
+    for path in sorted(experiments.glob("*.txt"), key=sort_key):
+        blocks.append("```\n" + dedupe(path.read_text()) + "\n```")
+    body = "\n\n".join(blocks)
+    text = target.read_text()
+    marker = "<!-- TABLES -->"
+    if marker not in text:
+        print("EXPERIMENTS.md misses the <!-- TABLES --> marker", file=sys.stderr)
+        return 1
+    target.write_text(text.replace(marker, body))
+    print(f"injected {len(blocks)} table blocks into EXPERIMENTS.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

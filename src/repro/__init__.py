@@ -1,0 +1,84 @@
+"""Robopt reproduction: ML-based cross-platform query optimization.
+
+A full reimplementation of the system described in *"ML-based
+Cross-Platform Query Optimization"* (Kaoudi et al., ICDE 2020):
+
+* :mod:`repro.rheem` — the cross-platform substrate (logical plans,
+  platforms, execution plans, conversion operators);
+* :mod:`repro.core` — the vectorized optimizer (plan vectors, algebraic
+  operations, boundary pruning, priority-based enumeration);
+* :mod:`repro.ml` — runtime-prediction models (random forest, linear,
+  MLP) implemented from scratch on NumPy;
+* :mod:`repro.simulator` — the simulated multi-platform execution
+  environment that stands in for the paper's cluster;
+* :mod:`repro.cost` — the RHEEMix-style cost-based optimizer baseline;
+* :mod:`repro.baselines` — Rheem-ML and exhaustive enumeration baselines;
+* :mod:`repro.tdgen` — the scalable training data generator;
+* :mod:`repro.workloads` — the queries of Table II plus synthetic plans.
+
+Quickstart::
+
+    from repro import (
+        Robopt, default_registry, SimulatedExecutor,
+        TrainingDataGenerator, RuntimeModel,
+    )
+    from repro.workloads import wordcount
+
+    registry = default_registry()
+    executor = SimulatedExecutor.default(registry)
+    dataset = TrainingDataGenerator(registry, executor, seed=0).generate(500)
+    model = RuntimeModel.train(dataset)
+    plan = wordcount.plan()
+    result = Robopt(registry, model).optimize(plan)
+    print(result.execution_plan.describe())
+"""
+
+from repro.core import (
+    FeatureSchema,
+    OptimizationResult,
+    PriorityEnumerator,
+    Robopt,
+)
+from repro.rheem import (
+    DatasetProfile,
+    ExecutionPlan,
+    LogicalPlan,
+    PlatformRegistry,
+    default_registry,
+    operator,
+    synthetic_registry,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FeatureSchema",
+    "Robopt",
+    "OptimizationResult",
+    "PriorityEnumerator",
+    "LogicalPlan",
+    "ExecutionPlan",
+    "DatasetProfile",
+    "PlatformRegistry",
+    "default_registry",
+    "synthetic_registry",
+    "operator",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazy exports that pull in heavier subsystems on first use."""
+    if name == "SimulatedExecutor":
+        from repro.simulator import SimulatedExecutor
+
+        return SimulatedExecutor
+    if name == "RuntimeModel":
+        from repro.ml import RuntimeModel
+
+        return RuntimeModel
+    if name == "TrainingDataGenerator":
+        from repro.tdgen import TrainingDataGenerator
+
+        return TrainingDataGenerator
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,31 @@
+"""Baseline optimizers the paper compares Robopt against (§VII).
+
+* :class:`~repro.baselines.object_enumerator.ObjectEnumerator` — the
+  traditional enumeration over Python plan objects (Rheem's style), with
+  the same priority scheme and boundary pruning as Robopt;
+* :mod:`repro.baselines.rheem_ml` — "Rheem-ML": the object enumeration
+  with the cost model swapped for the ML model used as an external black
+  box, paying a plan→vector transformation for every scored subplan;
+* :mod:`repro.baselines.exhaustive` — the exhaustive (pruning-free)
+  vectorized enumeration.
+
+(The cost-based RHEEMix baseline lives in :mod:`repro.cost.optimizer`.)
+"""
+
+from repro.baselines.object_enumerator import (
+    ObjectEnumerationResult,
+    ObjectEnumerator,
+    ObjectStats,
+    ObjectSubplan,
+)
+from repro.baselines.rheem_ml import RheemMLOptimizer
+from repro.baselines.exhaustive import ExhaustiveOptimizer
+
+__all__ = [
+    "ObjectEnumerator",
+    "ObjectSubplan",
+    "ObjectStats",
+    "ObjectEnumerationResult",
+    "RheemMLOptimizer",
+    "ExhaustiveOptimizer",
+]

@@ -1,0 +1,43 @@
+"""The exhaustive (pruning-free) vectorized enumeration baseline.
+
+"Exhaustive enumeration" in Fig. 9(a): Robopt's vectorized machinery with
+the prune operation disabled. It materializes all k^n plan vectors, so it
+is only runnable for small plans (Table I: 20 operators on 2 platforms
+already mean ~10^6 subplans) — which is itself one of the paper's points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.enumerator import EnumerationResult, PriorityEnumerator
+from repro.core.features import FeatureSchema
+from repro.core.pruning import ml_cost
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+
+
+class ExhaustiveOptimizer:
+    """Vectorized enumeration of the full k^n search space."""
+
+    def __init__(
+        self,
+        registry: PlatformRegistry,
+        model,
+        schema: Optional[FeatureSchema] = None,
+        max_vectors: int = 4_000_000,
+    ):
+        self.registry = registry
+        self._enumerator = PriorityEnumerator(
+            registry,
+            cost_fn=ml_cost(model),
+            priority="robopt",
+            pruning=False,
+            schema=schema,
+            max_vectors=max_vectors,
+        )
+
+    def optimize(self, plan: LogicalPlan) -> EnumerationResult:
+        """Enumerate everything; raises EnumerationError beyond the limit."""
+        plan.validate()
+        return self._enumerator.enumerate_plan(plan)

@@ -1,0 +1,13 @@
+"""Shared infrastructure for the benchmark harness.
+
+:mod:`repro.bench.context` builds (and caches on disk) the expensive
+shared artifacts — the TDGEN dataset, the trained runtime models and the
+calibrated cost models — so the per-table/per-figure benchmark files stay
+cheap and independent. :mod:`repro.bench.tables` renders paper-vs-measured
+tables to stdout.
+"""
+
+from repro.bench.context import BenchContext, get_context
+from repro.bench.tables import format_table, print_table
+
+__all__ = ["BenchContext", "get_context", "format_table", "print_table"]

@@ -1,0 +1,63 @@
+"""Quick setups for the latency/scalability benchmarks (Figs. 1, 9, 10).
+
+Those experiments measure *optimizer latency*, not plan quality: every
+system explores the same (pruned) search space, so the model only needs
+realistic prediction cost, not accuracy. ``latency_setup(k)`` therefore
+trains a small random forest on TDGEN-shaped random data in a couple of
+seconds and pairs it with a hand-filled cost model — enough to drive
+Robopt, Rheem-ML, RHEEMix and the exhaustive baseline over synthetic
+registries of 2–5 platforms.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.features import FeatureSchema
+from repro.cost.cost_model import CostModel, CostParameters
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.model import RuntimeModel, TrainingDataset
+from repro.rheem.operators import KINDS
+from repro.rheem.conversion import CONVERSION_KINDS
+from repro.rheem.platforms import PlatformRegistry, synthetic_registry
+
+
+def _quick_model(schema: FeatureSchema, seed: int = 0) -> RuntimeModel:
+    """A small forest over random plan-vector-shaped data."""
+    rng = np.random.default_rng(seed)
+    n = 600
+    X = rng.uniform(0, 1e6, size=(n, schema.n_features))
+    y = np.abs(X[:, : 8].sum(axis=1) / 1e5 + rng.normal(0, 1, n))
+    dataset = TrainingDataset(X, y)
+    return RuntimeModel.train(
+        dataset, "random_forest", seed=seed, n_estimators=24, max_depth=10
+    )
+
+
+def _quick_cost_model(registry: PlatformRegistry) -> CostModel:
+    """Hand-filled linear coefficients for every (kind, platform)."""
+    params = CostParameters()
+    for i, name in enumerate(registry.names):
+        params.startup[name] = 0.5 * i
+        for kind in KINDS:
+            params.operator_coeffs[(kind, name)] = (
+                0.01 * (i + 1),
+                1e-8 * (i + 1),
+                1e-9,
+            )
+    for kind in CONVERSION_KINDS:
+        params.conversion_coeffs[kind] = (0.3, 1e-7)
+    return CostModel(registry, params)
+
+
+@lru_cache(maxsize=8)
+def latency_setup(k: int, seed: int = 0) -> Tuple:
+    """(registry, schema, runtime_model, cost_model) for ``k`` platforms."""
+    registry = synthetic_registry(k)
+    schema = FeatureSchema(registry)
+    model = _quick_model(schema, seed=seed)
+    cost_model = _quick_cost_model(registry)
+    return registry, schema, model, cost_model

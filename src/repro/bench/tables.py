@@ -1,0 +1,49 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, in a fixed-width format that survives pytest capture and
+``tee`` into the experiment logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence], note: str = ""
+) -> str:
+    """Render a fixed-width table with a title and optional footnote."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["", f"=== {title} ==="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence], note: str = ""
+) -> None:
+    print(format_table(title, headers, rows, note))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if cell == float("inf"):
+            return "inf"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

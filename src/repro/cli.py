@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``workloads`` — list the built-in Table II workloads;
+* ``train`` — generate TDGEN data and train a runtime model;
+* ``optimize`` — optimize a workload (or a plan JSON) with a model;
+* ``simulate`` — run a workload on one platform (or all) and report
+  simulated runtimes;
+* ``explain`` — optimize and print the decision report (chosen plan,
+  alternatives, single-platform predictions).
+
+Sizes accept human suffixes: ``30MB``, ``6GB``, ``1TB``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+
+_SUFFIXES = {"KB": 2 ** 10, "MB": 2 ** 20, "GB": 2 ** 30, "TB": 2 ** 40}
+
+
+def parse_size(text: str) -> float:
+    """Parse ``"6GB"``-style sizes into bytes."""
+    cleaned = text.strip().upper().replace(" ", "")
+    for suffix, factor in _SUFFIXES.items():
+        if cleaned.endswith(suffix):
+            return float(cleaned[: -len(suffix)]) * factor
+    return float(cleaned)
+
+
+def _registry(names: str):
+    from repro.rheem.platforms import default_registry
+
+    return default_registry(tuple(n.strip() for n in names.split(",")))
+
+
+def _workload_plan(name: str, size_bytes: Optional[float], args):
+    from repro.workloads import TABLE2
+
+    key = {k.lower().replace(" ", "").replace("-", ""): k for k in TABLE2}
+    normalized = name.lower().replace(" ", "").replace("-", "")
+    if normalized not in key:
+        raise ReproError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(TABLE2))}"
+        )
+    full = key[normalized]
+    module, _, _ = TABLE2[full]
+    kwargs = {}
+    if size_bytes is not None:
+        kwargs["size_bytes"] = size_bytes
+    if full == "TPC-H Q1":
+        return module.q1(**kwargs)
+    if full == "TPC-H Q3":
+        return module.q3(**kwargs)
+    return module.plan(**kwargs)
+
+
+def _load_plan(args):
+    if args.plan_json:
+        from repro.rheem.serialization import plan_from_json
+
+        with open(args.plan_json) as f:
+            return plan_from_json(f.read())
+    return _workload_plan(
+        args.workload, parse_size(args.size) if args.size else None, args
+    )
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_workloads(args) -> int:
+    from repro.workloads import TABLE2
+
+    print(f"{'workload':<12} {'#ops':>5}  dataset")
+    for name, (module, n_ops, dataset) in TABLE2.items():
+        print(f"{name:<12} {n_ops:>5}  {dataset}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.ml.model import RuntimeModel
+    from repro.simulator.executor import SimulatedExecutor
+    from repro.tdgen.generator import TrainingDataGenerator
+
+    registry = _registry(args.platforms)
+    executor = SimulatedExecutor.default(registry, seed=args.seed)
+    tdgen = TrainingDataGenerator(registry, executor, seed=args.seed)
+    print(f"generating {args.points} training points on {registry.names} ...")
+    dataset = tdgen.generate(args.points)
+    stats = tdgen.stats
+    print(
+        f"  executed {stats.n_executed}, interpolated {stats.n_imputed} "
+        f"({stats.executed_fraction:.0%} executed)"
+    )
+    print(f"training a {args.algorithm} model ...")
+    model = RuntimeModel.train(dataset, args.algorithm, seed=args.seed)
+    print(f"  holdout: {model.metrics}")
+    model.save(args.out)
+    print(f"saved model to {args.out}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from repro.core.optimizer import Robopt
+    from repro.ml.model import RuntimeModel
+    from repro.rheem.serialization import execution_plan_to_json
+
+    registry = _registry(args.platforms)
+    model = RuntimeModel.load(args.model)
+    plan = _load_plan(args)
+    robopt = Robopt(registry, model, priority=args.priority)
+    result = robopt.optimize(plan)
+    print(result.execution_plan.describe())
+    print(
+        f"predicted runtime: {result.predicted_runtime:.2f}s  "
+        f"(optimization took {result.stats.latency_s * 1e3:.1f}ms, "
+        f"{result.stats.total_vectors} plan vectors)"
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(execution_plan_to_json(result.execution_plan))
+        print(f"wrote execution plan to {args.out}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.core.optimizer import Robopt
+    from repro.ml.model import RuntimeModel
+
+    registry = _registry(args.platforms)
+    model = RuntimeModel.load(args.model)
+    plan = _load_plan(args)
+    report = Robopt(registry, model).explain(plan, k=args.top_k)
+    print(report.render())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.rheem.execution_plan import single_platform_plan
+    from repro.simulator.executor import SimulatedExecutor
+
+    registry = _registry(args.platforms)
+    executor = SimulatedExecutor.default(registry)
+    plan = _load_plan(args)
+    targets = (
+        [args.platform] if args.platform else [p.name for p in registry]
+    )
+    for name in targets:
+        try:
+            xplan = single_platform_plan(plan, name, registry)
+        except ReproError as exc:
+            print(f"{name:>10}: not runnable ({exc})")
+            continue
+        report = executor.execute(xplan)
+        shown = f"{report.runtime_s:.1f}s" if report.ok else report.status
+        print(f"{name:>10}: {shown}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Robopt reproduction: ML-based cross-platform query optimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list built-in workloads").set_defaults(
+        func=cmd_workloads
+    )
+
+    train = sub.add_parser("train", help="generate TDGEN data and train a model")
+    train.add_argument("--platforms", default="java,spark,flink")
+    train.add_argument("--points", type=int, default=8000)
+    train.add_argument("--algorithm", default="random_forest")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", default="robopt_model.pkl")
+    train.set_defaults(func=cmd_train)
+
+    def add_plan_args(p):
+        p.add_argument("--workload", default="WordCount")
+        p.add_argument("--size", default=None, help="e.g. 30MB, 6GB, 1TB")
+        p.add_argument("--plan-json", default=None, help="optimize a serialized plan")
+        p.add_argument("--platforms", default="java,spark,flink")
+
+    optimize = sub.add_parser("optimize", help="optimize a workload with a model")
+    add_plan_args(optimize)
+    optimize.add_argument("--model", required=True)
+    optimize.add_argument("--priority", default="robopt")
+    optimize.add_argument("--out", default=None, help="write the plan as JSON")
+    optimize.set_defaults(func=cmd_optimize)
+
+    explain = sub.add_parser("explain", help="optimize and explain the decision")
+    add_plan_args(explain)
+    explain.add_argument("--model", required=True)
+    explain.add_argument("--top-k", type=int, default=3)
+    explain.set_defaults(func=cmd_explain)
+
+    simulate = sub.add_parser("simulate", help="run a workload on the simulator")
+    add_plan_args(simulate)
+    simulate.add_argument("--platform", default=None, help="one platform (default: all)")
+    simulate.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Robopt's core: vectorized, ML-driven plan enumeration (§IV–§V).
+
+The subpackage implements the paper's primary contribution:
+
+* :mod:`repro.core.features` — the plan-vector layout (§IV-A);
+* :mod:`repro.core.enumeration` — plan vector enumerations (Def. 1) and the
+  shared enumeration context;
+* :mod:`repro.core.operations` — the seven algebraic operations
+  (``vectorize``, ``enumerate``, ``unvectorize``, ``split``, ``iterate``,
+  ``merge``, ``prune``; §IV-C/D/E);
+* :mod:`repro.core.pruning` — boundary pruning (Def. 2) and the β-switch
+  pruning used by TDGEN;
+* :mod:`repro.core.priority` — priority metrics (Def. 3 and the
+  top-down/bottom-up variants);
+* :mod:`repro.core.enumerator` — the priority-based enumeration
+  (Algorithm 1);
+* :mod:`repro.core.optimizer` — the :class:`Robopt` facade.
+"""
+
+from repro.core.features import FeatureSchema
+from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+from repro.core.operations import (
+    AbstractPlanVector,
+    enumerate_singleton,
+    iterate,
+    merge,
+    merge_enumerations,
+    split,
+    unvectorize,
+    vectorize,
+)
+from repro.core.pruning import (
+    boundary_operators,
+    ml_cost,
+    prune,
+    prune_switches,
+    pruning_footprint,
+)
+from repro.core.priority import PRIORITIES, make_priority
+from repro.core.enumerator import EnumerationResult, EnumerationStats, PriorityEnumerator
+from repro.core.optimizer import OptimizationResult, Robopt
+
+__all__ = [
+    "FeatureSchema",
+    "EnumerationContext",
+    "PlanVectorEnumeration",
+    "AbstractPlanVector",
+    "vectorize",
+    "split",
+    "enumerate_singleton",
+    "iterate",
+    "merge",
+    "merge_enumerations",
+    "unvectorize",
+    "boundary_operators",
+    "pruning_footprint",
+    "prune",
+    "prune_switches",
+    "ml_cost",
+    "PRIORITIES",
+    "make_priority",
+    "PriorityEnumerator",
+    "EnumerationResult",
+    "EnumerationStats",
+    "Robopt",
+    "OptimizationResult",
+]

@@ -1,0 +1,254 @@
+"""Plan vector enumerations (Def. 1) and the shared enumeration context.
+
+A :class:`PlanVectorEnumeration` ``V = (s, V)`` couples a *scope* ``s`` (the
+set of logical operator ids it covers) with a set of plan vectors, stored as
+one contiguous feature matrix — plus an *assignments* matrix that records,
+for every vector, which platform each in-scope operator runs on. The
+assignments matrix is what makes the whole pipeline vectorized: pruning
+footprints, conversion deltas on merge, switch counting and ``unvectorize``
+are all column slices of it.
+
+The :class:`EnumerationContext` precomputes everything that is per-plan
+rather than per-enumeration: feasible platforms per operator, edge metadata
+(cardinality, loop membership) and the per-edge conversion feature deltas
+for every ordered platform pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import EnumerationError, ScopeError
+from repro.core.features import FeatureSchema
+from repro.rheem.conversion import conversion_path
+from repro.rheem.execution_plan import feasible_platforms
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+
+
+@dataclass(frozen=True)
+class EdgeInfo:
+    """Precomputed metadata for one plan edge.
+
+    ``deltas[(pi, pj)]`` is a ``(columns, values)`` pair: the conversion
+    feature columns to bump (and by how much) when the producer runs on
+    platform index ``pi`` and the consumer on ``pj``.
+    """
+
+    src: int
+    dst: int
+    cardinality: float
+    in_loop: bool
+    iterations: int
+    deltas: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]]
+
+
+class EnumerationContext:
+    """Per-plan state shared by all enumerations of one optimization run."""
+
+    def __init__(
+        self,
+        plan: LogicalPlan,
+        registry: PlatformRegistry,
+        schema: Optional[FeatureSchema] = None,
+    ):
+        self.plan = plan
+        self.registry = registry
+        self.schema = schema if schema is not None else FeatureSchema(registry)
+        if list(self.schema.registry.names) != list(registry.names):
+            raise EnumerationError("schema registry does not match plan registry")
+        self.n_ops = plan.n_operators
+        #: feasible platform indices per operator id
+        self.alternatives: Dict[int, np.ndarray] = {
+            op_id: np.array(
+                [registry.index(name) for name in feasible_platforms(plan, registry, op_id)],
+                dtype=np.int8,
+            )
+            for op_id in plan.operators
+        }
+        self.edges: List[EdgeInfo] = [
+            self._edge_info(u, v) for u, v in plan.edges
+        ]
+        self._edges_by_pair: Dict[Tuple[int, int], EdgeInfo] = {
+            (e.src, e.dst): e for e in self.edges
+        }
+        self._static_cache: Dict[FrozenSet[int], np.ndarray] = {}
+        # Adjacency over operator ids (forward edges), used for boundaries.
+        self.op_children: Dict[int, Tuple[int, ...]] = {
+            i: tuple(plan.children(i)) for i in plan.operators
+        }
+        self.op_parents: Dict[int, Tuple[int, ...]] = {
+            i: tuple(plan.parents(i)) for i in plan.operators
+        }
+
+    def _edge_info(self, u: int, v: int) -> EdgeInfo:
+        plan, schema, registry = self.plan, self.schema, self.registry
+        cards = plan.cardinalities()
+        card = cards[u][1]
+        in_loop = plan.in_loop(u) and plan.in_loop(v)
+        iterations = min(plan.loop_iterations(u), plan.loop_iterations(v))
+        deltas: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        k = len(registry)
+        for pi in range(k):
+            for pj in range(k):
+                if pi == pj:
+                    continue
+                steps = conversion_path(registry[pi], registry[pj], in_loop=in_loop)
+                cols: List[int] = []
+                vals: List[float] = []
+                moved = card * iterations
+                for step in steps:
+                    p_idx = registry.index(step.platform)
+                    cols.append(schema.conv_platform_cell(step.kind, p_idx))
+                    vals.append(1.0)
+                    cols.append(schema.conv_input_card_cell(step.kind))
+                    vals.append(moved)
+                    cols.append(schema.conv_output_card_cell(step.kind))
+                    vals.append(moved)
+                if cols:
+                    deltas[(pi, pj)] = (
+                        np.asarray(cols, dtype=np.int64),
+                        np.asarray(vals, dtype=np.float64),
+                    )
+        return EdgeInfo(u, v, card, in_loop, iterations, deltas)
+
+    def edge(self, u: int, v: int) -> EdgeInfo:
+        try:
+            return self._edges_by_pair[(u, v)]
+        except KeyError:
+            raise EnumerationError(f"({u}, {v}) is not a plan edge") from None
+
+    def static_features(self, scope: FrozenSet[int]) -> np.ndarray:
+        """Cached scope-static feature vector for a scope."""
+        scope = frozenset(scope)
+        hit = self._static_cache.get(scope)
+        if hit is None:
+            hit = self.schema.static_features(self.plan, scope)
+            self._static_cache[scope] = hit
+        return hit
+
+    def crossing_edges(
+        self, scope_a: FrozenSet[int], scope_b: FrozenSet[int]
+    ) -> List[EdgeInfo]:
+        """Plan edges with one endpoint in each scope (either direction)."""
+        out = []
+        for e in self.edges:
+            if (e.src in scope_a and e.dst in scope_b) or (
+                e.src in scope_b and e.dst in scope_a
+            ):
+                out.append(e)
+        return out
+
+
+class PlanVectorEnumeration:
+    """A set of plan vectors for one (sub)plan scope (Def. 1).
+
+    Attributes
+    ----------
+    scope:
+        Frozen set of logical operator ids covered.
+    features:
+        ``(n_vectors, n_features)`` float64 matrix — directly consumable by
+        the ML model, no transformation required.
+    assignments:
+        ``(n_vectors, n_ops)`` int8 matrix of platform indices; ``-1``
+        outside the scope.
+    """
+
+    __slots__ = ("ctx", "scope", "features", "assignments", "_boundary")
+
+    def __init__(
+        self,
+        ctx: EnumerationContext,
+        scope: FrozenSet[int],
+        features: np.ndarray,
+        assignments: np.ndarray,
+    ):
+        if features.ndim != 2 or assignments.ndim != 2:
+            raise EnumerationError("features/assignments must be 2-D")
+        if features.shape[0] != assignments.shape[0]:
+            raise EnumerationError(
+                f"row mismatch: {features.shape[0]} feature rows vs "
+                f"{assignments.shape[0]} assignment rows"
+            )
+        if assignments.shape[1] != ctx.n_ops:
+            raise EnumerationError(
+                f"assignments must have one column per plan operator "
+                f"({ctx.n_ops}), got {assignments.shape[1]}"
+            )
+        self.ctx = ctx
+        self.scope = frozenset(scope)
+        self.features = features
+        self.assignments = assignments
+        self._boundary: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vectors(self) -> int:
+        return self.features.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_vectors
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the scope covers the whole logical plan."""
+        return len(self.scope) == self.ctx.n_ops
+
+    def boundary_ids(self) -> np.ndarray:
+        """Sorted ids of the scope's boundary operators (cached).
+
+        A boundary operator is adjacent (via any plan edge) to an operator
+        outside the scope (§IV-E).
+        """
+        if self._boundary is None:
+            scope = self.scope
+            boundary = set()
+            for i in scope:
+                neighbours = self.ctx.op_children[i] + self.ctx.op_parents[i]
+                if any(n not in scope for n in neighbours):
+                    boundary.add(i)
+            self._boundary = np.array(sorted(boundary), dtype=np.int64)
+        return self._boundary
+
+    def select(self, row_indices: np.ndarray) -> "PlanVectorEnumeration":
+        """A new enumeration keeping only the given vector rows."""
+        return PlanVectorEnumeration(
+            self.ctx,
+            self.scope,
+            self.features[row_indices],
+            self.assignments[row_indices],
+        )
+
+    def assignment_dict(self, row: int) -> Dict[int, str]:
+        """Platform-name assignment of one vector (scope operators only)."""
+        names = self.ctx.registry.names
+        return {
+            op_id: names[int(self.assignments[row, op_id])] for op_id in self.scope
+        }
+
+    def switch_counts(self) -> np.ndarray:
+        """Per-vector number of platform switches on scope-internal edges."""
+        counts = np.zeros(self.n_vectors, dtype=np.int64)
+        for e in self.ctx.edges:
+            if e.src in self.scope and e.dst in self.scope:
+                counts += (
+                    self.assignments[:, e.src] != self.assignments[:, e.dst]
+                ).astype(np.int64)
+        return counts
+
+    def check_scope_disjoint(self, other: "PlanVectorEnumeration") -> None:
+        overlap = self.scope & other.scope
+        if overlap:
+            raise ScopeError(
+                f"enumeration scopes overlap on operators {sorted(overlap)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanVectorEnumeration(scope={sorted(self.scope)}, "
+            f"n_vectors={self.n_vectors})"
+        )

@@ -1,0 +1,257 @@
+"""Priority-based plan enumeration — Algorithm 1 of the paper (§V-B).
+
+The enumerator (i) vectorizes and splits the plan into singleton abstract
+vectors, (ii) enumerates each singleton, (iii) repeatedly dequeues the
+highest-priority enumeration and concatenates it with its children
+(pruning after every concatenation), and (iv) returns the cheapest plan
+vector of the final enumeration, unvectorized into an execution plan.
+
+Because boundary pruning is lossless w.r.t. the cost oracle (Def. 2), the
+returned plan is *optimal with respect to the model* — unlike learned
+best-first searches (e.g. Neo), which are heuristic (§VIII).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.exceptions import EnumerationError
+from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+from repro.core.features import FeatureSchema
+from repro.core.operations import (
+    enumerate_singleton,
+    merge_enumerations,
+    split,
+    unvectorize,
+    vectorize,
+)
+from repro.core.priority import make_priority
+from repro.core.pruning import CostFn, ml_cost, prune
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+
+
+@dataclass
+class EnumerationStats:
+    """Instrumentation of one enumeration run.
+
+    ``vectors_created`` counts the plan vectors materialized by
+    concatenations (pre-pruning) — the paper's "number of enumerated
+    subplans" (Table I). ``rows_predicted`` counts ML-model rows, i.e. how
+    many plan vectors the cost oracle scored.
+    """
+
+    singleton_vectors: int = 0
+    vectors_created: int = 0
+    vectors_pruned: int = 0
+    merges: int = 0
+    prune_calls: int = 0
+    rows_predicted: int = 0
+    peak_enumeration: int = 0
+    final_vectors: int = 0
+    time_merge_s: float = 0.0
+    time_prune_s: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def total_vectors(self) -> int:
+        return self.singleton_vectors + self.vectors_created
+
+
+@dataclass
+class EnumerationResult:
+    """The outcome of one optimization: the chosen plan and diagnostics."""
+
+    execution_plan: ExecutionPlan
+    predicted_cost: float
+    final_enumeration: PlanVectorEnumeration
+    stats: EnumerationStats
+
+
+class PriorityEnumerator:
+    """Algorithm 1: pruning-aware, priority-driven plan enumeration.
+
+    Parameters
+    ----------
+    registry:
+        Platforms available to the optimizer.
+    cost_fn:
+        Cost oracle used by pruning and the final plan selection. Use
+        :func:`repro.core.pruning.ml_cost` to wrap an ML model.
+    priority:
+        ``"robopt"`` (Def. 3), ``"topdown"`` or ``"bottomup"``.
+    pruning:
+        Disable to obtain the exhaustive vectorized enumeration (the
+        "Exhaustive enumeration" baseline of Fig. 9(a)).
+    schema:
+        Optional shared :class:`FeatureSchema` (one is built per registry
+        otherwise).
+    max_vectors:
+        Safety valve: a single concatenation producing more plan vectors
+        than this raises :class:`EnumerationError` (the exhaustive baseline
+        at 20+ operators would otherwise materialize 10^6+ vectors,
+        cf. Table I).
+    """
+
+    def __init__(
+        self,
+        registry: PlatformRegistry,
+        cost_fn: CostFn,
+        priority: str = "robopt",
+        pruning: bool = True,
+        schema: Optional[FeatureSchema] = None,
+        max_vectors: int = 4_000_000,
+    ):
+        self.registry = registry
+        self.cost_fn = cost_fn
+        self.priority_name = priority
+        self.pruning = pruning
+        self.schema = schema if schema is not None else FeatureSchema(registry)
+        self.max_vectors = max_vectors
+
+    # ------------------------------------------------------------------
+    def enumerate_plan(self, plan: LogicalPlan) -> EnumerationResult:
+        """Run Algorithm 1 on a logical plan and return the best plan."""
+        started = time.perf_counter()
+        ctx = EnumerationContext(plan, self.registry, self.schema)
+        priority_fn = make_priority(self.priority_name, ctx)
+        stats = EnumerationStats()
+
+        # Lines 2-5: vectorize, split, enumerate singletons, set priorities.
+        enums: Dict[int, PlanVectorEnumeration] = {}
+        op_to_enum: Dict[int, int] = {}
+        ids = itertools.count()
+        for abstract in split(vectorize(ctx)):
+            eid = next(ids)
+            enumeration = enumerate_singleton(abstract)
+            enums[eid] = enumeration
+            stats.singleton_vectors += enumeration.n_vectors
+            (op_id,) = abstract.scope
+            op_to_enum[op_id] = eid
+
+        def children_of(eid: int) -> List[int]:
+            scope = enums[eid].scope
+            found: List[int] = []
+            seen: Set[int] = set()
+            for u in scope:
+                for v in ctx.op_children[u]:
+                    other = op_to_enum[v]
+                    if other != eid and other not in seen:
+                        seen.add(other)
+                        found.append(other)
+            return found
+
+        def parents_of(eid: int) -> List[int]:
+            scope = enums[eid].scope
+            found: List[int] = []
+            seen: Set[int] = set()
+            for u in scope:
+                for p in ctx.op_parents[u]:
+                    other = op_to_enum[p]
+                    if other != eid and other not in seen:
+                        seen.add(other)
+                        found.append(other)
+            return found
+
+        heap: List = []
+        version: Dict[int, int] = {}
+        seq = itertools.count()
+
+        def push(eid: int) -> None:
+            enumeration = enums[eid]
+            children = [enums[c] for c in children_of(eid)]
+            priority = priority_fn(enumeration, children)
+            tie = len(enumeration.boundary_ids())
+            version[eid] = version.get(eid, 0) + 1
+            heapq.heappush(heap, (-priority, tie, next(seq), eid, version[eid]))
+
+        for eid in list(enums):
+            push(eid)
+
+        # Lines 6-17: concatenate by priority until one enumeration remains.
+        while len(enums) > 1:
+            entry = heapq.heappop(heap)
+            _, _, _, eid, entry_version = entry
+            if eid not in enums or version.get(eid) != entry_version:
+                continue  # stale heap entry
+            partners = children_of(eid) or parents_of(eid)
+            if not partners:
+                # Disconnected plan fragments: merge with any survivor.
+                partners = [other for other in enums if other != eid][:1]
+            current = eid
+            for partner in partners:
+                if partner not in enums or current not in enums:
+                    continue
+                current = self._concatenate(ctx, enums, op_to_enum, current, partner, stats)
+            push(current)
+            for parent in parents_of(current):
+                push(parent)  # Line 17: refresh parents' priorities.
+
+        (final_eid,) = enums
+        final = enums[final_eid]
+        stats.final_vectors = final.n_vectors
+
+        # Line 18: pick the plan with the minimum estimated runtime.
+        t0 = time.perf_counter()
+        costs = np.asarray(self.cost_fn(final), dtype=np.float64)
+        stats.time_prune_s += time.perf_counter() - t0
+        stats.rows_predicted += final.n_vectors
+        best_row = int(np.argmin(costs))
+        xplan = unvectorize(final, best_row)
+        stats.latency_s = time.perf_counter() - started
+        return EnumerationResult(
+            execution_plan=xplan,
+            predicted_cost=float(costs[best_row]),
+            final_enumeration=final,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _concatenate(
+        self,
+        ctx: EnumerationContext,
+        enums: Dict[int, PlanVectorEnumeration],
+        op_to_enum: Dict[int, int],
+        left_id: int,
+        right_id: int,
+        stats: EnumerationStats,
+    ) -> int:
+        """Merge two live enumerations (Lines 9-14) and register the result."""
+        left, right = enums[left_id], enums[right_id]
+        produced = left.n_vectors * right.n_vectors
+        if produced > self.max_vectors:
+            raise EnumerationError(
+                f"concatenation would create {produced} plan vectors "
+                f"(limit {self.max_vectors}); enable pruning or raise the limit"
+            )
+        t0 = time.perf_counter()
+        merged = merge_enumerations(left, right)
+        stats.time_merge_s += time.perf_counter() - t0
+        stats.merges += 1
+        stats.vectors_created += merged.n_vectors
+        stats.peak_enumeration = max(stats.peak_enumeration, merged.n_vectors)
+
+        if self.pruning:
+            t0 = time.perf_counter()
+            pruned, _costs = prune(merged, self.cost_fn)
+            stats.time_prune_s += time.perf_counter() - t0
+            stats.prune_calls += 1
+            stats.rows_predicted += merged.n_vectors
+            stats.vectors_pruned += merged.n_vectors - pruned.n_vectors
+            merged = pruned
+
+        del enums[left_id], enums[right_id]
+        new_id = max(enums, default=-1) + 1
+        while new_id in enums:
+            new_id += 1
+        enums[new_id] = merged
+        for op_id in merged.scope:
+            op_to_enum[op_id] = new_id
+        return new_id

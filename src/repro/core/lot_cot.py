@@ -1,0 +1,104 @@
+"""The Logical Operators Table (LOT) and Conversion Operators Table (COT).
+
+``unvectorize`` needs to reconstruct an executable plan from a bare
+numeric vector (§IV-C, Fig. 6). Two auxiliary structures make that
+possible:
+
+* the **LOT** captures the *immutable* structure of the logical plan —
+  one row per logical operator with its kind, UDF label and parents;
+* the **COT** captures the platform switches of one *specific* execution
+  plan — one row per conversion operator with its kind, platform and the
+  plan edge it sits on.
+
+In this reproduction the enumeration additionally carries an assignments
+matrix, so these tables serve plan reconstruction, debugging and
+serialization rather than being the only path back from a vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+
+
+@dataclass(frozen=True)
+class LotRow:
+    """One logical operator: id, kind, UDF label and parent ids."""
+
+    op_id: int
+    kind: str
+    label: str
+    parents: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CotRow:
+    """One conversion operator of a specific execution plan."""
+
+    conv_id: int
+    kind: str
+    platform: str
+    edge: Tuple[int, int]
+
+
+class LogicalOperatorsTable:
+    """The LOT: immutable structural view of a logical plan."""
+
+    def __init__(self, plan: LogicalPlan):
+        self.plan_name = plan.name
+        self.rows: List[LotRow] = [
+            LotRow(
+                op_id=i,
+                kind=plan.operators[i].kind_name,
+                label=plan.operators[i].label,
+                parents=tuple(plan.parents(i)),
+            )
+            for i in sorted(plan.operators)
+        ]
+        self._by_id = {row.op_id: row for row in self.rows}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, op_id: int) -> LotRow:
+        return self._by_id[op_id]
+
+    def render(self) -> str:
+        """A human-readable table, one operator per line (like Fig. 6)."""
+        lines = [f"LOT for {self.plan_name!r}"]
+        lines.append(f"{'Id':>4}  {'Logical Operator':<28} Parents")
+        for row in self.rows:
+            parents = ", ".join(f"o{p}" for p in row.parents) or "-"
+            lines.append(f"o{row.op_id:>3}  {row.label:<28} {parents}")
+        return "\n".join(lines)
+
+
+class ConversionOperatorsTable:
+    """The COT: the platform switches of one execution plan."""
+
+    def __init__(self, xplan: ExecutionPlan):
+        self.rows: List[CotRow] = [
+            CotRow(
+                conv_id=i,
+                kind=conv.kind,
+                platform=conv.platform,
+                edge=conv.edge,
+            )
+            for i, conv in enumerate(xplan.conversions())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def render(self) -> str:
+        """A human-readable table, one conversion per line (like Fig. 6)."""
+        lines = ["COT"]
+        lines.append(f"{'Id':>4}  {'Conversion Operator':<28} Edge")
+        for row in self.rows:
+            u, v = row.edge
+            name = f"{row.platform}.{row.kind}"
+            lines.append(f"co{row.conv_id:>2}  {name:<28} o{u} -> o{v}")
+        return "\n".join(lines)

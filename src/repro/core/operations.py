@@ -1,0 +1,234 @@
+"""The algebraic operations of the vectorized plan enumeration (§IV-C/D).
+
+Core operations: ``vectorize``, ``enumerate``, ``unvectorize``.
+Auxiliary operations: ``split``, ``iterate``, ``merge``.
+(The ``prune`` operation lives in :mod:`repro.core.pruning`.)
+
+All heavy lifting happens on NumPy matrices: ``merge_enumerations``
+concatenates two plan vector enumerations with one batched addition, a
+vectorized assignment combine, and masked conversion-delta updates — the
+Python-level work is O(#edges × k²) regardless of how many plan vectors
+are involved. This is the reproduction of the paper's SIMD-style
+"vectorized execution" of the enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import EnumerationError, ScopeError, VectorizationError
+from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+
+
+@dataclass(frozen=True)
+class AbstractPlanVector:
+    """The output of ``vectorize``: a plan vector with open platform choices.
+
+    Per-platform cells of operators that *could* run on a platform hold
+    ``-1`` (the paper's convention); everything else matches the concrete
+    plan vector layout. ``alternatives`` lists the feasible platform
+    indices per operator, which is what ``enumerate`` instantiates.
+    """
+
+    ctx: EnumerationContext
+    scope: FrozenSet[int]
+    features: np.ndarray
+    alternatives: Dict[int, np.ndarray]
+
+    @property
+    def n_operators(self) -> int:
+        return len(self.scope)
+
+
+def vectorize(
+    plan_or_ctx, registry=None, schema=None
+) -> AbstractPlanVector:
+    """Transform a logical plan into an abstract plan vector (§IV-C op. 1).
+
+    Accepts either an :class:`EnumerationContext` or a
+    :class:`~repro.rheem.logical_plan.LogicalPlan` plus a registry.
+    """
+    if isinstance(plan_or_ctx, EnumerationContext):
+        ctx = plan_or_ctx
+    else:
+        if registry is None:
+            raise VectorizationError("vectorize(plan, ...) needs a registry")
+        ctx = EnumerationContext(plan_or_ctx, registry, schema)
+    return _abstract_for_scope(ctx, frozenset(ctx.plan.operators))
+
+
+def _abstract_for_scope(
+    ctx: EnumerationContext, scope: FrozenSet[int]
+) -> AbstractPlanVector:
+    features = ctx.static_features(scope).copy()
+    schema = ctx.schema
+    plan = ctx.plan
+    alternatives: Dict[int, np.ndarray] = {}
+    for op_id in scope:
+        alts = ctx.alternatives[op_id]
+        alternatives[op_id] = alts
+        kind = plan.operators[op_id].kind_name
+        for pi in alts:
+            features[schema.op_platform_cell(kind, int(pi))] = -1.0
+    return AbstractPlanVector(ctx, scope, features, alternatives)
+
+
+def split(abstract: AbstractPlanVector) -> List[AbstractPlanVector]:
+    """Divide an abstract plan vector into singleton vectors (§IV-D op. 4).
+
+    The resulting scopes are pairwise disjoint and union to the input
+    scope, which renders the enumeration parallelizable and lets the
+    priority-based algorithm schedule concatenations freely.
+    """
+    return [
+        _abstract_for_scope(abstract.ctx, frozenset((op_id,)))
+        for op_id in sorted(abstract.scope)
+    ]
+
+
+def enumerate_singleton(abstract: AbstractPlanVector) -> PlanVectorEnumeration:
+    """Instantiate a singleton abstract vector (§IV-C op. 2, base case).
+
+    Produces one plan vector per feasible platform of the single operator.
+    """
+    if len(abstract.scope) != 1:
+        raise EnumerationError(
+            f"enumerate_singleton needs a singleton scope, got {sorted(abstract.scope)}"
+        )
+    ctx = abstract.ctx
+    (op_id,) = abstract.scope
+    alts = ctx.alternatives[op_id]
+    schema = ctx.schema
+    static = ctx.static_features(abstract.scope)
+    n = len(alts)
+    features = np.tile(static, (n, 1))
+    for row, pi in enumerate(alts):
+        cols, vals = schema.op_assignment_delta(ctx.plan, op_id, int(pi))
+        features[row, cols] += vals
+    assignments = np.full((n, ctx.n_ops), -1, dtype=np.int8)
+    assignments[:, op_id] = alts
+    return PlanVectorEnumeration(ctx, abstract.scope, features, assignments)
+
+
+def enumerate_abstract(abstract: AbstractPlanVector) -> PlanVectorEnumeration:
+    """Fully instantiate an abstract plan vector (§IV-C op. 2).
+
+    Creates *all* plan vectors for the abstract vector by folding
+    ``merge`` over its singletons — i.e. the exhaustive k^n cartesian
+    instantiation. Intended for small scopes and the exhaustive baseline.
+    """
+    singles = [enumerate_singleton(s) for s in split(abstract)]
+    if not singles:
+        raise EnumerationError("cannot enumerate an empty scope")
+    current = singles[0]
+    for nxt in singles[1:]:
+        current = merge_enumerations(current, nxt)
+    return current
+
+
+def iterate(
+    left: PlanVectorEnumeration, right: PlanVectorEnumeration
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All pairs of plan vectors across two enumerations (§IV-D op. 5).
+
+    Returns the cartesian product as two row-index arrays ``(i, j)`` of
+    length ``len(left) * len(right)`` — the vectorized analogue of the
+    paper's list of vector pairs.
+    """
+    n1, n2 = left.n_vectors, right.n_vectors
+    i = np.repeat(np.arange(n1, dtype=np.int64), n2)
+    j = np.tile(np.arange(n2, dtype=np.int64), n1)
+    return i, j
+
+
+def merge_enumerations(
+    left: PlanVectorEnumeration,
+    right: PlanVectorEnumeration,
+    pairs: Tuple[np.ndarray, np.ndarray] = None,
+) -> PlanVectorEnumeration:
+    """Concatenate two plan vector enumerations (§IV-D op. 6, batched).
+
+    Applies ``merge`` to every pair produced by ``iterate`` in one shot:
+
+    1. add the feature matrices of all pairs;
+    2. combine the assignment matrices (scopes are disjoint);
+    3. add conversion-operator features on every plan edge that crosses the
+       two scopes and lands on differing platforms;
+    4. rewrite the scope-static columns with their exact values for the
+       merged scope (the generalization of the paper's pipeline-max rule).
+    """
+    left.check_scope_disjoint(right)
+    if left.ctx is not right.ctx:
+        raise ScopeError("cannot merge enumerations from different contexts")
+    ctx = left.ctx
+    if pairs is None:
+        pairs = iterate(left, right)
+    i, j = pairs
+    features = left.features[i] + right.features[j]
+    # Disjoint scopes hold -1 outside their scope, so the combined platform
+    # index is a + b + 1 (p + -1 + 1 = p; -1 + -1 + 1 = -1).
+    assignments = (
+        left.assignments[i].astype(np.int16)
+        + right.assignments[j].astype(np.int16)
+        + 1
+    ).astype(np.int8)
+
+    for edge in ctx.crossing_edges(left.scope, right.scope):
+        src_platform = assignments[:, edge.src]
+        dst_platform = assignments[:, edge.dst]
+        for (pi, pj), (cols, vals) in edge.deltas.items():
+            mask = (src_platform == pi) & (dst_platform == pj)
+            if mask.any():
+                rows = np.flatnonzero(mask)
+                features[np.ix_(rows, cols)] += vals
+
+    scope = left.scope | right.scope
+    static = ctx.static_features(scope)
+    static_mask = ctx.schema.static_mask
+    features[:, static_mask] = static[static_mask]
+    return PlanVectorEnumeration(ctx, scope, features, assignments)
+
+
+def merge(
+    left: PlanVectorEnumeration,
+    right: PlanVectorEnumeration,
+    row_left: int,
+    row_right: int,
+) -> PlanVectorEnumeration:
+    """Merge a single pair of plan vectors (§IV-D op. 6, unit form).
+
+    Exposed for completeness and testing; the enumerator always uses the
+    batched :func:`merge_enumerations`. ``merge`` is commutative and
+    associative — covered by property-based tests.
+    """
+    i = np.array([row_left], dtype=np.int64)
+    j = np.array([row_right], dtype=np.int64)
+    return merge_enumerations(left, right, pairs=(i, j))
+
+
+def unvectorize(
+    enumeration: PlanVectorEnumeration, row: int
+) -> ExecutionPlan:
+    """Translate a plan vector back into an executable plan (§IV-C op. 3).
+
+    Reads the logical plan structure (the LOT), the vector's platform
+    assignment, and materializes the conversion operators (the COT) via
+    :class:`~repro.rheem.execution_plan.ExecutionPlan`.
+    """
+    if not enumeration.is_complete:
+        missing = set(enumeration.ctx.plan.operators) - enumeration.scope
+        raise VectorizationError(
+            f"cannot unvectorize a partial plan; missing operators {sorted(missing)}"
+        )
+    if not 0 <= row < enumeration.n_vectors:
+        raise VectorizationError(
+            f"row {row} out of range for enumeration of size {enumeration.n_vectors}"
+        )
+    ctx = enumeration.ctx
+    assignment = enumeration.assignment_dict(row)
+    return ExecutionPlan(ctx.plan, assignment, ctx.registry)

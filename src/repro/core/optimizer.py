@@ -1,0 +1,194 @@
+"""The Robopt facade: logical plan in, execution plan out (§III-B).
+
+:class:`Robopt` wires together the feature schema, the ML runtime model
+and the priority-based vectorized enumeration. It is the object a
+downstream user instantiates::
+
+    model = RuntimeModel.train(dataset)           # or load a saved one
+    robopt = Robopt(registry, model)
+    result = robopt.optimize(plan)
+    print(result.execution_plan.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.enumerator import (
+    EnumerationResult,
+    EnumerationStats,
+    PriorityEnumerator,
+)
+from repro.core.features import FeatureSchema
+from repro.core.operations import unvectorize
+from repro.core.pruning import CostFn, ml_cost
+from repro.exceptions import EnumerationError
+from repro.rheem.execution_plan import ExecutionPlan, single_platform_plan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+
+
+@dataclass
+class OptimizationResult:
+    """The optimizer's answer for one logical plan."""
+
+    execution_plan: ExecutionPlan
+    predicted_runtime: float
+    stats: EnumerationStats
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end optimization latency (logical plan → execution plan)."""
+        return self.stats.latency_s
+
+
+@dataclass
+class ExplainReport:
+    """A human-oriented account of one optimization decision.
+
+    Contains the chosen plan, the runner-up plans that survived pruning
+    (distinct boundary footprints), and the model's prediction for every
+    feasible single-platform execution — the "why not just one platform?"
+    question an operator asks first.
+    """
+
+    chosen: ExecutionPlan
+    predicted_runtime: float
+    alternatives: List[Tuple[ExecutionPlan, float]]
+    single_platform_predictions: Dict[str, float]
+    stats: EnumerationStats
+
+    def render(self) -> str:
+        lines = [
+            f"Chosen plan ({'+'.join(self.chosen.platforms_used())}), "
+            f"predicted {self.predicted_runtime:.2f}s:"
+        ]
+        for line in self.chosen.describe().splitlines()[1:]:
+            lines.append(f"  {line}")
+        if self.single_platform_predictions:
+            lines.append("Single-platform predictions:")
+            for name, value in self.single_platform_predictions.items():
+                lines.append(f"  {name:>10}: {value:.2f}s")
+        if self.alternatives:
+            lines.append("Best surviving alternatives:")
+            for xplan, predicted in self.alternatives:
+                lines.append(
+                    f"  {'+'.join(xplan.platforms_used()):<24} {predicted:.2f}s"
+                )
+        lines.append(
+            f"Searched {self.stats.total_vectors} plan vectors in "
+            f"{self.stats.latency_s * 1e3:.1f}ms "
+            f"({self.stats.vectors_pruned} pruned)."
+        )
+        return "\n".join(lines)
+
+
+class Robopt:
+    """The ML-based, vector-enumerating cross-platform optimizer.
+
+    Parameters
+    ----------
+    registry:
+        Available platforms.
+    model:
+        A runtime model with ``predict(feature_matrix) -> runtimes``
+        (typically :class:`repro.ml.model.RuntimeModel`).
+    priority:
+        Enumeration priority: ``"robopt"`` (default), ``"topdown"`` or
+        ``"bottomup"`` (§V).
+    pruning:
+        Disable for the exhaustive vectorized enumeration baseline.
+    schema:
+        Optional pre-built feature schema; must match ``registry`` and the
+        schema the model was trained with.
+    """
+
+    def __init__(
+        self,
+        registry: PlatformRegistry,
+        model,
+        priority: str = "robopt",
+        pruning: bool = True,
+        schema: Optional[FeatureSchema] = None,
+        max_vectors: int = 4_000_000,
+    ):
+        self.registry = registry
+        self.model = model
+        self.schema = schema if schema is not None else FeatureSchema(registry)
+        self._enumerator = PriorityEnumerator(
+            registry,
+            cost_fn=ml_cost(model),
+            priority=priority,
+            pruning=pruning,
+            schema=self.schema,
+            max_vectors=max_vectors,
+        )
+
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+        """Find the execution plan with the lowest predicted runtime."""
+        plan.validate()
+        result: EnumerationResult = self._enumerator.enumerate_plan(plan)
+        return OptimizationResult(
+            execution_plan=result.execution_plan,
+            predicted_runtime=result.predicted_cost,
+            stats=result.stats,
+        )
+
+    def _ranked(
+        self, plan: LogicalPlan, k: int
+    ) -> Tuple[List[Tuple[ExecutionPlan, float]], EnumerationStats]:
+        if k < 1:
+            raise EnumerationError(f"k must be >= 1, got {k}")
+        plan.validate()
+        result = self._enumerator.enumerate_plan(plan)
+        final = result.final_enumeration
+        costs = np.asarray(self.model.predict(final.features), dtype=np.float64)
+        order = np.argsort(costs, kind="stable")[:k]
+        ranked = [(unvectorize(final, int(row)), float(costs[row])) for row in order]
+        return ranked, result.stats
+
+    def optimize_topk(
+        self, plan: LogicalPlan, k: int = 3
+    ) -> List[Tuple[ExecutionPlan, float]]:
+        """The ``k`` cheapest complete plans that survived pruning.
+
+        Boundary pruning keeps one plan per final footprint, so the
+        survivors are structurally diverse alternatives; fewer than ``k``
+        may exist for small plans.
+        """
+        ranked, _stats = self._ranked(plan, k)
+        return ranked
+
+    def explain(self, plan: LogicalPlan, k: int = 3) -> ExplainReport:
+        """Optimize and report the decision (chosen plan, alternatives,
+        single-platform predictions)."""
+        ranked, stats = self._ranked(plan, max(k, 1))
+        chosen, predicted = ranked[0]
+        singles: Dict[str, float] = {}
+        for platform in self.registry:
+            try:
+                xplan = single_platform_plan(plan, platform.name, self.registry)
+            except Exception:
+                continue  # platform cannot host the whole plan
+            singles[platform.name] = float(
+                self.model.predict(
+                    self.schema.encode_execution_plan(xplan)[None, :]
+                )[0]
+            )
+        return ExplainReport(
+            chosen=chosen,
+            predicted_runtime=predicted,
+            alternatives=ranked[1:],
+            single_platform_predictions=singles,
+            stats=stats,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Robopt(platforms={self.registry.names}, "
+            f"priority={self._enumerator.priority_name!r}, "
+            f"pruning={self._enumerator.pruning})"
+        )

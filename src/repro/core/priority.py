@@ -1,0 +1,80 @@
+"""Priority metrics for the plan enumeration (§V-A, Def. 3).
+
+Robopt's priority of an enumeration ``V`` with children ``V1..Vm`` is
+``|V| × Π|Vi|`` — the cardinality of the enumeration that concatenating
+``V`` with all its children would produce. Processing high-priority
+enumerations first maximizes the boundary-pruning effect: it front-loads
+the concatenations that create the most vectors (and hence the most
+pruning matches).
+
+Changing the priority to the distance from the sources (resp. the sink)
+recovers the classical top-down (resp. bottom-up) traversals (§V-B),
+which the paper uses as baselines in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import EnumerationError
+from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+
+#: priority(enumeration, children) -> float; larger = processed earlier.
+PriorityFn = Callable[[PlanVectorEnumeration, List[PlanVectorEnumeration]], float]
+
+#: Names of the built-in priority metrics.
+PRIORITIES = ("robopt", "topdown", "bottomup")
+
+
+def _longest_distances(ctx: EnumerationContext) -> Dict[str, Dict[int, int]]:
+    """Longest-path distances of every operator from sources and to sinks."""
+    plan = ctx.plan
+    order = plan.topological_order()
+    from_source: Dict[int, int] = {}
+    for op_id in order:
+        parents = ctx.op_parents[op_id]
+        from_source[op_id] = (
+            0 if not parents else 1 + max(from_source[p] for p in parents)
+        )
+    to_sink: Dict[int, int] = {}
+    for op_id in reversed(order):
+        children = ctx.op_children[op_id]
+        to_sink[op_id] = 0 if not children else 1 + max(to_sink[c] for c in children)
+    return {"from_source": from_source, "to_sink": to_sink}
+
+
+def robopt_priority(
+    enumeration: PlanVectorEnumeration, children: List[PlanVectorEnumeration]
+) -> float:
+    """Def. 3: the size of the enumeration a full concatenation would yield."""
+    priority = float(enumeration.n_vectors)
+    for child in children:
+        priority *= child.n_vectors
+    return priority
+
+
+def make_priority(name: str, ctx: EnumerationContext) -> PriorityFn:
+    """Build a priority function by name: ``robopt``, ``topdown``, ``bottomup``.
+
+    * ``robopt`` — Def. 3 (cardinality of the would-be concatenation);
+    * ``topdown`` — distance from the sources: sink-side subplans first;
+    * ``bottomup`` — distance to the sink: source-side subplans first.
+    """
+    if name == "robopt":
+        return robopt_priority
+    distances = _longest_distances(ctx)
+    if name == "topdown":
+        table = distances["from_source"]
+    elif name == "bottomup":
+        table = distances["to_sink"]
+    else:
+        raise EnumerationError(
+            f"unknown priority {name!r}; expected one of {PRIORITIES}"
+        )
+
+    def distance_priority(
+        enumeration: PlanVectorEnumeration, children: List[PlanVectorEnumeration]
+    ) -> float:
+        return float(max(table[i] for i in enumeration.scope))
+
+    return distance_priority

@@ -1,0 +1,131 @@
+"""Pruning operations: boundary pruning (§IV-E) and β-switch pruning (§VI-A).
+
+The :func:`prune` operation receives a plan vector enumeration and a cost
+oracle and keeps, among all plan vectors that share a *pruning footprint*
+(the platform assignment of the scope's boundary operators), only the one
+with the lowest cost. Definition 2 makes this lossless: non-boundary
+operators of a subplan cannot affect the cost contribution of any future
+concatenation, so the discarded vectors can never be part of the optimal
+complete plan.
+
+The cost oracle ``m`` is any callable from an enumeration to a cost array —
+an ML model (:func:`ml_cost`), a cost model, or even the switch-count
+heuristic that TDGEN uses (§VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Tuple
+
+import numpy as np
+
+from repro.exceptions import EnumerationError
+from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+
+#: A cost oracle: maps an enumeration to one cost per plan vector.
+CostFn = Callable[[PlanVectorEnumeration], np.ndarray]
+
+
+def ml_cost(model) -> CostFn:
+    """Wrap an ML model (anything with ``predict(matrix)``) as a cost oracle.
+
+    The enumeration's feature matrix is fed to the model *directly* — this
+    is the paper's central point: no per-subplan transformation happens at
+    prune time.
+    """
+
+    def cost(enumeration: PlanVectorEnumeration) -> np.ndarray:
+        return np.asarray(model.predict(enumeration.features), dtype=np.float64)
+
+    return cost
+
+
+def switch_cost(enumeration: PlanVectorEnumeration) -> np.ndarray:
+    """Cost oracle counting platform switches (TDGEN's pruning heuristic)."""
+    return enumeration.switch_counts().astype(np.float64)
+
+
+def boundary_operators(ctx: EnumerationContext, scope: FrozenSet[int]) -> np.ndarray:
+    """Sorted ids of the boundary operators of a scope.
+
+    A boundary operator is adjacent to at least one operator outside the
+    scope. For the complete scope the result is empty.
+    """
+    scope = frozenset(scope)
+    boundary = set()
+    for i in scope:
+        neighbours = ctx.op_children[i] + ctx.op_parents[i]
+        if any(n not in scope for n in neighbours):
+            boundary.add(i)
+    return np.array(sorted(boundary), dtype=np.int64)
+
+
+def pruning_footprint(enumeration: PlanVectorEnumeration) -> np.ndarray:
+    """The pruning footprint matrix: boundary-operator platforms per vector.
+
+    Shape ``(n_vectors, n_boundary_operators)``; two plan vectors may prune
+    against each other iff their rows are identical ("pruning match").
+    """
+    ids = enumeration.boundary_ids()
+    if ids.size == 0:
+        return np.zeros((enumeration.n_vectors, 0), dtype=np.int8)
+    return enumeration.assignments[:, ids]
+
+
+def footprint_groups(enumeration: PlanVectorEnumeration) -> np.ndarray:
+    """Group index per vector; equal indices mean equal pruning footprints."""
+    fp = pruning_footprint(enumeration)
+    if fp.shape[1] == 0:
+        return np.zeros(enumeration.n_vectors, dtype=np.int64)
+    _, inverse = np.unique(fp, axis=0, return_inverse=True)
+    return inverse.astype(np.int64)
+
+
+def prune(
+    enumeration: PlanVectorEnumeration, cost_fn: CostFn
+) -> Tuple[PlanVectorEnumeration, np.ndarray]:
+    """Boundary pruning (§IV-E op. 7, Def. 2).
+
+    Returns the pruned enumeration and the per-vector costs the oracle
+    produced (callers reuse them for statistics). Keeps exactly one plan
+    vector — the cheapest — per pruning footprint. Ties resolve to the
+    earliest row, which keeps the operation deterministic.
+    """
+    n = enumeration.n_vectors
+    if n == 0:
+        raise EnumerationError("cannot prune an empty enumeration")
+    costs = np.asarray(cost_fn(enumeration), dtype=np.float64)
+    if costs.shape != (n,):
+        raise EnumerationError(
+            f"cost oracle returned shape {costs.shape}, expected ({n},)"
+        )
+    if n == 1:
+        return enumeration, costs
+    groups = footprint_groups(enumeration)
+    # Sort by (group, cost, row) and keep the first row of each group.
+    order = np.lexsort((np.arange(n), costs, groups))
+    sorted_groups = groups[order]
+    first_of_group = np.ones(n, dtype=bool)
+    first_of_group[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    keep = np.sort(order[first_of_group])
+    return enumeration.select(keep), costs
+
+
+def prune_switches(
+    enumeration: PlanVectorEnumeration, beta: int = 3
+) -> PlanVectorEnumeration:
+    """β-switch pruning (§VI-A): drop vectors with more than β switches.
+
+    A plan with many platform switches is very unlikely to be optimal in
+    practice; TDGEN uses this as its (cheap, model-free) pruning when it
+    enumerates execution plans to turn into training jobs. If every vector
+    exceeds β, the vectors with the minimum switch count survive, so the
+    enumeration never empties.
+    """
+    if beta < 0:
+        raise EnumerationError(f"beta must be non-negative, got {beta}")
+    switches = enumeration.switch_counts()
+    keep = switches <= beta
+    if not keep.any():
+        keep = switches == switches.min()
+    return enumeration.select(np.flatnonzero(keep))

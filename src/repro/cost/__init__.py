@@ -1,0 +1,30 @@
+"""The RHEEMix stand-in: a linear, cost-model-based optimizer (§II, §VII).
+
+Rheem's cost-based optimizer estimates every execution operator with a
+linear cost formula whose coefficients administrators must tune — the
+paper's §II shows a poorly tuned model costs an order of magnitude, and
+§VII uses the *well-tuned* variant as the main baseline.
+
+* :mod:`repro.cost.cost_model` — the linear per-(operator, platform)
+  cost model and its feature decomposition;
+* :mod:`repro.cost.calibration` — the two tuning procedures: *well-tuned*
+  (global non-negative least squares against execution logs — the
+  best-case linear model, standing in for the authors' two weeks of
+  trial and error) and *simply-tuned* (single-operator profiling, §II);
+* :mod:`repro.cost.optimizer` — :class:`RheemixOptimizer`, the classical
+  object-based enumeration driven by the cost model, with the same
+  boundary pruning as Robopt (the paper keeps pruning identical across
+  systems for fairness).
+"""
+
+from repro.cost.cost_model import CostModel, CostParameters
+from repro.cost.calibration import calibrate_simply_tuned, calibrate_well_tuned
+from repro.cost.optimizer import RheemixOptimizer
+
+__all__ = [
+    "CostModel",
+    "CostParameters",
+    "calibrate_well_tuned",
+    "calibrate_simply_tuned",
+    "RheemixOptimizer",
+]

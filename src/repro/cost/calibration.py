@@ -1,0 +1,194 @@
+"""Tuning the cost model: well-tuned vs. simply-tuned (§II, Fig. 2).
+
+*Well-tuned* reproduces the outcome of the authors' "two weeks of
+trial-and-error": the best coefficients a linear model can have, obtained
+here by non-negative least squares over a diverse body of executed jobs
+(TDGEN jobs labelled by the simulator). Whatever error remains is the
+*structural* error of assuming linearity — precisely the gap the paper's
+ML model closes.
+
+*Simply-tuned* reproduces "single operator profiling": each operator kind
+is benchmarked in isolation on each platform at one cardinality, and the
+measured time (which unavoidably absorbs the platform's startup and the
+micro-benchmark's own scaffolding) is divided by the cardinality to get a
+per-tuple coefficient. This inflates the per-tuple costs of heavyweight
+platforms at scale and underestimates everything fixed — the Fig. 2
+failure mode (e.g. Word2NVec forced onto the wrong platform by more than
+an order of magnitude).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.cost.cost_model import CostModel, CostParameters
+from repro.ml.linear import nonnegative_least_squares
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import KINDS, operator
+from repro.rheem.platforms import PlatformRegistry
+from repro.simulator.executor import SimulatedExecutor
+from repro.rheem.conversion import CONVERSION_KINDS
+from repro.tdgen.generator import TrainingDataGenerator
+from repro.tdgen.profiles import ConfigurationProfile
+
+
+def calibrate_well_tuned(
+    registry: PlatformRegistry,
+    executor: SimulatedExecutor,
+    seed: int = 0,
+    n_jobs: int = 1200,
+    shapes: Sequence[str] = (
+        "pipeline",
+        "juncture",
+        "replicate",
+        "loop",
+        "ml_loop",
+        "sgd_loop",
+    ),
+) -> CostModel:
+    """Globally fit the linear cost model against executed jobs.
+
+    Generates diverse TDGEN jobs, executes them on the simulator, builds
+    the linear design matrix of :meth:`CostModel.design_row` and solves a
+    non-negative least squares in *log-balanced* form (rows are scaled by
+    1/(runtime+1) so short jobs are not drowned out by day-long ones —
+    the numerical analogue of an administrator tuning against a mixed
+    workload rather than only the biggest queries).
+    """
+    tdgen = TrainingDataGenerator(registry, executor, seed=seed)
+    dataset = tdgen.generate(
+        n_jobs,
+        shapes=shapes,
+        assignments_per_plan=4,
+        include_xplans=True,
+    )
+    xplans = []
+    runtimes = []
+    for row_meta, runtime in zip(dataset.meta, dataset.y):
+        # Calibrate on actually-executed, successful jobs only: failure
+        # penalties and interpolated labels would poison a linear fit
+        # (a linear model cannot represent OOM cliffs anyway).
+        if row_meta.get("status") != "ok" or not row_meta.get("executed"):
+            continue
+        xplans.append(row_meta["xplan"])
+        runtimes.append(runtime)
+    if len(xplans) < 50:
+        raise GenerationError(
+            f"calibration produced only {len(xplans)} usable jobs"
+        )
+    kinds = sorted({op.kind_name for xp in xplans for op in xp.plan.operators.values()})
+    platforms = list(registry.names)
+    columns = CostModel.design_columns(kinds, platforms, CONVERSION_KINDS)
+    design = np.vstack([CostModel(registry, CostParameters()).design_row(xp, columns) for xp in xplans])
+    y = np.asarray(runtimes, dtype=np.float64)
+    weights = 1.0 / (y + 1.0)
+    coefficients = nonnegative_least_squares(
+        design * weights[:, None], y * weights, iterations=500, seed=seed
+    )
+    return CostModel.from_coefficients(registry, columns, coefficients)
+
+
+def _micro_benchmark_plan(
+    kind_name: str, cardinality: float, registry: PlatformRegistry
+) -> Optional[LogicalPlan]:
+    """A minimal runnable plan exercising one operator kind."""
+    kind = KINDS[kind_name]
+    plan = LogicalPlan(f"profile_{kind_name}")
+    dataset = DatasetProfile("profile", cardinality, 100.0)
+    if kind.is_source:
+        src = plan.add(operator(kind_name), dataset=dataset)
+        sink = plan.add(operator("Callback"))
+        plan.connect(src, sink)
+        return plan
+    src = plan.add(operator("TextFileSource"), dataset=dataset)
+    if kind.is_sink:
+        target = plan.add(operator(kind_name))
+        plan.connect(src, target)
+        return plan
+    if kind.arity_in == 1:
+        target = plan.add(operator(kind_name))
+        sink = plan.add(operator("Callback"))
+        plan.chain(src, target, sink)
+        return plan
+    if kind.arity_in == 2:
+        src2 = plan.add(
+            operator("TextFileSource"), dataset=DatasetProfile("p2", cardinality, 100.0)
+        )
+        target = plan.add(operator(kind_name))
+        sink = plan.add(operator("Callback"))
+        plan.connect(src, target)
+        plan.connect(src2, target)
+        plan.connect(target, sink)
+        return plan
+    return None
+
+
+def calibrate_simply_tuned(
+    registry: PlatformRegistry,
+    executor: SimulatedExecutor,
+    profile_cardinality: float = 1e6,
+) -> CostModel:
+    """Single-operator profiling (§II's "simply-tuned" cost model).
+
+    For each (kind, platform), runs the kind in a minimal plan at one
+    cardinality and derives ``w_in = runtime / cardinality``. Startup and
+    scaffolding costs leak into the per-tuple coefficient, fixed costs are
+    assumed zero, and conversion coefficients come from a single
+    two-platform micro-benchmark — all standard shortcuts of a quick
+    calibration, and the source of its order-of-magnitude errors.
+    """
+    params = CostParameters()
+    for platform in registry:
+        for kind_name in KINDS:
+            if not platform.supports(kind_name):
+                continue
+            plan = _micro_benchmark_plan(kind_name, profile_cardinality, registry)
+            if plan is None:
+                continue
+            supported = all(
+                platform.supports(op.kind_name) for op in plan.operators.values()
+            )
+            assignment = {}
+            for op_id, op in plan.operators.items():
+                if supported:
+                    assignment[op_id] = platform.name
+                elif platform.supports(op.kind_name) and op.kind_name == kind_name:
+                    assignment[op_id] = platform.name
+                else:
+                    fallback = next(
+                        p.name for p in registry if p.supports(op.kind_name)
+                    )
+                    assignment[op_id] = fallback
+            report = executor.execute(ExecutionPlan(plan, assignment, registry))
+            if not report.ok:
+                continue
+            params.operator_coeffs[(kind_name, platform.name)] = (
+                0.0,
+                report.runtime_s / profile_cardinality,
+                0.0,
+            )
+    # One two-platform run estimates every conversion coefficient.
+    names = list(registry.names)
+    if len(names) >= 2:
+        plan = _micro_benchmark_plan("Map", profile_cardinality, registry)
+        assignment = {}
+        for op_id, op in plan.operators.items():
+            choice = names[1] if op.kind_name == "Map" else names[0]
+            if not registry[choice].supports(op.kind_name):
+                choice = next(p.name for p in registry if p.supports(op.kind_name))
+            assignment[op_id] = choice
+        xplan = ExecutionPlan(plan, assignment, registry)
+        report = executor.execute(xplan)
+        if report.ok and xplan.conversions():
+            per_conv = report.runtime_s / len(xplan.conversions())
+            for kind in CONVERSION_KINDS:
+                params.conversion_coeffs[kind] = (
+                    0.0,
+                    per_conv / profile_cardinality,
+                )
+    return CostModel(registry, params)

@@ -1,0 +1,238 @@
+"""The linear cost model of the cost-based baseline.
+
+Rheem's cost functions are linear in the operators' input/output
+cardinalities, with per-(operator kind, platform) coefficients plus
+platform startup and conversion terms (§II: "these solutions assume a
+fixed form of function, e.g., linear, which may not reflect reality").
+We reproduce exactly that structure:
+
+``cost(plan) = Σ_p used(p)·startup_p
+             + Σ_op fix_{k,p} + iters·(w_in_{k,p}·in·cx + w_out_{k,p}·out)
+             + Σ_conv cfix_c + iters·cw_c·card``
+
+Two deliberate, realistic blind spots (the paper's observed failure
+modes):
+
+* per-operator *fixed* costs are not multiplied by loop iterations — the
+  classical cost-model omission that hides per-iteration scheduling
+  overheads (Fig. 12(a): RHEEMix keeps tiny per-iteration operators on
+  Spark);
+* no interaction terms — operator pairs like cache→sample cannot be
+  expressed at all (Fig. 12(b)).
+
+The model *does* know platform memory limits (administrators configure
+them): plans whose working set exceeds a local platform's memory get an
+infinite cost, mirroring how the real cardinality-injected RHEEMix avoids
+obviously infeasible plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+from repro.simulator.profiles import COMPLEXITY_WORK
+
+#: Working-set capacity the cost model assumes for local platforms, bytes.
+LOCAL_MEMORY_BYTES = 20 * 1024 ** 3
+
+#: Cost assigned to plans the model deems infeasible.
+INFEASIBLE_COST = float("inf")
+
+
+@dataclass
+class CostParameters:
+    """Tunable coefficients of the cost model.
+
+    ``operator_coeffs[(kind, platform)] = (fixed, w_in, w_out)``;
+    ``conversion_coeffs[kind] = (fixed, w_card)``;
+    ``startup[platform] = seconds``.
+    """
+
+    operator_coeffs: Dict[Tuple[str, str], Tuple[float, float, float]] = field(
+        default_factory=dict
+    )
+    conversion_coeffs: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    startup: Dict[str, float] = field(default_factory=dict)
+
+    def n_parameters(self) -> int:
+        """How many coefficients an administrator would have to tune."""
+        return (
+            3 * len(self.operator_coeffs)
+            + 2 * len(self.conversion_coeffs)
+            + len(self.startup)
+        )
+
+
+class CostModel:
+    """Evaluates the linear cost of (partial) execution plans."""
+
+    def __init__(self, registry: PlatformRegistry, parameters: CostParameters):
+        self.registry = registry
+        self.parameters = parameters
+
+    # ------------------------------------------------------------------
+    def _operator_cost(
+        self, plan: LogicalPlan, op_id: int, platform_name: str, cards
+    ) -> float:
+        op = plan.operators[op_id]
+        fixed, w_in, w_out = self.parameters.operator_coeffs.get(
+            (op.kind_name, platform_name), (0.0, 0.0, 0.0)
+        )
+        in_card, out_card = cards[op_id]
+        iters = plan.loop_iterations(op_id)
+        cx = COMPLEXITY_WORK[op.udf_complexity]
+        # Fixed costs deliberately not scaled by iterations (see module doc).
+        return fixed + iters * (w_in * in_card * cx + w_out * out_card)
+
+    def _memory_feasible(
+        self, plan: LogicalPlan, op_id: int, platform_name: str, cards
+    ) -> bool:
+        platform = self.registry[platform_name]
+        if platform.category != "local":
+            return True
+        tuple_size = plan.average_input_tuple_size() or 100.0
+        in_card, out_card = cards[op_id]
+        return max(in_card, out_card) * tuple_size <= LOCAL_MEMORY_BYTES
+
+    def cost_of_assignment(
+        self,
+        plan: LogicalPlan,
+        assignment: Mapping[int, str],
+        scope: Optional[Iterable[int]] = None,
+    ) -> float:
+        """Cost of a (partial) plan: operators in ``scope`` plus internal
+        conversions and the startup of every platform used."""
+        cards = plan.cardinalities()
+        ids = list(assignment) if scope is None else list(scope)
+        total = 0.0
+        used = set()
+        for op_id in ids:
+            platform_name = assignment[op_id]
+            if not self._memory_feasible(plan, op_id, platform_name, cards):
+                return INFEASIBLE_COST
+            total += self._operator_cost(plan, op_id, platform_name, cards)
+            used.add(platform_name)
+        for name in used:
+            total += self.parameters.startup.get(name, 0.0)
+
+        from repro.rheem.conversion import conversion_path
+
+        id_set = set(ids)
+        for u, v in plan.edges:
+            if u not in id_set or v not in id_set:
+                continue
+            src = self.registry[assignment[u]]
+            dst = self.registry[assignment[v]]
+            if src.name == dst.name:
+                continue
+            in_loop = plan.in_loop(u) and plan.in_loop(v)
+            iters = min(plan.loop_iterations(u), plan.loop_iterations(v))
+            card = cards[u][1]
+            for step in conversion_path(src, dst, in_loop=in_loop):
+                cfix, cw = self.parameters.conversion_coeffs.get(
+                    step.kind, (0.0, 0.0)
+                )
+                total += cfix + iters * cw * card
+        return total
+
+    def cost_of_plan(self, xplan: ExecutionPlan) -> float:
+        """Cost of a complete execution plan."""
+        return self.cost_of_assignment(xplan.plan, xplan.assignment)
+
+    # ------------------------------------------------------------------
+    # Feature decomposition used by the calibration's least-squares fit.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def design_columns(
+        kinds: Iterable[str], platforms: Iterable[str], conversions: Iterable[str]
+    ) -> Dict[str, int]:
+        """Column index per coefficient name for the calibration matrix."""
+        columns: Dict[str, int] = {}
+        for p in platforms:
+            columns[f"startup::{p}"] = len(columns)
+        for k in kinds:
+            for p in platforms:
+                columns[f"fix::{k}::{p}"] = len(columns)
+                columns[f"win::{k}::{p}"] = len(columns)
+                columns[f"wout::{k}::{p}"] = len(columns)
+        for c in conversions:
+            columns[f"cfix::{c}"] = len(columns)
+            columns[f"cw::{c}"] = len(columns)
+        return columns
+
+    def design_row(
+        self, xplan: ExecutionPlan, columns: Dict[str, int]
+    ) -> np.ndarray:
+        """The linear-feature row of one executed job.
+
+        ``runtime ≈ design_row · coefficients`` — the calibration solves
+        for the coefficient vector over many jobs.
+        """
+        plan = xplan.plan
+        cards = plan.cardinalities()
+        row = np.zeros(len(columns), dtype=np.float64)
+        for name in xplan.platforms_used():
+            key = f"startup::{name}"
+            if key in columns:
+                row[columns[key]] += 1.0
+        for op_id, platform_name in xplan.assignment.items():
+            op = plan.operators[op_id]
+            iters = plan.loop_iterations(op_id)
+            in_card, out_card = cards[op_id]
+            cx = COMPLEXITY_WORK[op.udf_complexity]
+            base = f"::{op.kind_name}::{platform_name}"
+            if f"fix{base}" not in columns:
+                continue
+            row[columns[f"fix{base}"]] += 1.0
+            row[columns[f"win{base}"]] += iters * in_card * cx
+            row[columns[f"wout{base}"]] += iters * out_card
+        for conv in xplan.conversions():
+            if f"cfix::{conv.kind}" not in columns:
+                continue
+            row[columns[f"cfix::{conv.kind}"]] += 1.0
+            row[columns[f"cw::{conv.kind}"]] += conv.iterations * conv.cardinality
+        return row
+
+    @classmethod
+    def from_coefficients(
+        cls,
+        registry: PlatformRegistry,
+        columns: Dict[str, int],
+        coefficients: np.ndarray,
+    ) -> "CostModel":
+        """Assemble a cost model from a fitted coefficient vector."""
+        if len(coefficients) != len(columns):
+            raise ModelError(
+                f"{len(coefficients)} coefficients for {len(columns)} columns"
+            )
+        params = CostParameters()
+        staged: Dict[Tuple[str, str], Dict[str, float]] = {}
+        conv_staged: Dict[str, Dict[str, float]] = {}
+        for name, idx in columns.items():
+            value = float(coefficients[idx])
+            parts = name.split("::")
+            if parts[0] == "startup":
+                params.startup[parts[1]] = value
+            elif parts[0] in ("fix", "win", "wout"):
+                staged.setdefault((parts[1], parts[2]), {})[parts[0]] = value
+            elif parts[0] in ("cfix", "cw"):
+                conv_staged.setdefault(parts[1], {})[parts[0]] = value
+        for key, vals in staged.items():
+            params.operator_coeffs[key] = (
+                vals.get("fix", 0.0),
+                vals.get("win", 0.0),
+                vals.get("wout", 0.0),
+            )
+        for kind, vals in conv_staged.items():
+            params.conversion_coeffs[kind] = (
+                vals.get("cfix", 0.0),
+                vals.get("cw", 0.0),
+            )
+        return cls(registry, params)

@@ -1,0 +1,34 @@
+"""Runtime-prediction models, implemented from scratch on NumPy.
+
+The paper tried linear regression, random forests and neural networks and
+found random forests most robust (§VII-A); all three families are provided
+here. :class:`~repro.ml.model.RuntimeModel` is the wrapper the optimizer
+consumes — it handles the log-space target transform, train/validation
+splitting, persistence and batch prediction over plan-vector matrices.
+"""
+
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.mlp import MLPRegressor
+from repro.ml.model import RuntimeModel, TrainingDataset
+from repro.ml.feedback import FeedbackLoop
+from repro.ml.metrics import mae, pearson, q_error, rmse, spearman
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "LinearRegression",
+    "RidgeRegression",
+    "MLPRegressor",
+    "RuntimeModel",
+    "TrainingDataset",
+    "FeedbackLoop",
+    "rmse",
+    "mae",
+    "q_error",
+    "pearson",
+    "spearman",
+]

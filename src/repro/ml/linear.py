@@ -1,0 +1,112 @@
+"""Linear models: ordinary least squares and ridge regression.
+
+These serve two roles in the reproduction: (i) the "linear regression"
+model family the paper tried and found less robust than random forests
+(§VII-A), and (ii) the calibration machinery for the RHEEMix cost-model
+baseline, whose per-operator cost formulas are linear by construction
+(§II, §VII-C1 discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+class RidgeRegression:
+    """L2-regularized least squares with intercept and feature scaling.
+
+    Features are standardized internally (constant columns are left
+    untouched), which keeps the closed-form solve well-conditioned on plan
+    vectors whose columns span many orders of magnitude (counts vs.
+    cardinalities).
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        if alpha < 0:
+            raise ModelError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self._fitted = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ModelError(
+                f"incompatible shapes X={X.shape}, y={y.shape} for ridge fit"
+            )
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        Z = (X - self.mean_) / self.scale_
+        if self.fit_intercept:
+            y_mean = y.mean()
+        else:
+            y_mean = 0.0
+        self.y_mean_ = float(y_mean)
+        n_features = Z.shape[1]
+        gram = Z.T @ Z + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, Z.T @ (y - y_mean))
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("RidgeRegression.predict before fit")
+        X = np.asarray(X, dtype=np.float64)
+        Z = (X - self.mean_) / self.scale_
+        return Z @ self.coef_ + self.y_mean_
+
+
+class LinearRegression(RidgeRegression):
+    """Ordinary least squares (ridge with a vanishing penalty)."""
+
+    def __init__(self, fit_intercept: bool = True):
+        super().__init__(alpha=1e-8, fit_intercept=fit_intercept)
+
+
+def nonnegative_least_squares(
+    X: np.ndarray, y: np.ndarray, iterations: int = 2000, seed: Optional[int] = None
+) -> np.ndarray:
+    """Solve ``min ||Xw - y||`` with ``w >= 0``.
+
+    Cost-model coefficients must be non-negative (a negative per-tuple cost
+    is meaningless and breaks pruning monotonicity), so the cost-model
+    calibration uses this instead of the unconstrained solve. Columns are
+    norm-scaled for conditioning, solved with SciPy's active-set NNLS, and
+    fall back to projected gradient if the active-set solver fails to
+    converge (it can on degenerate designs).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or y.shape != (X.shape[0],):
+        raise ModelError(f"incompatible shapes X={X.shape}, y={y.shape} for NNLS")
+    n_features = X.shape[1]
+    scale = np.linalg.norm(X, axis=0)
+    scale[scale == 0.0] = 1.0
+    Z = X / scale
+
+    try:
+        from scipy.optimize import nnls as scipy_nnls
+
+        w, _residual = scipy_nnls(Z, y)
+        return w / scale
+    except Exception:
+        pass  # fall through to projected gradient
+
+    w = np.zeros(n_features)
+    gram = Z.T @ Z
+    lipschitz = np.linalg.norm(gram, 2)
+    if lipschitz == 0:
+        return w
+    step = 1.0 / lipschitz
+    Zty = Z.T @ y
+    for _ in range(iterations):
+        grad = gram @ w - Zty
+        w = np.maximum(0.0, w - step * grad)
+    return w / scale

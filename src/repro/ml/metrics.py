@@ -1,0 +1,85 @@
+"""Regression and ranking metrics for runtime models.
+
+The optimizer only needs the model to *order* plans correctly (§IV-A: the
+features must let the model "accurately order the plan vectors according
+to their predicted runtime"), so rank metrics (Spearman) matter as much as
+absolute ones (RMSE, q-error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def _check(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ModelError(
+            f"metric inputs must be equal-length 1-D arrays, got "
+            f"{y_true.shape} and {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ModelError("metric inputs are empty")
+    return y_true, y_pred
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def q_error(y_true, y_pred, quantile: float = 0.5) -> float:
+    """Quantile of the multiplicative error max(pred/true, true/pred).
+
+    Inputs must be positive (runtimes are); a tiny floor guards zeros.
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    floor = 1e-9
+    a = np.maximum(y_true, floor)
+    b = np.maximum(y_pred, floor)
+    q = np.maximum(a / b, b / a)
+    return float(np.quantile(q, quantile))
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient."""
+    x, y = _check(x, y)
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share their mean rank), 1-based."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1, dtype=np.float64)
+    # Average the ranks of tied values.
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    return ranks
+
+
+def spearman(x, y) -> float:
+    """Spearman rank correlation — how well the model orders plans."""
+    x, y = _check(x, y)
+    return pearson(_ranks(x), _ranks(y))

@@ -1,0 +1,139 @@
+"""A small feed-forward neural network regressor (NumPy + Adam).
+
+The third model family the paper evaluated (§VII-A). Two hidden ReLU
+layers trained with Adam on standardized inputs; intentionally modest —
+the paper's finding is precisely that a plain neural net is *less* robust
+than a random forest on this feature encoding, and the model-comparison
+benchmark reproduces that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+class MLPRegressor:
+    """Fully-connected ReLU network trained with minibatch Adam.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths.
+    epochs, batch_size, learning_rate:
+        Optimization knobs.
+    l2:
+        Weight decay.
+    seed:
+        Seed for initialization and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (64, 32),
+        epochs: int = 200,
+        batch_size: int = 64,
+        learning_rate: float = 1e-3,
+        l2: float = 1e-5,
+        seed: Optional[int] = None,
+    ):
+        if any(h < 1 for h in hidden):
+            raise ModelError(f"hidden widths must be >= 1, got {hidden}")
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.seed = seed
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _init_params(self, n_in: int, rng: np.random.Generator):
+        sizes = (n_in,) + self.hidden + (1,)
+        self.weights_ = []
+        self.biases_ = []
+        for a, b in zip(sizes, sizes[1:]):
+            # He initialization for ReLU layers.
+            self.weights_.append(rng.normal(0.0, np.sqrt(2.0 / a), size=(a, b)))
+            self.biases_.append(np.zeros(b))
+
+    def _forward(self, Z: np.ndarray) -> Tuple[np.ndarray, list]:
+        activations = [Z]
+        h = Z
+        last = len(self.weights_) - 1
+        for i, (w, b) in enumerate(zip(self.weights_, self.biases_)):
+            h = h @ w + b
+            if i < last:
+                h = np.maximum(h, 0.0)
+            activations.append(h)
+        return h[:, 0], activations
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ModelError(
+                f"incompatible shapes X={X.shape}, y={y.shape} for MLP fit"
+            )
+        rng = np.random.default_rng(self.seed)
+        self.x_mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.x_scale_ = scale
+        self.y_mean_ = float(y.mean())
+        self.y_scale_ = float(y.std()) or 1.0
+        Z = (X - self.x_mean_) / self.x_scale_
+        t = (y - self.y_mean_) / self.y_scale_
+
+        n = Z.shape[0]
+        self._init_params(Z.shape[1], rng)
+        m = [np.zeros_like(w) for w in self.weights_]
+        v = [np.zeros_like(w) for w in self.weights_]
+        mb = [np.zeros_like(b) for b in self.biases_]
+        vb = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                rows = order[start : start + batch]
+                pred, acts = self._forward(Z[rows])
+                err = (pred - t[rows])[:, None]  # dL/dout, L = mse/2
+                grad = err / rows.size
+                step += 1
+                # Backprop through the stack.
+                for layer in reversed(range(len(self.weights_))):
+                    a_in = acts[layer]
+                    gw = a_in.T @ grad + self.l2 * self.weights_[layer]
+                    gb = grad.sum(axis=0)
+                    if layer > 0:
+                        grad = grad @ self.weights_[layer].T
+                        grad = grad * (acts[layer] > 0.0)
+                    m[layer] = beta1 * m[layer] + (1 - beta1) * gw
+                    v[layer] = beta2 * v[layer] + (1 - beta2) * gw * gw
+                    mb[layer] = beta1 * mb[layer] + (1 - beta1) * gb
+                    vb[layer] = beta2 * vb[layer] + (1 - beta2) * gb * gb
+                    mhat = m[layer] / (1 - beta1 ** step)
+                    vhat = v[layer] / (1 - beta2 ** step)
+                    mbh = mb[layer] / (1 - beta1 ** step)
+                    vbh = vb[layer] / (1 - beta2 ** step)
+                    self.weights_[layer] -= (
+                        self.learning_rate * mhat / (np.sqrt(vhat) + eps)
+                    )
+                    self.biases_[layer] -= (
+                        self.learning_rate * mbh / (np.sqrt(vbh) + eps)
+                    )
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("MLPRegressor.predict before fit")
+        X = np.asarray(X, dtype=np.float64)
+        Z = (X - self.x_mean_) / self.x_scale_
+        pred, _ = self._forward(Z)
+        return pred * self.y_scale_ + self.y_mean_

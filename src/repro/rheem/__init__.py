@@ -1,0 +1,72 @@
+"""The cross-platform substrate (a faithful stand-in for Rheem).
+
+This package models the parts of Rheem that the Robopt optimizer interacts
+with: platform-agnostic *logical plans* (directed dataflow graphs of logical
+operators), the *platforms* that can execute operators, platform-specific
+*execution plans*, and the *conversion operators* that move data between
+platforms (§III-A of the paper).
+"""
+
+from repro.rheem.platforms import (
+    Platform,
+    PlatformRegistry,
+    default_registry,
+    synthetic_registry,
+)
+from repro.rheem.operators import (
+    KINDS,
+    LogicalOperator,
+    OperatorKind,
+    UdfComplexity,
+    operator,
+)
+from repro.rheem.datasets import DatasetProfile, PAPER_DATASETS
+from repro.rheem.logical_plan import LogicalPlan, LoopSpec, TopologyCounts
+from repro.rheem.conversion import (
+    CONVERSION_KINDS,
+    ConversionStep,
+    conversion_path,
+)
+from repro.rheem.channels import (
+    Channel,
+    build_conversion_graph,
+    channel_conversion_path,
+    platform_channel,
+)
+from repro.rheem.execution_plan import ConversionInstance, ExecutionPlan
+from repro.rheem.serialization import (
+    execution_plan_from_json,
+    execution_plan_to_json,
+    plan_from_json,
+    plan_to_json,
+)
+
+__all__ = [
+    "Platform",
+    "PlatformRegistry",
+    "default_registry",
+    "synthetic_registry",
+    "KINDS",
+    "LogicalOperator",
+    "OperatorKind",
+    "UdfComplexity",
+    "operator",
+    "DatasetProfile",
+    "PAPER_DATASETS",
+    "LogicalPlan",
+    "LoopSpec",
+    "TopologyCounts",
+    "CONVERSION_KINDS",
+    "ConversionStep",
+    "conversion_path",
+    "Channel",
+    "platform_channel",
+    "build_conversion_graph",
+    "channel_conversion_path",
+    "ConversionInstance",
+    "ExecutionPlan",
+    "plan_to_json",
+    "plan_from_json",
+    "execution_plan_to_json",
+    "execution_plan_from_json",
+]

@@ -1,0 +1,71 @@
+"""Cardinality propagation through logical plans.
+
+The plan vector (§IV-A) encodes per-operator input and output cardinalities,
+and the paper's §II experiment *injects real cardinalities* into the cost
+models. In this reproduction cardinalities are derived deterministically
+from dataset profiles and operator selectivities, and the same values are
+used by every optimizer and by the simulator — i.e. we always operate in
+the paper's "real cardinalities" regime, isolating the cost-model /
+ML-model comparison from estimation errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import PlanError
+
+
+def propagate_cardinalities(plan) -> Dict[int, Tuple[float, float]]:
+    """Compute ``(input, output)`` cardinalities for every operator.
+
+    * Sources: input = dataset cardinality; output = selectivity * input.
+    * Unary/binary operators: input = sum of parents' outputs.
+    * ``Join``: output = selectivity * max(inputs) — a simple foreign-key
+      style estimate that keeps magnitudes realistic without a full
+      histogram machinery (cardinality *estimation* is orthogonal to this
+      paper).
+    * ``Cartesian``: output = selectivity * product of inputs.
+    * Operators with ``fixed_output_cardinality`` use it verbatim.
+    """
+    cards: Dict[int, Tuple[float, float]] = {}
+    for op_id in plan.topological_order():
+        op = plan.operators[op_id]
+        if op.kind.is_source:
+            dataset = plan.datasets.get(op_id)
+            if dataset is None:
+                raise PlanError(f"source {op!r} has no dataset profile")
+            input_card = float(dataset.cardinality)
+        else:
+            parent_outs = [cards[p][1] for p in plan.parents(op_id)]
+            input_card = float(sum(parent_outs))
+
+        if op.fixed_output_cardinality is not None:
+            output_card = float(op.fixed_output_cardinality)
+        elif op.kind.is_sink:
+            output_card = 0.0
+        elif op.kind_name == "Join":
+            parent_outs = [cards[p][1] for p in plan.parents(op_id)]
+            output_card = float(op.selectivity) * max(parent_outs)
+        elif op.kind_name == "Cartesian":
+            parent_outs = [cards[p][1] for p in plan.parents(op_id)]
+            prod = 1.0
+            for c in parent_outs:
+                prod *= c
+            output_card = float(op.selectivity) * prod
+        else:
+            output_card = op.output_cardinality(input_card)
+        cards[op_id] = (input_card, output_card)
+    return cards
+
+
+def edge_cardinality(plan, src_id: int, dst_id: int) -> float:
+    """Cardinality flowing over one edge (the producer's output).
+
+    When a producer feeds several consumers (replicate topology), the full
+    output flows over each outgoing edge.
+    """
+    cards = plan.cardinalities()
+    if src_id not in plan.operators or dst_id not in plan.operators:
+        raise PlanError(f"edge ({src_id}, {dst_id}) references unknown operators")
+    return cards[src_id][1]

@@ -1,0 +1,190 @@
+"""Channels and the channel conversion graph.
+
+Rheem moves data between execution operators through typed *channels*
+(a Spark RDD, a Java collection, a Postgres relation, ...) and derives
+data-movement plans by searching a *channel conversion graph* whose edges
+are conversion operators (Kruse et al., "Optimizing Cross-Platform Data
+Movement", ICDE 2019 — reference [22] of the paper).
+
+This module reproduces that mechanism: each platform declares the channel
+it produces and the channels it can consume, conversion operators are
+edges between channels, and :func:`channel_conversion_path` finds the
+cheapest conversion sequence with a shortest-path search. The simpler
+:func:`repro.rheem.conversion.conversion_path` rule table is provably
+equivalent for the default platforms (tested), and remains the fast path
+used by the enumeration; the graph is the extensible, principled source
+of truth when adding platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import PlatformError
+from repro.rheem.platforms import (
+    CATEGORY_DATABASE,
+    CATEGORY_DISTRIBUTED,
+    CATEGORY_LOCAL,
+    Platform,
+)
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One typed data container a platform produces or consumes.
+
+    ``reusable`` mirrors Rheem's distinction between channels that can be
+    consumed multiple times (a cached collection) and ones that cannot
+    (a streamed result set).
+    """
+
+    name: str
+    platform: str
+    reusable: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Canonical channel name per platform category.
+_CATEGORY_CHANNEL = {
+    CATEGORY_LOCAL: "collection",
+    CATEGORY_DISTRIBUTED: "dataset",
+    CATEGORY_DATABASE: "relation",
+}
+
+
+def platform_channel(platform: Platform) -> Channel:
+    """The channel an execution operator on this platform produces/consumes."""
+    kind = _CATEGORY_CHANNEL[platform.category]
+    reusable = platform.category != CATEGORY_DATABASE
+    return Channel(f"{platform.name}.{kind}", platform.name, reusable)
+
+
+@dataclass(frozen=True)
+class ConversionEdge:
+    """One conversion operator in the channel conversion graph."""
+
+    kind: str
+    platform: str  # the platform executing the conversion
+    cost: float  # abstract edge weight for the shortest-path search
+
+
+def build_conversion_graph(platforms: Tuple[Platform, ...]) -> nx.DiGraph:
+    """The channel conversion graph for a set of platforms.
+
+    Nodes are channels (plus one shared ``driver.collection`` hub — the
+    optimizer's local runtime, always available). Edges carry the
+    conversion operator that rewrites one channel into another:
+
+    * ``collect``: distributed dataset → driver collection;
+    * ``distribute``: driver collection → distributed dataset;
+    * ``broadcast``: driver collection → distributed dataset (loop bodies);
+    * ``db_export``: relation → driver collection;
+    * ``db_import``: driver collection → relation;
+    * local platforms share plain collections with the driver at no cost.
+    """
+    graph = nx.DiGraph()
+    driver = Channel("driver.collection", "driver")
+    graph.add_node(driver)
+    for platform in platforms:
+        channel = platform_channel(platform)
+        graph.add_node(channel)
+        if platform.category == CATEGORY_LOCAL:
+            # A local engine's collections *are* driver collections.
+            graph.add_edge(channel, driver, conversion=None, weight=0.0)
+            graph.add_edge(driver, channel, conversion=None, weight=0.0)
+        elif platform.category == CATEGORY_DISTRIBUTED:
+            graph.add_edge(
+                channel,
+                driver,
+                conversion=ConversionEdge("collect", platform.name, 1.0),
+                weight=1.0,
+            )
+            graph.add_edge(
+                driver,
+                channel,
+                conversion=ConversionEdge("distribute", platform.name, 1.0),
+                weight=1.0,
+            )
+        elif platform.category == CATEGORY_DATABASE:
+            graph.add_edge(
+                channel,
+                driver,
+                conversion=ConversionEdge("db_export", platform.name, 1.0),
+                weight=1.0,
+            )
+            graph.add_edge(
+                driver,
+                channel,
+                conversion=ConversionEdge("db_import", platform.name, 1.5),
+                weight=1.5,
+            )
+    return graph
+
+
+def channel_conversion_path(
+    src: Platform,
+    dst: Platform,
+    in_loop: bool = False,
+    graph: Optional[nx.DiGraph] = None,
+) -> List[ConversionEdge]:
+    """Cheapest conversion-operator sequence moving data ``src`` → ``dst``.
+
+    Searches the channel conversion graph with Dijkstra, then applies the
+    loop specialization: a ``distribute`` that ships driver data into a
+    distributed engine inside a loop body becomes a ``broadcast``.
+    """
+    if src.name == dst.name:
+        return []
+    if graph is None:
+        graph = build_conversion_graph((src, dst))
+    a, b = platform_channel(src), platform_channel(dst)
+    try:
+        path = nx.shortest_path(graph, a, b, weight="weight")
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        raise PlatformError(
+            f"no channel conversion path from {src.name} to {dst.name}"
+        ) from None
+    steps: List[ConversionEdge] = []
+    for u, v in zip(path, path[1:]):
+        conversion = graph.edges[u, v]["conversion"]
+        if conversion is None:
+            continue
+        # Loop specialization: data already materialized on the driver (a
+        # local source) enters a distributed loop body via broadcast; data
+        # collected from another engine mid-path stays a plain distribute
+        # (it is re-materialized every iteration anyway).
+        if (
+            in_loop
+            and conversion.kind == "distribute"
+            and src.category == CATEGORY_LOCAL
+        ):
+            conversion = ConversionEdge("broadcast", conversion.platform, 0.5)
+        steps.append(conversion)
+    return steps
+
+
+@lru_cache(maxsize=64)
+def _cached_graph(platforms: Tuple[Platform, ...]) -> nx.DiGraph:
+    return build_conversion_graph(platforms)
+
+
+def conversion_path_via_graph(
+    src: Platform, dst: Platform, in_loop: bool = False
+) -> Tuple[Tuple[str, str], ...]:
+    """Graph-derived conversion path as ``(kind, platform)`` tuples.
+
+    Equivalent to :func:`repro.rheem.conversion.conversion_path` for the
+    default platform categories (covered by tests); exposed so new
+    platform categories only need channel declarations, not rule-table
+    entries.
+    """
+    steps = channel_conversion_path(
+        src, dst, in_loop=in_loop, graph=_cached_graph((src, dst))
+    )
+    return tuple((s.kind, s.platform) for s in steps)

@@ -1,0 +1,109 @@
+"""Conversion (data movement) operators between platforms.
+
+When consecutive execution operators run on different platforms, Rheem
+inserts *conversion operators* (§III-A): e.g. a ``SparkCollect`` turns an
+RDD into a Java collection, a ``SparkCollectionSource`` does the reverse.
+We model the conversion catalog with five kinds and derive the conversion
+sequence for any ordered platform pair from the platforms' categories:
+
+==============  =================================================
+kind            meaning
+==============  =================================================
+``collect``     materialize a distributed dataset on the driver
+``distribute``  ship a local collection into a distributed engine
+``db_export``   stream a query result out of a database
+``db_import``   bulk-load data into a database
+``broadcast``   ship a (small) local collection to the workers of
+                a distributed engine inside a loop body
+==============  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import PlatformError
+from repro.rheem.platforms import (
+    CATEGORY_DATABASE,
+    CATEGORY_DISTRIBUTED,
+    CATEGORY_LOCAL,
+    Platform,
+)
+
+#: Conversion kinds in plan-vector block order.
+CONVERSION_KINDS: Tuple[str, ...] = (
+    "collect",
+    "distribute",
+    "db_export",
+    "db_import",
+    "broadcast",
+)
+
+
+@dataclass(frozen=True)
+class ConversionStep:
+    """One conversion operator: a kind executing on a platform.
+
+    E.g. ``ConversionStep("collect", "spark")`` is Rheem's ``SparkCollect``.
+    """
+
+    kind: str
+    platform: str
+
+    def __post_init__(self):
+        if self.kind not in CONVERSION_KINDS:
+            raise PlatformError(
+                f"unknown conversion kind {self.kind!r}; known: {CONVERSION_KINDS}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.platform}.{self.kind}"
+
+
+def conversion_path(
+    src: Platform, dst: Platform, in_loop: bool = False
+) -> Tuple[ConversionStep, ...]:
+    """Conversion operators needed to move data from ``src`` to ``dst``.
+
+    ``in_loop`` selects the broadcast variant for local→distributed moves
+    inside loop bodies (e.g. shipping k-means centroids from Java into
+    Spark workers each iteration), which is the plan detail behind the
+    paper's Fig. 12(a) discussion.
+    """
+    if src.name == dst.name:
+        return ()
+    a, b = src.category, dst.category
+    if a == CATEGORY_LOCAL and b == CATEGORY_DISTRIBUTED:
+        kind = "broadcast" if in_loop else "distribute"
+        return (ConversionStep(kind, dst.name),)
+    if a == CATEGORY_DISTRIBUTED and b == CATEGORY_LOCAL:
+        return (ConversionStep("collect", src.name),)
+    if a == CATEGORY_DISTRIBUTED and b == CATEGORY_DISTRIBUTED:
+        return (
+            ConversionStep("collect", src.name),
+            ConversionStep("distribute", dst.name),
+        )
+    if a == CATEGORY_DATABASE and b == CATEGORY_LOCAL:
+        return (ConversionStep("db_export", src.name),)
+    if a == CATEGORY_DATABASE and b == CATEGORY_DISTRIBUTED:
+        return (
+            ConversionStep("db_export", src.name),
+            ConversionStep("distribute", dst.name),
+        )
+    if a == CATEGORY_LOCAL and b == CATEGORY_DATABASE:
+        return (ConversionStep("db_import", dst.name),)
+    if a == CATEGORY_DISTRIBUTED and b == CATEGORY_DATABASE:
+        return (
+            ConversionStep("collect", src.name),
+            ConversionStep("db_import", dst.name),
+        )
+    if a == CATEGORY_DATABASE and b == CATEGORY_DATABASE:
+        return (
+            ConversionStep("db_export", src.name),
+            ConversionStep("db_import", dst.name),
+        )
+    if a == CATEGORY_LOCAL and b == CATEGORY_LOCAL:
+        # Two distinct local engines exchange plain collections.
+        return ()
+    raise PlatformError(f"no conversion path from {src.name} to {dst.name}")

@@ -1,0 +1,91 @@
+"""Dataset profiles.
+
+The optimizer (and the paper's feature vector, §IV-A) only consumes two
+properties of an input dataset: its cardinality (number of tuples, which
+becomes the input cardinality of the source operators) and its average
+tuple size in bytes (the single "dataset feature" of the plan vector).
+
+We therefore model datasets as lightweight :class:`DatasetProfile`
+descriptors and provide the profiles of the paper's Table II datasets with
+plausible tuple sizes, scalable to any of the sizes the figures sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import PlanError
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Cardinality and tuple size of one input dataset.
+
+    Parameters
+    ----------
+    name:
+        Dataset name, e.g. ``"wikipedia"``.
+    cardinality:
+        Number of tuples (lines, rows, triples, ...).
+    tuple_size:
+        Average tuple size in bytes.
+    """
+
+    name: str
+    cardinality: float
+    tuple_size: float
+
+    def __post_init__(self):
+        if self.cardinality < 0:
+            raise PlanError(f"negative cardinality for dataset {self.name!r}")
+        if self.tuple_size <= 0:
+            raise PlanError(f"non-positive tuple size for dataset {self.name!r}")
+
+    @property
+    def size_bytes(self) -> float:
+        """Total dataset size in bytes."""
+        return self.cardinality * self.tuple_size
+
+    def scaled_to_bytes(self, size_bytes: float) -> "DatasetProfile":
+        """This dataset replicated/truncated to a total size in bytes.
+
+        Mirrors the paper's §VII-C methodology: "we varied the datasets size
+        up to 1TB by replicating the input data".
+        """
+        return replace(self, cardinality=size_bytes / self.tuple_size)
+
+    def scaled_to_cardinality(self, cardinality: float) -> "DatasetProfile":
+        """This dataset with a different number of tuples."""
+        return replace(self, cardinality=float(cardinality))
+
+
+def _profile(name: str, size_bytes: float, tuple_size: float) -> DatasetProfile:
+    return DatasetProfile(name, cardinality=size_bytes / tuple_size, tuple_size=tuple_size)
+
+
+#: Base profiles for the datasets of Table II, at their smallest size.
+#: Tuple sizes are realistic estimates (Wikipedia text lines, TPC-H rows,
+#: US Census records, HIGGS feature rows, DBpedia triples).
+PAPER_DATASETS = {
+    "wikipedia": _profile("wikipedia", 30 * MB, tuple_size=120.0),
+    "tpch": _profile("tpch", 1 * GB, tuple_size=130.0),
+    "uscensus1990": _profile("uscensus1990", 36 * MB, tuple_size=270.0),
+    "higgs": _profile("higgs", 740 * MB, tuple_size=224.0),
+    "dbpedia": _profile("dbpedia", 200 * MB, tuple_size=60.0),
+}
+
+
+def paper_dataset(name: str, size_bytes: float = None) -> DatasetProfile:
+    """One of the paper's datasets, optionally scaled to a total size."""
+    try:
+        base = PAPER_DATASETS[name]
+    except KeyError:
+        raise PlanError(
+            f"unknown dataset {name!r}; known: {sorted(PAPER_DATASETS)}"
+        ) from None
+    if size_bytes is None:
+        return base
+    return base.scaled_to_bytes(size_bytes)

@@ -1,0 +1,205 @@
+"""The logical operator catalog and logical operator instances.
+
+Logical operators are platform-agnostic (§III-A). Each operator *instance*
+in a plan references an :class:`OperatorKind` from the catalog and carries
+the per-instance knobs that matter for optimization: the CPU complexity of
+its UDF (§IV-A encodes four classes) and its selectivity (output/input
+cardinality ratio), which drives cardinality propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Dict, Optional
+
+from repro.exceptions import UnknownOperatorError
+
+
+class UdfComplexity(IntEnum):
+    """CPU complexity classes of operator UDFs (§IV-A).
+
+    The paper assumes four complexities: logarithmic, linear, quadratic and
+    super-quadratic. The integer values are the encoding used in the plan
+    vector ("sum of UDF complexities" cells).
+    """
+
+    LOGARITHMIC = 1
+    LINEAR = 2
+    QUADRATIC = 3
+    SUPER_QUADRATIC = 4
+
+
+@dataclass(frozen=True)
+class OperatorKind:
+    """A kind of logical operator (e.g. ``Map``, ``Join``).
+
+    Parameters
+    ----------
+    name:
+        Catalog name; unique.
+    arity_in:
+        Number of input dataflows (0 for sources, 2 for binary operators).
+    arity_out:
+        Number of output dataflows (0 for sinks). An ``arity_out`` of 1 does
+        not preclude feeding several consumers — that is the *replicate*
+        topology.
+    default_selectivity:
+        Output/input cardinality ratio used when an instance does not
+        override it. May exceed 1 (e.g. ``FlatMap``).
+    default_complexity:
+        UDF complexity assumed when an instance does not override it.
+    """
+
+    name: str
+    arity_in: int
+    arity_out: int
+    default_selectivity: float = 1.0
+    default_complexity: UdfComplexity = UdfComplexity.LINEAR
+
+    @property
+    def is_source(self) -> bool:
+        return self.arity_in == 0
+
+    @property
+    def is_sink(self) -> bool:
+        return self.arity_out == 0
+
+    @property
+    def is_binary(self) -> bool:
+        return self.arity_in >= 2
+
+
+def _kind(name, arity_in, arity_out, sel=1.0, cx=UdfComplexity.LINEAR):
+    return OperatorKind(name, arity_in, arity_out, sel, cx)
+
+
+#: The logical operator catalog. Order matters: it fixes the operator-kind
+#: blocks of the plan vector (see :mod:`repro.core.features`).
+KINDS: Dict[str, OperatorKind] = {
+    k.name: k
+    for k in (
+        # Sources
+        _kind("TextFileSource", 0, 1),
+        _kind("CollectionSource", 0, 1),
+        _kind("TableSource", 0, 1),
+        # Unary dataflow operators
+        _kind("Map", 1, 1),
+        _kind("FlatMap", 1, 1, sel=3.0),
+        _kind("Filter", 1, 1, sel=0.5),
+        _kind("Project", 1, 1),
+        _kind("ReduceBy", 1, 1, sel=0.1),
+        _kind("GroupBy", 1, 1, sel=0.1),
+        _kind("Reduce", 1, 1, sel=1e-9),
+        _kind("Sort", 1, 1, cx=UdfComplexity.LOGARITHMIC),
+        _kind("Distinct", 1, 1, sel=0.5),
+        _kind("Count", 1, 1, sel=1e-9),
+        _kind("Sample", 1, 1, sel=0.01),
+        _kind("ShufflePartitionSample", 1, 1, sel=0.01),
+        _kind("Cache", 1, 1),
+        _kind("ZipWithId", 1, 1),
+        _kind("MapPartitions", 1, 1),
+        # Binary operators
+        _kind("Join", 2, 1, sel=1.0, cx=UdfComplexity.LINEAR),
+        _kind("Union", 2, 1),
+        _kind("Cartesian", 2, 1, cx=UdfComplexity.QUADRATIC),
+        _kind("Intersect", 2, 1, sel=0.5),
+        # Graph analytics (composite operator, as in Rheem)
+        _kind("PageRank", 1, 1),
+        # Sinks
+        _kind("CollectionSink", 1, 0),
+        _kind("TextFileSink", 1, 0),
+        _kind("Callback", 1, 0),
+    )
+}
+
+#: Stable order of kind names (catalog insertion order).
+KIND_NAMES = tuple(KINDS)
+
+
+def get_kind(name: str) -> OperatorKind:
+    """Look an operator kind up by name, raising for unknown names."""
+    try:
+        return KINDS[name]
+    except KeyError:
+        raise UnknownOperatorError(
+            f"unknown operator kind {name!r}; known kinds: {sorted(KINDS)}"
+        ) from None
+
+
+@dataclass
+class LogicalOperator:
+    """One platform-agnostic operator instance in a logical plan.
+
+    Instances are created via :func:`operator` (or directly) and receive
+    their ``id`` when added to a :class:`~repro.rheem.logical_plan.LogicalPlan`.
+
+    Parameters
+    ----------
+    kind:
+        The catalog kind.
+    label:
+        Human-readable label, e.g. ``"Filter(country)"``. Defaults to the
+        kind name.
+    udf_complexity:
+        CPU complexity of the instance's UDF.
+    selectivity:
+        Output/input cardinality ratio; defaults to the kind's.
+    fixed_output_cardinality:
+        If set, overrides cardinality propagation for this operator
+        (used e.g. for ``ReduceBy`` with a known number of groups).
+    params:
+        Free-form parameters (e.g. number of loop iterations a sample
+        operator belongs to); not interpreted by the optimizer core.
+    """
+
+    kind: OperatorKind
+    label: str = ""
+    udf_complexity: Optional[UdfComplexity] = None
+    selectivity: Optional[float] = None
+    fixed_output_cardinality: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    id: int = -1
+
+    def __post_init__(self):
+        if not self.label:
+            self.label = self.kind.name
+        if self.udf_complexity is None:
+            self.udf_complexity = self.kind.default_complexity
+        if self.selectivity is None:
+            self.selectivity = self.kind.default_selectivity
+
+    @property
+    def kind_name(self) -> str:
+        return self.kind.name
+
+    def output_cardinality(self, input_cardinality: float) -> float:
+        """Estimated output cardinality given the total input cardinality."""
+        if self.fixed_output_cardinality is not None:
+            return float(self.fixed_output_cardinality)
+        if self.kind.is_sink:
+            return 0.0
+        return float(self.selectivity) * float(input_cardinality)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"o{self.id}:{self.label}"
+
+
+def operator(
+    kind_name: str,
+    label: str = "",
+    *,
+    udf_complexity: Optional[UdfComplexity] = None,
+    selectivity: Optional[float] = None,
+    fixed_output_cardinality: Optional[float] = None,
+    **params: Any,
+) -> LogicalOperator:
+    """Convenience factory: ``operator("Filter", "Filter(country)", selectivity=0.1)``."""
+    return LogicalOperator(
+        kind=get_kind(kind_name),
+        label=label,
+        udf_complexity=udf_complexity,
+        selectivity=selectivity,
+        fixed_output_cardinality=fixed_output_cardinality,
+        params=dict(params),
+    )

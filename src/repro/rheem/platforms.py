@@ -1,0 +1,197 @@
+"""Data processing platforms and the platform registry.
+
+A :class:`Platform` describes one underlying engine (Spark, Flink, a
+standalone Java executor, Postgres, GraphX). A :class:`PlatformRegistry`
+is an ordered collection of platforms; its order defines the platform
+indices used throughout the vectorized enumeration (plan vectors store
+per-platform counts in registry order).
+
+The paper's experiments use two registries:
+
+* :func:`default_registry` — the five real platforms of §VII-A
+  (Java, Spark, Flink, Postgres, GraphX);
+* :func:`synthetic_registry` — ``k`` interchangeable platforms used by the
+  scalability experiments of §VII-B, where every operator is assumed to be
+  available on 2–5 platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.exceptions import PlatformError
+
+#: Platform categories drive data-movement (conversion) paths.
+CATEGORY_LOCAL = "local"  # single-node, in-memory (Java collections)
+CATEGORY_DISTRIBUTED = "distributed"  # cluster engines (Spark, Flink, GraphX)
+CATEGORY_DATABASE = "database"  # relational stores (Postgres)
+
+_VALID_CATEGORIES = (CATEGORY_LOCAL, CATEGORY_DISTRIBUTED, CATEGORY_DATABASE)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One data processing platform.
+
+    Parameters
+    ----------
+    name:
+        Unique platform name, e.g. ``"spark"``.
+    category:
+        One of ``"local"``, ``"distributed"``, ``"database"``; determines
+        which conversion operators are needed to move data to/from it.
+    supported_kinds:
+        Names of the logical operator kinds this platform can execute, or
+        ``None`` if it supports the full catalog.
+    """
+
+    name: str
+    category: str = CATEGORY_DISTRIBUTED
+    supported_kinds: Optional[frozenset] = field(default=None)
+    unsupported_kinds: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if self.category not in _VALID_CATEGORIES:
+            raise PlatformError(
+                f"unknown platform category {self.category!r}; "
+                f"expected one of {_VALID_CATEGORIES}"
+            )
+
+    def supports(self, kind_name: str) -> bool:
+        """Return whether this platform can execute the given operator kind."""
+        if kind_name in self.unsupported_kinds:
+            return False
+        return self.supported_kinds is None or kind_name in self.supported_kinds
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class PlatformRegistry:
+    """An ordered, indexable collection of platforms.
+
+    The registry order is load-bearing: plan vectors store one cell per
+    platform per operator kind, in registry order, and the assignments
+    matrices of the enumeration store platform *indices*.
+    """
+
+    def __init__(self, platforms: Iterable[Platform]):
+        self._platforms = tuple(platforms)
+        if not self._platforms:
+            raise PlatformError("a registry needs at least one platform")
+        names = [p.name for p in self._platforms]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"duplicate platform names in registry: {names}")
+        self._index = {p.name: i for i, p in enumerate(self._platforms)}
+
+    @property
+    def platforms(self) -> tuple:
+        return self._platforms
+
+    @property
+    def names(self) -> tuple:
+        return tuple(p.name for p in self._platforms)
+
+    def __len__(self) -> int:
+        return len(self._platforms)
+
+    def __iter__(self) -> Iterator[Platform]:
+        return iter(self._platforms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name_or_index):
+        """Look a platform up by name (str) or registry index (int)."""
+        if isinstance(name_or_index, str):
+            try:
+                return self._platforms[self._index[name_or_index]]
+            except KeyError:
+                raise PlatformError(f"unknown platform {name_or_index!r}") from None
+        return self._platforms[name_or_index]
+
+    def index(self, name: str) -> int:
+        """Return the registry index of a platform name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise PlatformError(f"unknown platform {name!r}") from None
+
+    def supporting(self, kind_name: str) -> tuple:
+        """All platforms that can execute the given operator kind."""
+        return tuple(p for p in self._platforms if p.supports(kind_name))
+
+    def restricted(self, names: Iterable[str]) -> "PlatformRegistry":
+        """A new registry containing only the named platforms (in this order)."""
+        names = list(names)
+        return PlatformRegistry([self[n] for n in names])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlatformRegistry({', '.join(self.names)})"
+
+
+#: Operator kinds Postgres can execute (relational algebra only — no UDF
+#: dataflow operators, no iteration, no text sources).
+_POSTGRES_KINDS = frozenset(
+    {
+        "TableSource",
+        "Filter",
+        "Project",
+        "Join",
+        "ReduceBy",
+        "GroupBy",
+        "Sort",
+        "Distinct",
+        "Count",
+        "Union",
+    }
+)
+
+#: GraphX executes graph analytics only.
+_GRAPHX_KINDS = frozenset({"PageRank"})
+
+
+def default_registry(names: Optional[Iterable[str]] = None) -> PlatformRegistry:
+    """The five platforms of the paper's evaluation (§VII-A).
+
+    Parameters
+    ----------
+    names:
+        Optional subset (and order) of platform names to include. Defaults
+        to ``("java", "spark", "flink")`` — the trio used by most of the
+        paper's experiments; pass e.g. ``("java", "spark", "flink",
+        "postgres")`` for the relational scenarios.
+    """
+    # Only the database platform can scan a database-resident table; every
+    # other engine receives such data through db_export conversions.
+    _no_table = frozenset({"TableSource"})
+    catalog = {
+        "java": Platform("java", CATEGORY_LOCAL, unsupported_kinds=_no_table),
+        "spark": Platform("spark", CATEGORY_DISTRIBUTED, unsupported_kinds=_no_table),
+        "flink": Platform("flink", CATEGORY_DISTRIBUTED, unsupported_kinds=_no_table),
+        "postgres": Platform("postgres", CATEGORY_DATABASE, _POSTGRES_KINDS),
+        "graphx": Platform("graphx", CATEGORY_DISTRIBUTED, _GRAPHX_KINDS),
+    }
+    if names is None:
+        names = ("java", "spark", "flink")
+    try:
+        return PlatformRegistry([catalog[n] for n in names])
+    except KeyError as exc:
+        raise PlatformError(f"unknown platform {exc.args[0]!r}") from None
+
+
+def synthetic_registry(k: int) -> PlatformRegistry:
+    """``k`` interchangeable platforms for the scalability experiments.
+
+    Every synthetic platform supports the whole operator catalog. The first
+    platform is local (a Java stand-in) and the rest are distributed, so
+    conversion operators still come into play.
+    """
+    if k < 1:
+        raise PlatformError(f"need at least one platform, got k={k}")
+    platforms = [Platform("platform0", CATEGORY_LOCAL)]
+    platforms.extend(
+        Platform(f"platform{i}", CATEGORY_DISTRIBUTED) for i in range(1, k)
+    )
+    return PlatformRegistry(platforms)

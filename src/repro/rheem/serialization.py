@@ -1,0 +1,162 @@
+"""JSON (de)serialization of plans, datasets and execution plans.
+
+Lets downstream users persist logical plans, ship them between processes,
+and store chosen execution plans next to their measurements — the
+plumbing an adopting system needs around the optimizer. The format is a
+plain, versioned JSON document; round-trips are exact for everything the
+optimizer consumes (kinds, selectivities, UDF complexities, datasets,
+edges, loops, assignments).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+from repro.exceptions import PlanError
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+from repro.rheem.platforms import PlatformRegistry
+
+FORMAT_VERSION = 1
+
+
+def dataset_to_dict(profile: DatasetProfile) -> Dict:
+    return {
+        "name": profile.name,
+        "cardinality": profile.cardinality,
+        "tuple_size": profile.tuple_size,
+    }
+
+
+def dataset_from_dict(blob: Dict) -> DatasetProfile:
+    try:
+        return DatasetProfile(
+            name=blob["name"],
+            cardinality=float(blob["cardinality"]),
+            tuple_size=float(blob["tuple_size"]),
+        )
+    except KeyError as exc:
+        raise PlanError(f"dataset document misses field {exc.args[0]!r}") from None
+
+
+def plan_to_dict(plan: LogicalPlan) -> Dict:
+    """A JSON-ready document describing a logical plan."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": plan.name,
+        "operators": [
+            {
+                "id": op_id,
+                "kind": op.kind_name,
+                "label": op.label,
+                "udf_complexity": int(op.udf_complexity),
+                "selectivity": op.selectivity,
+                "fixed_output_cardinality": op.fixed_output_cardinality,
+                "params": op.params,
+            }
+            for op_id, op in sorted(plan.operators.items())
+        ],
+        "edges": sorted(plan.edges),
+        "loops": [
+            {"body": sorted(spec.body), "iterations": spec.iterations}
+            for spec in plan.loops
+        ],
+        "datasets": {
+            str(op_id): dataset_to_dict(profile)
+            for op_id, profile in plan.datasets.items()
+        },
+    }
+
+
+def plan_from_dict(blob: Dict) -> LogicalPlan:
+    """Rebuild a logical plan from its document (inverse of plan_to_dict)."""
+    version = blob.get("version")
+    if version != FORMAT_VERSION:
+        raise PlanError(
+            f"unsupported plan document version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    plan = LogicalPlan(blob.get("name", "plan"))
+    datasets = {
+        int(op_id): dataset_from_dict(doc)
+        for op_id, doc in blob.get("datasets", {}).items()
+    }
+    for doc in blob["operators"]:
+        op = operator(
+            doc["kind"],
+            doc.get("label", ""),
+            udf_complexity=UdfComplexity(doc["udf_complexity"]),
+            selectivity=doc.get("selectivity"),
+            fixed_output_cardinality=doc.get("fixed_output_cardinality"),
+            **doc.get("params", {}),
+        )
+        added = plan.add(op, dataset=datasets.get(doc["id"]))
+        if added.id != doc["id"]:
+            raise PlanError(
+                f"operator ids must be dense and ordered; got {doc['id']} "
+                f"at position {added.id}"
+            )
+    for u, v in blob.get("edges", []):
+        plan.connect(int(u), int(v))
+    for loop in blob.get("loops", []):
+        plan.add_loop([int(i) for i in loop["body"]], iterations=int(loop["iterations"]))
+    return plan
+
+
+def plan_to_json(plan: LogicalPlan, indent: int = 2) -> str:
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_json(text: Union[str, bytes]) -> LogicalPlan:
+    return plan_from_dict(json.loads(text))
+
+
+def execution_plan_to_dict(xplan: ExecutionPlan) -> Dict:
+    """Document for an execution plan: the logical plan + the assignment."""
+    return {
+        "version": FORMAT_VERSION,
+        "plan": plan_to_dict(xplan.plan),
+        "assignment": {str(k): v for k, v in sorted(xplan.assignment.items())},
+        "platforms": list(xplan.registry.names),
+        "conversions": [
+            {
+                "kind": conv.kind,
+                "platform": conv.platform,
+                "edge": list(conv.edge),
+                "cardinality": conv.cardinality,
+                "iterations": conv.iterations,
+            }
+            for conv in xplan.conversions()
+        ],
+    }
+
+
+def execution_plan_from_dict(
+    blob: Dict, registry: PlatformRegistry
+) -> ExecutionPlan:
+    """Rebuild an execution plan against a registry.
+
+    The registry must contain (at least) the platforms the document
+    references; the recorded conversions are recomputed, not trusted.
+    """
+    missing = set(blob.get("platforms", [])) - set(registry.names)
+    if missing:
+        raise PlanError(
+            f"registry misses platforms referenced by the document: {sorted(missing)}"
+        )
+    plan = plan_from_dict(blob["plan"])
+    assignment = {int(k): v for k, v in blob["assignment"].items()}
+    return ExecutionPlan(plan, assignment, registry)
+
+
+def execution_plan_to_json(xplan: ExecutionPlan, indent: int = 2) -> str:
+    return json.dumps(execution_plan_to_dict(xplan), indent=indent)
+
+
+def execution_plan_from_json(
+    text: Union[str, bytes], registry: PlatformRegistry
+) -> ExecutionPlan:
+    return execution_plan_from_dict(json.loads(text), registry)

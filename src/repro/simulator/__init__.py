@@ -1,0 +1,34 @@
+"""The simulated multi-platform execution environment.
+
+Stands in for the paper's 10-node cluster (Spark 2.4, Flink 1.7, Java 9,
+Postgres 9.6, GraphX; §VII-A). The simulator is the single source of
+ground-truth runtimes in this reproduction: TDGEN executes jobs against
+it, the RHEEMix cost model is calibrated against it, and every
+effectiveness experiment (Figs. 2, 11, 12, 13) measures plans on it.
+
+Its behaviour is intentionally *nonlinear* in exactly the ways the paper
+argues real platforms are: fixed startup costs that amortize with data
+size, per-operator scheduling overheads that multiply inside loops,
+platform memory limits (Java goes out-of-memory), shuffle costs, and
+operator interactions (a cache directly feeding a shuffle-partition
+sample loses the sample's state — the paper's SGD anecdote, §VII-C2).
+A cost model that is linear per operator cannot represent these effects;
+an ML model trained on execution logs can. That asymmetry is the paper's
+central claim, and the simulator is constructed to expose it — not to
+favour either optimizer a priori: both see only (plan, runtime) pairs.
+"""
+
+from repro.simulator.profiles import (
+    DEFAULT_PROFILES,
+    PlatformProfile,
+    default_profiles,
+)
+from repro.simulator.executor import ExecutionReport, SimulatedExecutor
+
+__all__ = [
+    "PlatformProfile",
+    "DEFAULT_PROFILES",
+    "default_profiles",
+    "SimulatedExecutor",
+    "ExecutionReport",
+]

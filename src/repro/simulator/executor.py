@@ -1,0 +1,354 @@
+"""The simulated executor: runs execution plans against platform profiles.
+
+``execute(xplan)`` walks the plan once and composes an analytic runtime:
+platform startups, per-operator work (UDF complexity × kind work ×
+platform rate), shuffle costs, source I/O, loop-iteration multipliers and
+overheads, conversion-operator costs, plus the failure modes the paper's
+figures show — out-of-memory on local platforms and the one-hour abort.
+
+Determinism: with ``noise == 0`` the runtime is a pure function of the
+execution plan. With noise enabled, a log-normal factor is drawn from a
+generator seeded by the executor seed *and* the plan signature, so the
+same plan always "measures" the same runtime within one executor — as a
+warm, stable cluster would.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ExecutionFailure, SimulationError
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.platforms import CATEGORY_DISTRIBUTED, PlatformRegistry
+from repro.simulator.profiles import (
+    COMPLEXITY_WORK,
+    CONVERSION_COSTS,
+    KIND_WORK,
+    SHUFFLE_KINDS,
+    PlatformProfile,
+    default_profiles,
+)
+
+#: Default abort threshold, matching the paper's "aborted after 1 hour".
+DEFAULT_TIMEOUT_S = 3600.0
+
+#: Partitions of a distributed dataset (10 nodes × 4 cores, §VII-A):
+#: a ShufflePartitionSample reshuffles one partition, not the whole input.
+PARTITIONS = 40
+
+#: Fixed cost of (re)shuffling a partition for sampling: a full stage with
+#: task scheduling and disk round-trips, not just moving the tuples.
+SAMPLE_RESHUFFLE_FIXED_S = 0.3
+
+#: Conversions of tiny datasets skip most of their fixed cost (a driver
+#: that just ran an action already holds a small result).
+SMALL_CONVERSION_CARD = 1e4
+SMALL_CONVERSION_DISCOUNT = 0.2
+
+#: Loop-state redistribution constants (see ``_loop_costs``).
+STATE_SMALL_CARD = 2000.0
+STATE_RDD_FIXED_S = 0.35
+STATE_RDD_PER_ELEMENT_S = 5e-3
+STATE_BROADCAST_FIXED_S = 0.02
+STATE_BROADCAST_RATE = 2.0e6
+
+STATUS_OK = "ok"
+STATUS_OOM = "oom"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class ExecutionReport:
+    """The outcome of one simulated execution."""
+
+    status: str
+    runtime_s: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExecutionReport({self.status}, {self.runtime_s:.2f}s)"
+
+
+class SimulatedExecutor:
+    """Executes :class:`ExecutionPlan` objects on simulated platforms.
+
+    Parameters
+    ----------
+    profiles:
+        Platform-name → :class:`PlatformProfile` map covering every
+        platform any submitted plan may use.
+    seed:
+        Base seed for measurement noise.
+    noise:
+        Log-normal sigma of the multiplicative runtime noise; ``0``
+        disables it (fully deterministic, the default).
+    """
+
+    def __init__(
+        self,
+        profiles: Dict[str, PlatformProfile],
+        seed: Optional[int] = None,
+        noise: float = 0.0,
+    ):
+        if noise < 0:
+            raise SimulationError(f"noise must be >= 0, got {noise}")
+        self.profiles = dict(profiles)
+        self.seed = 0 if seed is None else int(seed)
+        self.noise = float(noise)
+        #: number of execute() calls, used by TDGEN cost accounting
+        self.executions = 0
+
+    @classmethod
+    def default(
+        cls,
+        registry: PlatformRegistry,
+        seed: Optional[int] = None,
+        noise: float = 0.0,
+    ) -> "SimulatedExecutor":
+        """An executor with the calibrated default profiles for a registry."""
+        return cls(default_profiles(registry), seed=seed, noise=noise)
+
+    # ------------------------------------------------------------------
+    def _profile(self, platform_name: str) -> PlatformProfile:
+        try:
+            return self.profiles[platform_name]
+        except KeyError:
+            raise SimulationError(
+                f"no profile for platform {platform_name!r}"
+            ) from None
+
+    @staticmethod
+    def _tuple_size(plan) -> float:
+        size = plan.average_input_tuple_size()
+        return size if size > 0 else 100.0
+
+    def _operator_time(
+        self, xplan: ExecutionPlan, op_id: int, cards, tuple_size: float
+    ) -> float:
+        """Total simulated seconds one operator contributes (all iterations)."""
+        plan = xplan.plan
+        op = plan.operators[op_id]
+        profile = self._profile(xplan.assignment[op_id])
+        platform = xplan.registry[xplan.assignment[op_id]]
+        in_card, out_card = cards[op_id]
+        iters = plan.loop_iterations(op_id)
+        kind = op.kind_name
+
+        # Out-of-memory: local platforms cannot hold oversized working sets.
+        if profile.memory_bytes is not None:
+            working = max(in_card, out_card) * tuple_size
+            if working > profile.memory_bytes:
+                raise ExecutionFailure(
+                    "oom",
+                    runtime=0.0,
+                    message=(
+                        f"{kind} on {profile.name}: working set "
+                        f"{working / 2**30:.1f} GiB exceeds "
+                        f"{profile.memory_bytes / 2**30:.0f} GiB"
+                    ),
+                )
+
+        rate = profile.tuple_rate * profile.speed(kind)
+        work = in_card * KIND_WORK.get(kind, 1.0) * COMPLEXITY_WORK[op.udf_complexity]
+        if kind in ("Cartesian", "FlatMap"):
+            work += out_card  # output materialization dominates expansion ops
+
+        if kind in ("Sample", "ShufflePartitionSample"):
+            return self._sample_time(xplan, op_id, profile, platform, cards, iters)
+
+        per_invocation = profile.per_op_overhead_s + work / rate
+        if kind in SHUFFLE_KINDS and platform.category == CATEGORY_DISTRIBUTED:
+            per_invocation += in_card / profile.shuffle_rate
+        if op.kind.is_source:
+            dataset = plan.datasets[op_id]
+            per_invocation += dataset.size_bytes / profile.io_rate
+        if kind == "Cache":
+            # Caching materializes once, regardless of loop membership.
+            return per_invocation
+        return per_invocation * iters
+
+    def _sample_time(
+        self, xplan: ExecutionPlan, op_id: int, profile, platform, cards, iters
+    ) -> float:
+        """Sampling operators keep state across iterations (§VII-C2).
+
+        A ``ShufflePartitionSample`` shuffles one partition on its first
+        call and then reads sequentially — *unless* a ``Cache`` on the
+        same distributed platform directly feeds it, which resets the
+        sample's first-time flag every iteration and forces a reshuffle
+        (the paper's SGD plan anecdote). A plain ``Sample`` scans its
+        input every invocation.
+        """
+        plan = xplan.plan
+        op = plan.operators[op_id]
+        in_card, out_card = cards[op_id]
+        rate = profile.tuple_rate * profile.speed(op.kind_name)
+        overhead = profile.per_op_overhead_s
+
+        if op.kind_name == "Sample":
+            per_invocation = overhead + in_card / rate
+            return per_invocation * iters
+
+        first = overhead + out_card / rate
+        if platform.category == CATEGORY_DISTRIBUTED:
+            # Shuffling one partition suffices to draw a random batch.
+            first += (
+                SAMPLE_RESHUFFLE_FIXED_S
+                + (in_card / PARTITIONS) / profile.shuffle_rate
+            )
+            state_lost = any(
+                plan.operators[parent].kind_name == "Cache"
+                and xplan.assignment[parent] == xplan.assignment[op_id]
+                for parent in plan.parents(op_id)
+            )
+            if state_lost and iters > 1:
+                return first * iters
+        else:
+            # A local sample materializes its input once, then indexes it.
+            first += in_card / rate
+        subsequent = overhead + out_card / rate
+        return first + (iters - 1) * subsequent
+
+    def _conversion_time(self, xplan: ExecutionPlan) -> float:
+        total = 0.0
+        for conv in xplan.conversions():
+            fixed, rate = CONVERSION_COSTS[conv.kind]
+            if conv.cardinality <= SMALL_CONVERSION_CARD:
+                fixed *= SMALL_CONVERSION_DISCOUNT
+            total += (fixed + conv.cardinality / rate) * conv.iterations
+        return total
+
+    def _loop_costs(self, xplan: ExecutionPlan, cards) -> float:
+        """Per-iteration driving overheads plus loop-state redistribution.
+
+        Every platform appearing in a loop body pays its per-iteration
+        scheduling overhead. On top of that, iterative dataflows carry a
+        *state* (centroids, weights, ranks — approximated as the smallest
+        output among the body operators) that must be made available to
+        the next iteration:
+
+        * state produced on a **distributed** platform: small states are
+          re-broadcast as a distributed dataset, paying a fixed cost plus
+          a per-element scheduling cost (the paper's "broadcasting the
+          centroids as an RDD" penalty, §VII-C2); large states are
+          partitioned and reshuffled at shuffle rate;
+        * state produced on a **local** platform: shipped to each
+          distributed platform of the body as a cheap collection
+          broadcast (Rheem's broadcast channel).
+        """
+        total = 0.0
+        for spec in xplan.plan.loops:
+            body = sorted(spec.body)
+            platforms = {xplan.assignment[op_id] for op_id in body}
+            for name in platforms:
+                total += spec.iterations * self._profile(name).loop_overhead_s
+
+            # The loop-carried state is the smallest output produced in the
+            # body; on ties, the latest producer (it feeds the next
+            # iteration). E.g. k-means: Map(newCentroids), not the ReduceBy.
+            topo_pos = {op_id: i for i, op_id in enumerate(xplan.plan.topological_order())}
+            state_op = min(body, key=lambda op_id: (cards[op_id][1], -topo_pos[op_id]))
+            state_card = max(cards[state_op][1], 1.0)
+            state_platform = xplan.registry[xplan.assignment[state_op]]
+            if state_platform.category == CATEGORY_DISTRIBUTED:
+                if state_card <= STATE_SMALL_CARD:
+                    per_iter = STATE_RDD_FIXED_S + state_card * STATE_RDD_PER_ELEMENT_S
+                else:
+                    profile = self._profile(state_platform.name)
+                    per_iter = STATE_RDD_FIXED_S + state_card / profile.shuffle_rate
+            else:
+                distributed_consumers = sum(
+                    1
+                    for name in platforms
+                    if xplan.registry[name].category == CATEGORY_DISTRIBUTED
+                )
+                per_iter = (
+                    STATE_BROADCAST_FIXED_S + state_card / STATE_BROADCAST_RATE
+                ) * max(distributed_consumers, 1)
+            total += spec.iterations * per_iter
+        return total
+
+    def _noise_factor(self, xplan: ExecutionPlan) -> float:
+        if self.noise == 0.0:
+            return 1.0
+        digest = zlib.crc32(repr(xplan.signature()).encode())
+        rng = np.random.default_rng((self.seed << 32) ^ digest)
+        return float(rng.lognormal(mean=0.0, sigma=self.noise))
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        xplan: ExecutionPlan,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        detailed: bool = False,
+    ) -> ExecutionReport:
+        """Run a plan; never raises for OOM/timeout — reports them.
+
+        With ``detailed=True`` the report's breakdown additionally carries
+        ``per_operator``: simulated seconds per operator id (all
+        iterations included) — the executor-side analogue of EXPLAIN
+        ANALYZE.
+        """
+        self.executions += 1
+        plan = xplan.plan
+        cards = plan.cardinalities()
+        tuple_size = self._tuple_size(plan)
+        breakdown: Dict[str, float] = {}
+
+        startup = sum(
+            self._profile(name).startup_s for name in xplan.platforms_used()
+        )
+        breakdown["startup"] = startup
+        try:
+            per_operator = {
+                op_id: self._operator_time(xplan, op_id, cards, tuple_size)
+                for op_id in plan.operators
+            }
+        except ExecutionFailure as failure:
+            return ExecutionReport(
+                status=STATUS_OOM,
+                runtime_s=float("inf"),
+                breakdown=breakdown,
+                detail=str(failure),
+            )
+        operators = sum(per_operator.values())
+        breakdown["operators"] = operators
+        if detailed:
+            breakdown["per_operator"] = per_operator
+        conversions = self._conversion_time(xplan)
+        breakdown["conversions"] = conversions
+        loops = self._loop_costs(xplan, cards)
+        breakdown["loops"] = loops
+
+        runtime = (startup + operators + conversions + loops) * self._noise_factor(
+            xplan
+        )
+        breakdown["total"] = runtime
+        if runtime > timeout_s:
+            return ExecutionReport(
+                status=STATUS_TIMEOUT,
+                runtime_s=timeout_s,
+                breakdown=breakdown,
+                detail=f"aborted after {timeout_s:.0f}s (would take {runtime:.0f}s)",
+            )
+        return ExecutionReport(
+            status=STATUS_OK, runtime_s=runtime, breakdown=breakdown
+        )
+
+    def measure(
+        self, xplan: ExecutionPlan, timeout_s: float = DEFAULT_TIMEOUT_S
+    ) -> float:
+        """Runtime in seconds; raises :class:`ExecutionFailure` on OOM/abort."""
+        report = self.execute(xplan, timeout_s=timeout_s)
+        if not report.ok:
+            raise ExecutionFailure(report.status, report.runtime_s, report.detail)
+        return report.runtime_s

@@ -1,0 +1,260 @@
+"""Per-platform performance profiles.
+
+Each :class:`PlatformProfile` captures the cost structure of one engine:
+
+* ``startup_s`` — fixed job submission cost, paid once per job per
+  platform (Spark/Flink cluster scheduling vs. Java's zero);
+* ``per_op_overhead_s`` — fixed cost per operator invocation (task
+  scheduling per stage); the multiplication of this constant inside loops
+  is what makes single-node Java attractive for iterative small-state
+  operators (the paper's k-means discussion, Fig. 12(a));
+* ``tuple_rate`` — tuples/second for a linear-complexity UDF;
+* ``shuffle_rate`` — tuples/second moved by repartitioning operators;
+* ``io_rate`` — bytes/second for reading sources;
+* ``loop_overhead_s`` — per-iteration scheduling cost of driving a loop;
+* ``memory_bytes`` — working-set capacity (exceeding it on a local
+  platform raises out-of-memory, as Java does in Fig. 11);
+* ``kind_speed`` — per-operator-kind speed multipliers (>1 = faster than
+  the platform's base rate), modelling that engines have individually
+  tuned operator implementations (§II: "the large diversity in execution
+  operators implementations").
+
+The default constants are calibrated so that the qualitative landscape of
+the paper's Figs. 2 and 11–13 holds: Java wins small inputs and tight
+loops, Spark/Flink win large inputs (with slightly different sweet
+spots), Postgres wins relational work on data it already stores, and
+GraphX only ever runs PageRank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.exceptions import SimulationError
+from repro.rheem.operators import UdfComplexity
+from repro.rheem.platforms import PlatformRegistry
+
+GB = 1024 ** 3
+
+#: Work multiplier per UDF complexity class (per-tuple CPU cost scale).
+COMPLEXITY_WORK = {
+    UdfComplexity.LOGARITHMIC: 0.6,
+    UdfComplexity.LINEAR: 1.0,
+    UdfComplexity.QUADRATIC: 4.0,
+    UdfComplexity.SUPER_QUADRATIC: 12.0,
+}
+
+#: Intrinsic per-tuple work of each operator kind relative to a plain Map.
+KIND_WORK = {
+    "TextFileSource": 0.5,
+    "CollectionSource": 0.2,
+    "TableSource": 0.5,
+    "Map": 1.0,
+    "FlatMap": 1.3,
+    "Filter": 0.7,
+    "Project": 0.4,
+    "ReduceBy": 1.5,
+    "GroupBy": 1.8,
+    "Reduce": 1.0,
+    "Sort": 2.2,
+    "Distinct": 1.4,
+    "Count": 0.3,
+    "Sample": 0.4,
+    "ShufflePartitionSample": 0.6,
+    "Cache": 0.5,
+    "ZipWithId": 0.6,
+    "MapPartitions": 0.9,
+    "Join": 2.4,
+    "Union": 0.3,
+    "Cartesian": 1.0,  # dominated by its output cardinality
+    "Intersect": 1.6,
+    "PageRank": 9.0,
+    "CollectionSink": 0.4,
+    "TextFileSink": 0.6,
+    "Callback": 0.1,
+}
+
+#: Operator kinds that repartition data on distributed engines.
+SHUFFLE_KINDS = frozenset(
+    {"ReduceBy", "GroupBy", "Join", "Sort", "Distinct", "Intersect"}
+)
+
+#: Conversion cost structure: (fixed seconds, tuples per second).
+CONVERSION_COSTS = {
+    "collect": (0.45, 5.0e6),
+    "distribute": (0.45, 8.0e6),
+    "db_export": (0.30, 1.2e7),
+    "db_import": (0.60, 2.5e6),
+    "broadcast": (0.05, 2.0e7),
+}
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """The simulated cost structure of one platform."""
+
+    name: str
+    startup_s: float
+    per_op_overhead_s: float
+    tuple_rate: float
+    shuffle_rate: float
+    io_rate: float
+    loop_overhead_s: float
+    memory_bytes: Optional[float] = None
+    kind_speed: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.tuple_rate <= 0 or self.io_rate <= 0 or self.shuffle_rate <= 0:
+            raise SimulationError(f"rates must be positive for {self.name!r}")
+
+    def speed(self, kind_name: str) -> float:
+        """Speed multiplier of this platform for one operator kind."""
+        return self.kind_speed.get(kind_name, 1.0)
+
+    def with_overrides(self, **kwargs) -> "PlatformProfile":
+        """A copy with some fields replaced (used by ablation benches)."""
+        return replace(self, **kwargs)
+
+
+def _java() -> PlatformProfile:
+    return PlatformProfile(
+        name="java",
+        startup_s=0.0,
+        per_op_overhead_s=2e-4,
+        tuple_rate=8.0e6,
+        shuffle_rate=2.0e7,  # in-memory "shuffle" is just a hash pass
+        io_rate=250e6,
+        loop_overhead_s=2e-3,
+        memory_bytes=20 * GB,
+        kind_speed={
+            # Single-node, zero coordination: light operators scream.
+            "Sample": 2.0,
+            "ShufflePartitionSample": 2.0,
+            "CollectionSink": 2.0,
+            "PageRank": 1.6,  # compact in-memory graphs iterate fast
+        },
+    )
+
+
+def _spark() -> PlatformProfile:
+    return PlatformProfile(
+        name="spark",
+        startup_s=6.0,
+        per_op_overhead_s=0.15,
+        tuple_rate=1.5e8,
+        shuffle_rate=6.0e7,
+        io_rate=2.2e9,
+        loop_overhead_s=0.9,
+        memory_bytes=None,  # spills to disk instead of failing
+        kind_speed={
+            "ReduceBy": 1.25,
+            "Join": 1.2,
+            "GroupBy": 1.2,
+        },
+    )
+
+
+def _flink() -> PlatformProfile:
+    return PlatformProfile(
+        name="flink",
+        startup_s=4.5,
+        per_op_overhead_s=0.12,
+        tuple_rate=1.2e8,
+        shuffle_rate=7.0e7,  # pipelined shuffles
+        io_rate=2.0e9,
+        loop_overhead_s=0.45,  # native iterations
+        memory_bytes=None,
+        kind_speed={
+            "Map": 1.25,
+            "FlatMap": 1.3,
+            "Filter": 1.25,
+            "Project": 1.2,
+        },
+    )
+
+
+def _postgres() -> PlatformProfile:
+    return PlatformProfile(
+        name="postgres",
+        startup_s=0.15,
+        per_op_overhead_s=5e-3,
+        tuple_rate=5.0e6,
+        shuffle_rate=2.5e6,
+        io_rate=400e6,
+        loop_overhead_s=0.05,
+        memory_bytes=None,  # spills
+        kind_speed={
+            # Scans, filters and projections are what a database excels at.
+            "Filter": 2.2,
+            "Project": 3.0,
+            "TableSource": 2.5,
+            # Joins/aggregations of hundreds of millions of rows spill and
+            # run on one node — far slower than a 10-node cluster.
+            "Join": 0.4,
+            "ReduceBy": 0.6,
+            "Sort": 0.8,
+        },
+    )
+
+
+def _graphx() -> PlatformProfile:
+    return PlatformProfile(
+        name="graphx",
+        startup_s=9.0,
+        per_op_overhead_s=0.2,
+        tuple_rate=1.0e8,
+        shuffle_rate=5.0e7,
+        io_rate=2.0e9,
+        loop_overhead_s=0.8,
+        memory_bytes=None,
+        kind_speed={"PageRank": 6.0},
+    )
+
+
+def _synthetic(index: int) -> PlatformProfile:
+    """Profiles for the synthetic scalability registries.
+
+    ``platform0`` mimics Java (local, no startup), higher indices mimic
+    increasingly "heavier" distributed engines; the variation keeps the
+    optimization problem non-degenerate when sweeping 2–5 platforms.
+    """
+    if index == 0:
+        return _java().with_overrides(name="platform0")
+    base = _spark() if index % 2 == 1 else _flink()
+    factor = 1.0 + 0.12 * (index - 1)
+    return base.with_overrides(
+        name=f"platform{index}",
+        startup_s=base.startup_s * factor,
+        tuple_rate=base.tuple_rate / factor,
+    )
+
+
+DEFAULT_PROFILES = {
+    "java": _java(),
+    "spark": _spark(),
+    "flink": _flink(),
+    "postgres": _postgres(),
+    "graphx": _graphx(),
+}
+
+
+def default_profiles(registry: PlatformRegistry) -> Dict[str, PlatformProfile]:
+    """Profiles for every platform of a registry.
+
+    Real platform names map to their calibrated profiles; ``platformN``
+    names (synthetic registries) map to generated ones.
+    """
+    profiles: Dict[str, PlatformProfile] = {}
+    for platform in registry:
+        if platform.name in DEFAULT_PROFILES:
+            profiles[platform.name] = DEFAULT_PROFILES[platform.name]
+        elif platform.name.startswith("platform"):
+            index = int(platform.name[len("platform") :])
+            profiles[platform.name] = _synthetic(index)
+        else:
+            raise SimulationError(
+                f"no default profile for platform {platform.name!r}; "
+                "pass explicit profiles to SimulatedExecutor"
+            )
+    return profiles

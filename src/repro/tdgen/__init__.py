@@ -1,0 +1,38 @@
+"""TDGEN: the scalable training data generator (§VI).
+
+Building an ML model for query optimization needs thousands of labelled
+execution plans, and executing all of them is impractical (§I: a thousand
+alternative plans of one 200 GB TPC-H query would run for 9 days). TDGEN
+attacks both problems:
+
+* **job generation** (§VI-A, :mod:`repro.tdgen.jobgen`): synthesizes
+  logical plans of the requested topology shapes, enumerates execution
+  plans with the β-platform-switch pruning, and instantiates each with
+  configuration profiles (input cardinalities, UDF complexities);
+* **log generation** (§VI-B, :mod:`repro.tdgen.loggen`): actually runs
+  only a subset of the jobs (all small inputs, a few medium/large ones,
+  only low/high UDF complexities) and imputes the remaining labels with
+  piecewise degree-5 polynomial interpolation.
+
+:class:`~repro.tdgen.generator.TrainingDataGenerator` is the facade that
+produces a ready-to-train :class:`~repro.ml.model.TrainingDataset`.
+"""
+
+from repro.tdgen.shapes import SHAPES, build_template, list_shapes
+from repro.tdgen.jobgen import JobGenerator, sample_execution_plans
+from repro.tdgen.profiles import ConfigurationProfile, default_cardinality_grid
+from repro.tdgen.loggen import LogGenerator, interpolate_runtimes
+from repro.tdgen.generator import TrainingDataGenerator
+
+__all__ = [
+    "SHAPES",
+    "list_shapes",
+    "build_template",
+    "JobGenerator",
+    "sample_execution_plans",
+    "ConfigurationProfile",
+    "default_cardinality_grid",
+    "LogGenerator",
+    "interpolate_runtimes",
+    "TrainingDataGenerator",
+]

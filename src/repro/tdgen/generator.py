@@ -1,0 +1,186 @@
+"""The TDGEN facade: produce a ready-to-train dataset (§VI).
+
+Typical use::
+
+    registry = default_registry()
+    executor = SimulatedExecutor.default(registry)
+    tdgen = TrainingDataGenerator(registry, executor, seed=0)
+    dataset = tdgen.generate(4000)
+    model = RuntimeModel.train(dataset)
+
+The generator walks (template × assignment × cardinality × complexity)
+grids, executes the subset the configuration profile selects, interpolates
+the rest (see :mod:`repro.tdgen.loggen`), and encodes every job into a
+plan vector with the same :class:`FeatureSchema` the optimizer uses —
+so the model is trained on exactly the representation it will be queried
+with during enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError, PlatformError
+from repro.core.features import FeatureSchema
+from repro.ml.model import TrainingDataset
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+from repro.simulator.executor import SimulatedExecutor
+from repro.tdgen.jobgen import JobGenerator
+from repro.tdgen.loggen import LogGenerator
+from repro.tdgen.profiles import (
+    ALL_LEVELS,
+    EXECUTED_LEVELS,
+    ConfigurationProfile,
+    default_cardinality_grid,
+)
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping of one `generate` run (the "scalable" in TDGEN)."""
+
+    n_templates: int = 0
+    n_assignments: int = 0
+    n_points: int = 0
+    n_executed: int = 0
+    n_imputed: int = 0
+    n_failures: int = 0
+
+    @property
+    def executed_fraction(self) -> float:
+        total = self.n_executed + self.n_imputed
+        return self.n_executed / total if total else 0.0
+
+
+class TrainingDataGenerator:
+    """Generates labelled plan vectors for runtime-model training.
+
+    Parameters
+    ----------
+    registry:
+        Platforms the generated execution plans may use; also fixes the
+        feature schema.
+    executor:
+        The execution environment that labels the executed subset (the
+        simulated cluster in this reproduction).
+    seed:
+        Seed of all generator randomness.
+    schema:
+        Optional shared feature schema.
+    """
+
+    def __init__(
+        self,
+        registry: PlatformRegistry,
+        executor: SimulatedExecutor,
+        seed: Optional[int] = None,
+        schema: Optional[FeatureSchema] = None,
+    ):
+        self.registry = registry
+        self.executor = executor
+        self.schema = schema if schema is not None else FeatureSchema(registry)
+        self.jobgen = JobGenerator(registry, seed=seed)
+        self.stats = GenerationStats()
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        n_points: int,
+        shapes: Sequence[str] = ("pipeline", "juncture", "loop"),
+        max_operators: int = 50,
+        assignments_per_plan: int = 4,
+        profile: Optional[ConfigurationProfile] = None,
+        beta: int = 3,
+        workload: Optional[Sequence[LogicalPlan]] = None,
+        include_xplans: bool = False,
+    ) -> TrainingDataset:
+        """Produce ~``n_points`` labelled plan vectors.
+
+        ``shapes``/``max_operators`` mirror the paper's evaluation setup
+        (three topology shapes, at most 50 operators, §VII-A); passing
+        ``workload`` switches to mode (i) — synthesize data resembling the
+        user's queries instead.
+        """
+        if n_points < 1:
+            raise GenerationError(f"n_points must be >= 1, got {n_points}")
+        profile = profile if profile is not None else ConfigurationProfile()
+        per_assignment = profile.n_jobs_per_assignment
+        n_templates = max(
+            1, math.ceil(n_points / (assignments_per_plan * per_assignment))
+        )
+        if workload is not None:
+            templates = self.jobgen.templates_like(workload, n_templates)
+        else:
+            templates = self.jobgen.templates_for_shapes(
+                shapes, max_operators, n_templates
+            )
+
+        loggen = LogGenerator(self.executor)
+        ref_card = profile.cardinalities[len(profile.cardinalities) // 2]
+        rows: List[np.ndarray] = []
+        labels: List[float] = []
+        meta: List[Dict] = []
+
+        for template in templates:
+            ref_plan = template(ref_card, level=2)
+            try:
+                assignments = self.jobgen.assignments_for(
+                    ref_plan, assignments_per_plan, beta=beta
+                )
+            except PlatformError:
+                # Shape needs a platform this registry lacks (e.g. the
+                # relational shape without a database) — skip it.
+                continue
+            for assignment in assignments:
+                self.stats.n_assignments += 1
+
+                def make_xplan(card: float, level: int) -> ExecutionPlan:
+                    plan = template(card, level)
+                    return ExecutionPlan(plan, assignment, self.registry)
+
+                records = loggen.label_grid(
+                    make_xplan,
+                    cardinalities=profile.cardinalities,
+                    executed_card_indices=profile.executed_cardinalities(),
+                    levels=list(profile.levels),
+                    executed_levels=EXECUTED_LEVELS,
+                )
+                for record in records:
+                    xplan = make_xplan(record.cardinality, record.level)
+                    rows.append(self.schema.encode_execution_plan(xplan))
+                    labels.append(record.runtime)
+                    entry = {
+                        "template": template.uid,
+                        "shape": template.shape,
+                        "n_operators": template.n_operators,
+                        "cardinality": record.cardinality,
+                        "level": record.level,
+                        "executed": record.executed,
+                        "status": record.status,
+                        "platforms": tuple(sorted(set(assignment.values()))),
+                    }
+                    if include_xplans:
+                        entry["xplan"] = xplan
+                    meta.append(entry)
+                    if record.status in ("oom", "timeout"):
+                        self.stats.n_failures += 1
+
+        self.stats.n_templates += len(templates)
+        self.stats.n_executed += loggen.n_executed
+        self.stats.n_imputed += loggen.n_imputed
+        self.stats.n_points += len(labels)
+
+        X = np.vstack(rows)
+        y = np.asarray(labels, dtype=np.float64)
+        if len(labels) > n_points:
+            # Trim deterministically but evenly across the grid structure.
+            keep = np.linspace(0, len(labels) - 1, n_points).astype(np.int64)
+            X, y = X[keep], y[keep]
+            meta = [meta[int(i)] for i in keep]
+        return TrainingDataset(X, y, meta)

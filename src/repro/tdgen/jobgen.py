@@ -1,0 +1,171 @@
+"""Job generation: synthetic logical plans and their execution plans (§VI-A).
+
+The :class:`JobGenerator` creates plan templates in the three modes the
+paper describes: (i) mimic a user-provided workload (match its shapes and
+sizes), (ii) generate for user-specified shapes and a maximum size, and
+(iii) exhaustively cover all shapes up to a maximum size.
+
+Execution plans for each logical plan come from the *same* vectorized
+enumeration machinery as the optimizer — with the prune operation swapped
+for the β-platform-switch heuristic, exactly the flexibility the paper
+credits the algebraic operations with ("our algebraic operations ...
+allowed us to easily reflect these changes").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+from repro.core.operations import (
+    enumerate_singleton,
+    merge_enumerations,
+    split,
+    vectorize,
+)
+from repro.core.pruning import prune, prune_switches, switch_cost
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+from repro.tdgen.shapes import SHAPES, Template, build_template
+
+
+def sample_execution_plans(
+    plan: LogicalPlan,
+    registry: PlatformRegistry,
+    n_plans: int,
+    beta: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    max_width: int = 512,
+    ctx: Optional[EnumerationContext] = None,
+) -> List[Dict[int, str]]:
+    """Sample up to ``n_plans`` diverse execution-plan assignments.
+
+    Folds the plan's singleton enumerations together (in operator order),
+    applying the β-switch filter after every concatenation and randomly
+    down-sampling enumerations wider than ``max_width`` — keeping the job
+    generation linear in plan size while preserving assignment diversity.
+    Returns assignment dictionaries (operator id → platform name).
+    """
+    if n_plans < 1:
+        raise GenerationError(f"need n_plans >= 1, got {n_plans}")
+    rng = rng if rng is not None else np.random.default_rng()
+    if ctx is None:
+        ctx = EnumerationContext(plan, registry)
+
+    current: Optional[PlanVectorEnumeration] = None
+    for abstract in split(vectorize(ctx)):
+        singleton = enumerate_singleton(abstract)
+        if current is None:
+            current = singleton
+            continue
+        current = merge_enumerations(current, singleton)
+        current = prune_switches(current, beta=beta)
+        if current.n_vectors > max_width:
+            keep = rng.choice(current.n_vectors, size=max_width, replace=False)
+            current = current.select(np.sort(keep))
+    assert current is not None
+
+    n = min(n_plans, current.n_vectors)
+    rows = rng.choice(current.n_vectors, size=n, replace=False)
+    return [current.assignment_dict(int(row)) for row in rows]
+
+
+class JobGenerator:
+    """Creates plan templates and execution-plan assignments for TDGEN."""
+
+    def __init__(self, registry: PlatformRegistry, seed: Optional[int] = None):
+        self.registry = registry
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Mode (ii): user-specified shapes and maximum size (the paper's
+    # evaluation setting: three shapes, max 50 operators).
+    # ------------------------------------------------------------------
+    def templates_for_shapes(
+        self,
+        shapes: Sequence[str],
+        max_operators: int,
+        count: int,
+        min_operators: int = 6,
+    ) -> List[Template]:
+        """``count`` random templates across the given shapes and sizes."""
+        if max_operators < min_operators:
+            raise GenerationError(
+                f"max_operators {max_operators} < min_operators {min_operators}"
+            )
+        unknown = set(shapes) - set(SHAPES)
+        if unknown:
+            raise GenerationError(f"unknown shapes {sorted(unknown)}")
+        templates = []
+        for uid in range(count):
+            shape = shapes[int(self.rng.integers(len(shapes)))]
+            n_ops = int(self.rng.integers(min_operators, max_operators + 1))
+            templates.append(build_template(shape, n_ops, rng=self.rng, uid=uid))
+        return templates
+
+    # ------------------------------------------------------------------
+    # Mode (i): mimic a user workload.
+    # ------------------------------------------------------------------
+    def templates_like(
+        self, workload: Sequence[LogicalPlan], count: int
+    ) -> List[Template]:
+        """Templates that resemble the given plans (shape + size).
+
+        Extracts each plan's dominant topology and operator count (§VI-A:
+        "extracts the shapes and maximum size of the given queries") and
+        generates templates with matching parameters.
+        """
+        if not workload:
+            raise GenerationError("workload must contain at least one plan")
+        observed = []
+        for plan in workload:
+            topo = plan.topology_counts()
+            if topo.loop:
+                shape = "loop"
+            elif topo.juncture:
+                shape = "juncture"
+            elif topo.replicate:
+                shape = "replicate"
+            else:
+                shape = "pipeline"
+            observed.append((shape, plan.n_operators))
+        templates = []
+        for uid in range(count):
+            shape, n_ops = observed[int(self.rng.integers(len(observed)))]
+            n_ops = max(6, n_ops + int(self.rng.integers(-2, 3)))
+            templates.append(build_template(shape, n_ops, rng=self.rng, uid=uid))
+        return templates
+
+    # ------------------------------------------------------------------
+    # Mode (iii): exhaustive shape coverage up to a maximum size.
+    # ------------------------------------------------------------------
+    def templates_exhaustive(
+        self, max_operators: int, step: int = 4, min_operators: int = 6
+    ) -> List[Template]:
+        """One template per (shape, size) on a size grid — all shapes."""
+        from repro.tdgen.shapes import _EXTRA_OPERATORS
+
+        templates = []
+        uid = 0
+        for shape in SHAPES:
+            shape_min = max(min_operators, _EXTRA_OPERATORS[shape] + 1)
+            for n_ops in range(shape_min, max_operators + 1, step):
+                templates.append(build_template(shape, n_ops, rng=self.rng, uid=uid))
+                uid += 1
+        return templates
+
+    # ------------------------------------------------------------------
+    def assignments_for(
+        self,
+        plan: LogicalPlan,
+        n_plans: int,
+        beta: int = 3,
+    ) -> List[Dict[int, str]]:
+        """Execution-plan assignments for one logical plan (β-switch pruned)."""
+        return sample_execution_plans(
+            plan, self.registry, n_plans, beta=beta, rng=self.rng
+        )

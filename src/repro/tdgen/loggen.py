@@ -1,0 +1,207 @@
+"""Log generation: execute a subset, interpolate the rest (§VI-B).
+
+Running every generated job is infeasible, so the :class:`LogGenerator`
+executes only the jobs selected by the configuration profile (all small
+cardinalities, a few medium/large ones, and only the low/high UDF
+complexity levels) and imputes the remaining runtimes:
+
+* across the **cardinality** axis with piecewise polynomial interpolation
+  of degree 5 (the paper's choice — "degree 5 was giving us better
+  accuracy without sacrificing runtime"), implemented as an order-5
+  interpolating spline over log(runtime) vs. log(cardinality);
+* across the **UDF complexity** axis by linear interpolation on the
+  per-tuple work scale between the executed low and high levels.
+
+Failed executions (out-of-memory, one-hour aborts) are kept and labelled
+with a fixed penalty so the model learns to steer away from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.interpolate import InterpolatedUnivariateSpline
+
+from repro.exceptions import GenerationError
+from repro.simulator.executor import DEFAULT_TIMEOUT_S, SimulatedExecutor
+from repro.simulator.profiles import COMPLEXITY_WORK
+from repro.rheem.operators import UdfComplexity
+
+#: Runtime label assigned to failed executions (OOM / abort): twice the
+#: timeout — clearly worse than anything that finishes.
+FAILURE_PENALTY_S = 2.0 * DEFAULT_TIMEOUT_S
+
+#: Spline degree of the cardinality interpolation (§VI-B, footnote 3).
+SPLINE_DEGREE = 5
+
+#: Work-scale positions of the four complexity levels (x-axis of the
+#: complexity interpolation).
+_LEVEL_WORK = {
+    1: COMPLEXITY_WORK[UdfComplexity.LOGARITHMIC],
+    2: COMPLEXITY_WORK[UdfComplexity.LINEAR],
+    3: COMPLEXITY_WORK[UdfComplexity.QUADRATIC],
+    4: COMPLEXITY_WORK[UdfComplexity.SUPER_QUADRATIC],
+}
+
+
+def interpolate_runtimes(
+    executed_cards: Sequence[float],
+    executed_runtimes: Sequence[float],
+    query_cards: Sequence[float],
+    degree: int = SPLINE_DEGREE,
+) -> np.ndarray:
+    """Impute runtimes over the cardinality axis (Fig. 8).
+
+    Fits an interpolating spline of order ``min(degree, n_points - 1)`` to
+    the executed (cardinality, runtime) points in log-log space — runtimes
+    grow polynomially with input size, so the log-log fit keeps the
+    degree-5 pieces well behaved — and evaluates it at ``query_cards``.
+    """
+    x = np.asarray(executed_cards, dtype=np.float64)
+    y = np.asarray(executed_runtimes, dtype=np.float64)
+    if x.ndim != 1 or x.shape != y.shape:
+        raise GenerationError(
+            f"interpolation inputs must be equal-length 1-D, got {x.shape}, {y.shape}"
+        )
+    if x.size < 2:
+        raise GenerationError("interpolation needs at least 2 executed points")
+    if np.any(x <= 0) or np.any(y < 0):
+        raise GenerationError("cardinalities must be positive, runtimes non-negative")
+    order = np.argsort(x)
+    x, y = x[order], y[order]
+    if np.any(np.diff(x) <= 0):
+        raise GenerationError("executed cardinalities must be distinct")
+    k = min(degree, x.size - 1)
+    spline = InterpolatedUnivariateSpline(np.log(x), np.log(y + 1e-9), k=k)
+    query = np.log(np.asarray(query_cards, dtype=np.float64))
+    predicted = np.exp(spline(query)) - 1e-9
+    return np.clip(predicted, 0.0, FAILURE_PENALTY_S)
+
+
+def interpolate_level(
+    low_level: int,
+    low_runtime: float,
+    high_level: int,
+    high_runtime: float,
+    level: int,
+) -> float:
+    """Impute a runtime between two executed UDF-complexity levels."""
+    x0, x1 = _LEVEL_WORK[low_level], _LEVEL_WORK[high_level]
+    x = _LEVEL_WORK[level]
+    if x1 == x0:
+        return low_runtime
+    frac = (x - x0) / (x1 - x0)
+    value = low_runtime + frac * (high_runtime - low_runtime)
+    return float(np.clip(value, 0.0, FAILURE_PENALTY_S))
+
+
+@dataclass
+class LogRecord:
+    """One labelled training point, before feature encoding."""
+
+    cardinality: float
+    level: int
+    runtime: float
+    executed: bool
+    status: str  # "ok", "oom", "timeout", or "interpolated"
+
+
+class LogGenerator:
+    """Labels a grid of jobs for one (template, assignment) pair."""
+
+    def __init__(self, executor: SimulatedExecutor):
+        self.executor = executor
+        self.n_executed = 0
+        self.n_imputed = 0
+
+    def label_grid(
+        self,
+        make_xplan,
+        cardinalities: Sequence[float],
+        executed_card_indices: Sequence[int],
+        levels: Sequence[int],
+        executed_levels: Sequence[int],
+    ) -> List[LogRecord]:
+        """Execute the selected subset of a (cardinality × level) grid and
+        impute the rest.
+
+        ``make_xplan(cardinality, level)`` must build the execution plan
+        for one grid point.
+        """
+        executed_card_indices = sorted(set(executed_card_indices))
+        executed_levels = [lv for lv in levels if lv in set(executed_levels)]
+        if not executed_levels:
+            executed_levels = list(levels)
+
+        # Phase 1: run the executed subset.
+        measured: Dict[Tuple[int, int], LogRecord] = {}
+        for lv in executed_levels:
+            for ci in executed_card_indices:
+                card = cardinalities[ci]
+                report = self.executor.execute(make_xplan(card, lv))
+                runtime = report.runtime_s if report.ok else FAILURE_PENALTY_S
+                measured[(ci, lv)] = LogRecord(
+                    cardinality=card,
+                    level=lv,
+                    runtime=runtime,
+                    executed=True,
+                    status=report.status,
+                )
+                self.n_executed += 1
+
+        # Phase 2: impute the remaining cardinalities per executed level.
+        records: Dict[Tuple[int, int], LogRecord] = dict(measured)
+        for lv in executed_levels:
+            points = [
+                measured[(ci, lv)]
+                for ci in executed_card_indices
+                if measured[(ci, lv)].status == "ok"
+            ]
+            missing = [
+                ci for ci in range(len(cardinalities)) if (ci, lv) not in measured
+            ]
+            if not missing:
+                continue
+            if len(points) >= 2:
+                predicted = interpolate_runtimes(
+                    [r.cardinality for r in points],
+                    [r.runtime for r in points],
+                    [cardinalities[ci] for ci in missing],
+                )
+            else:
+                # Nearly everything failed at this level: propagate penalty.
+                predicted = [FAILURE_PENALTY_S] * len(missing)
+            for ci, runtime in zip(missing, predicted):
+                records[(ci, lv)] = LogRecord(
+                    cardinality=cardinalities[ci],
+                    level=lv,
+                    runtime=float(runtime),
+                    executed=False,
+                    status="interpolated",
+                )
+                self.n_imputed += 1
+
+        # Phase 3: impute the middle complexity levels per cardinality.
+        low, high = min(executed_levels), max(executed_levels)
+        for lv in levels:
+            if lv in executed_levels:
+                continue
+            for ci in range(len(cardinalities)):
+                records[(ci, lv)] = LogRecord(
+                    cardinality=cardinalities[ci],
+                    level=lv,
+                    runtime=interpolate_level(
+                        low,
+                        records[(ci, low)].runtime,
+                        high,
+                        records[(ci, high)].runtime,
+                        lv,
+                    ),
+                    executed=False,
+                    status="interpolated",
+                )
+                self.n_imputed += 1
+
+        return [records[(ci, lv)] for lv in levels for ci in range(len(cardinalities))]

@@ -1,0 +1,69 @@
+"""Configuration profiles: the knobs TDGEN instantiates jobs with (§VI-A).
+
+A :class:`ConfigurationProfile` pairs a grid of input cardinalities with
+the set of UDF-complexity levels; the log generator decides which grid
+points are actually executed and which are interpolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+
+#: Complexity levels the log generator executes (the paper runs "only jobs
+#: with low and high UDF complexity", §VI-B) and the ones it imputes.
+EXECUTED_LEVELS: Tuple[int, ...] = (1, 4)
+IMPUTED_LEVELS: Tuple[int, ...] = (2, 3)
+ALL_LEVELS: Tuple[int, ...] = (1, 2, 3, 4)
+
+
+def default_cardinality_grid(
+    low: float = 1e4, high: float = 1e10, points: int = 9
+) -> List[float]:
+    """A log-spaced grid of input cardinalities."""
+    if low <= 0 or high <= low:
+        raise GenerationError(f"bad cardinality range [{low}, {high}]")
+    if points < 2:
+        raise GenerationError(f"need at least 2 grid points, got {points}")
+    return list(np.geomspace(low, high, points))
+
+
+@dataclass(frozen=True)
+class ConfigurationProfile:
+    """Input cardinalities × UDF complexity levels for one template."""
+
+    cardinalities: Tuple[float, ...] = field(
+        default_factory=lambda: tuple(default_cardinality_grid())
+    )
+    levels: Tuple[int, ...] = ALL_LEVELS
+
+    def __post_init__(self):
+        if not self.cardinalities:
+            raise GenerationError("profile needs at least one cardinality")
+        if any(c <= 0 for c in self.cardinalities):
+            raise GenerationError("cardinalities must be positive")
+        if not set(self.levels) <= set(ALL_LEVELS):
+            raise GenerationError(
+                f"levels must be within {ALL_LEVELS}, got {self.levels}"
+            )
+
+    def executed_cardinalities(self) -> List[int]:
+        """Indices of the grid points the log generator executes.
+
+        Per §VI-B: all the small inputs (the lower half of the grid) plus
+        every other medium/large point — the rest is interpolated.
+        """
+        n = len(self.cardinalities)
+        small = list(range((n + 1) // 2))
+        medium_large = list(range((n + 1) // 2, n, 2))
+        if (n - 1) not in small + medium_large:
+            medium_large.append(n - 1)  # anchor the spline's right end
+        return sorted(set(small + medium_large))
+
+    @property
+    def n_jobs_per_assignment(self) -> int:
+        return len(self.cardinalities) * len(self.levels)

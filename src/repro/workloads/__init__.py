@@ -1,0 +1,56 @@
+"""The paper's query workloads (Table II) and synthetic plan generators.
+
+Each workload module builds the logical plan of one query from Table II,
+with the operator count the paper reports:
+
+==============  ====  =======================================  ==============
+query           #ops  description                              dataset
+==============  ====  =======================================  ==============
+WordCount          6  count distinct words                     Wikipedia
+Word2NVec         14  word neighborhood vectors                Wikipedia
+SimWords          26  clustering of similar words              Wikipedia
+TPC-H Q1           7  aggregate query ("Aggregate")            TPC-H
+TPC-H Q3          18  join query ("Join")                      TPC-H
+K-means            7  clustering                               USCensus1990
+SGD                6  stochastic gradient descent              HIGGS
+CrocoPR           22  cross-community pagerank                 DBpedia
+==============  ====  =======================================  ==============
+
+:mod:`repro.workloads.synthetic` provides the synthetic pipelines, join
+plans and the 40-operator dataflow used by Figs. 1, 9 and 10 and Table I.
+"""
+
+from repro.workloads import (
+    crocopr,
+    kmeans,
+    sgd,
+    simwords,
+    synthetic,
+    tpch,
+    word2nvec,
+    wordcount,
+)
+
+#: Table II — name → (module, expected operator count, dataset name).
+TABLE2 = {
+    "WordCount": (wordcount, 6, "wikipedia"),
+    "Word2NVec": (word2nvec, 14, "wikipedia"),
+    "SimWords": (simwords, 26, "wikipedia"),
+    "TPC-H Q1": (tpch, 7, "tpch"),
+    "TPC-H Q3": (tpch, 18, "tpch"),
+    "Kmeans": (kmeans, 7, "uscensus1990"),
+    "SGD": (sgd, 6, "higgs"),
+    "CrocoPR": (crocopr, 22, "dbpedia"),
+}
+
+__all__ = [
+    "wordcount",
+    "word2nvec",
+    "simwords",
+    "tpch",
+    "kmeans",
+    "sgd",
+    "crocopr",
+    "synthetic",
+    "TABLE2",
+]

@@ -1,0 +1,83 @@
+"""K-means clustering (Table II, 7 operators, iterative).
+
+The loop body assigns points to centroids, sums per centroid and computes
+the new centroids. The paper's Fig. 12(a) sweeps the number of centroids:
+Robopt discovers a Spark+Java plan that keeps the (tiny) centroid state on
+Java and broadcasts it to the Spark workers each iteration, beating
+RHEEMix's all-Spark plan by an increasing margin as the centroid count
+grows — the per-iteration scheduling overhead of driving small operators
+on Spark is the dominant hidden cost.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GenerationError
+from repro.rheem.datasets import MB, paper_dataset
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+
+#: Number of logical operators (Table II).
+N_OPERATORS = 7
+
+#: Dataset sizes of Fig. 11(f), in bytes.
+FIG11_SIZES = [36 * MB, 361 * MB, 3610 * MB, 1000 * 1024 * MB]
+
+#: Centroid counts of Fig. 12(a).
+FIG12_CENTROIDS = [10, 100, 1000]
+
+
+def _assign_complexity(n_centroids: int) -> UdfComplexity:
+    """The assignment UDF scans all centroids per point."""
+    if n_centroids <= 10:
+        return UdfComplexity.LINEAR
+    if n_centroids <= 100:
+        return UdfComplexity.QUADRATIC
+    return UdfComplexity.SUPER_QUADRATIC
+
+
+def plan(
+    size_bytes: float = 36 * MB,
+    n_centroids: int = 100,
+    iterations: int = 20,
+) -> LogicalPlan:
+    """The K-means logical plan.
+
+    Parameters
+    ----------
+    size_bytes:
+        Input dataset size (USCensus1990 profile).
+    n_centroids:
+        Number of clusters; drives the assignment UDF complexity and the
+        cardinality of the per-iteration centroid state.
+    iterations:
+        Lloyd iterations (the loop count).
+    """
+    if n_centroids < 1:
+        raise GenerationError(f"n_centroids must be >= 1, got {n_centroids}")
+    if iterations < 1:
+        raise GenerationError(f"iterations must be >= 1, got {iterations}")
+    dataset = paper_dataset("uscensus1990", size_bytes)
+    p = LogicalPlan("kmeans")
+    source = p.add(operator("TextFileSource", "TextFileSource(census)"), dataset=dataset)
+    parse = p.add(operator("Map", "Map(parsePoint)"))
+    assign = p.add(
+        operator(
+            "Map",
+            "Map(assignNearestCentroid)",
+            udf_complexity=_assign_complexity(n_centroids),
+        )
+    )
+    sums = p.add(
+        operator(
+            "ReduceBy",
+            "ReduceBy(sumPerCentroid)",
+            fixed_output_cardinality=n_centroids,
+        )
+    )
+    update = p.add(operator("Map", "Map(newCentroids)"))
+    fmt = p.add(operator("Map", "Map(label)"))
+    sink = p.add(operator("CollectionSink", "CollectionSink"))
+    p.chain(source, parse, assign, sums, update, fmt, sink)
+    p.add_loop([assign, sums, update], iterations=iterations)
+    p.validate()
+    return p

@@ -1,0 +1,81 @@
+"""Stochastic gradient descent (Table II, 6 operators, iterative).
+
+The plan caches the parsed points, then iterates: sample a mini-batch,
+compute the gradient and update the weights. The subtlety the paper
+highlights (§VII-C2): a ``Cache`` directly feeding a
+``ShufflePartitionSample`` *on the same platform* resets the sample
+operator's first-time flag, forcing a full partition reshuffle on every
+iteration. RHEEMix's linear per-operator cost model cannot express this
+interaction; Robopt's ML model observes it in the execution logs and
+steers the cache/sample placement apart, yielding the paper's ~2×
+average win on SGD (Fig. 12(b)).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GenerationError
+from repro.rheem.datasets import MB, paper_dataset
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+
+#: Number of logical operators (Table II).
+N_OPERATORS = 6
+
+#: Dataset sizes of Fig. 11(g), in bytes.
+FIG11_SIZES = [
+    0.74 * 1024 * MB,
+    1.85 * 1024 * MB,
+    3.7 * 1024 * MB,
+    7.4 * 1024 * MB,
+    14.8 * 1024 * MB,
+    1000 * 1024 * MB,
+]
+
+#: Batch sizes of Fig. 12(b).
+FIG12_BATCH_SIZES = [1, 100, 1000]
+
+
+def plan(
+    size_bytes: float = 7.4 * 1024 * MB,
+    batch_size: int = 100,
+    iterations: int = 400,
+) -> LogicalPlan:
+    """The SGD logical plan.
+
+    Parameters
+    ----------
+    size_bytes:
+        Input size (HIGGS profile).
+    batch_size:
+        Mini-batch cardinality sampled per iteration.
+    iterations:
+        Number of SGD steps (the loop count).
+    """
+    if batch_size < 1:
+        raise GenerationError(f"batch_size must be >= 1, got {batch_size}")
+    if iterations < 1:
+        raise GenerationError(f"iterations must be >= 1, got {iterations}")
+    dataset = paper_dataset("higgs", size_bytes)
+    p = LogicalPlan("sgd")
+    source = p.add(operator("TextFileSource", "TextFileSource(higgs)"), dataset=dataset)
+    parse = p.add(operator("Map", "Map(parsePoint)"))
+    cache = p.add(operator("Cache", "Cache(points)"))
+    sample = p.add(
+        operator(
+            "ShufflePartitionSample",
+            "ShufflePartitionSample(batch)",
+            fixed_output_cardinality=batch_size,
+        )
+    )
+    gradient = p.add(
+        operator(
+            "Map",
+            "Map(gradient+update)",
+            udf_complexity=UdfComplexity.QUADRATIC,
+        )
+    )
+    sink = p.add(operator("CollectionSink", "CollectionSink(weights)"))
+    p.chain(source, parse, cache, sample, gradient, sink)
+    p.add_loop([sample, gradient], iterations=iterations)
+    p.validate()
+    return p

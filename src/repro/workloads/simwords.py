@@ -1,0 +1,101 @@
+"""SimWords: clustering of similar words (Table II, 26 operators).
+
+The paper's "simple query of finding similar words contains 26 operators"
+(§VII-B): a text-mining prefix builds word co-occurrence vectors, a
+k-means-style loop clusters them, and a join labels each word with its
+cluster before post-processing. The plan mixes all four topologies —
+pipelines, a juncture (the labelling join), a replicate (the cached
+vectors feed both the loop and the join) and a loop.
+"""
+
+from __future__ import annotations
+
+from repro.rheem.datasets import MB, DatasetProfile, paper_dataset
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+
+#: Number of logical operators (Table II).
+N_OPERATORS = 26
+
+#: Dataset sizes of Fig. 11(c), in bytes.
+FIG11_SIZES = [3 * MB, 30 * MB, 60 * MB, 90 * MB, 150 * MB]
+
+
+def plan(
+    size_bytes: float = 30 * MB,
+    n_clusters: int = 50,
+    iterations: int = 10,
+) -> LogicalPlan:
+    """The SimWords logical plan over ``size_bytes`` of Wikipedia text."""
+    dataset = paper_dataset("wikipedia", size_bytes)
+    p = LogicalPlan("simwords")
+
+    # --- text-mining prefix: word co-occurrence vectors (10 ops) ---
+    source = p.add(operator("TextFileSource", "TextFileSource(wiki)"), dataset=dataset)
+    words = p.add(operator("FlatMap", "FlatMap(words)", selectivity=7.0))
+    stop = p.add(operator("Filter", "Filter(stopwords)", selectivity=0.6))
+    cooc = p.add(
+        operator(
+            "FlatMap",
+            "FlatMap(coocPairs)",
+            selectivity=4.0,
+            udf_complexity=UdfComplexity.QUADRATIC,
+        )
+    )
+    counts = p.add(operator("ReduceBy", "ReduceBy(coocCounts)", selectivity=0.03))
+    frequent = p.add(operator("Filter", "Filter(minCount)", selectivity=0.4))
+    vectors = p.add(
+        operator("Map", "Map(wordVector)", udf_complexity=UdfComplexity.QUADRATIC)
+    )
+    ids = p.add(operator("ZipWithId", "ZipWithId"))
+    norm = p.add(operator("Map", "Map(normalize)"))
+    cache = p.add(operator("Cache", "Cache(vectors)"))
+    p.chain(source, words, stop, cooc, counts, frequent, vectors, ids, norm, cache)
+
+    # --- initial centroids (2 ops) ---
+    seeds = p.add(
+        operator("CollectionSource", "CollectionSource(seeds)"),
+        dataset=DatasetProfile("seed-centroids", n_clusters, 64.0),
+    )
+    init = p.add(operator("Map", "Map(initCentroids)"))
+    p.connect(seeds, init)
+
+    # --- clustering loop (5 ops) ---
+    assign = p.add(
+        operator(
+            "Map",
+            "Map(assignCluster)",
+            udf_complexity=UdfComplexity.SUPER_QUADRATIC,
+        )
+    )
+    merge_seed = p.add(operator("Union", "Union(seeded)"))
+    sums = p.add(
+        operator(
+            "ReduceBy", "ReduceBy(sumPerCluster)", fixed_output_cardinality=n_clusters
+        )
+    )
+    update = p.add(operator("Map", "Map(newCentroids)"))
+    nonempty = p.add(operator("Filter", "Filter(nonEmpty)", selectivity=0.95))
+    p.connect(cache, assign)
+    p.connect(assign, merge_seed)
+    p.connect(init, merge_seed)
+    p.chain(merge_seed, sums, update, nonempty)
+    p.add_loop([assign, merge_seed, sums, update, nonempty], iterations=iterations)
+
+    # --- labelling join + post-processing (9 ops) ---
+    label = p.add(operator("Join", "Join(wordByCentroid)", selectivity=1.0))
+    p.connect(cache, label)
+    p.connect(nonempty, label)
+    grouped = p.add(operator("ReduceBy", "ReduceBy(cluster)", selectivity=0.02))
+    fmt = p.add(operator("Map", "Map(format)"))
+    ordered = p.add(operator("Sort", "Sort(clusterSize)"))
+    top = p.add(operator("Map", "Map(top)"))
+    dedup = p.add(operator("Distinct", "Distinct", selectivity=0.9))
+    named = p.add(operator("Map", "Map(label)"))
+    sizable = p.add(operator("Filter", "Filter(minClusterSize)", selectivity=0.7))
+    sink = p.add(operator("CollectionSink", "CollectionSink"))
+    p.chain(label, grouped, fmt, ordered, top, dedup, named, sizable, sink)
+
+    p.validate()
+    assert p.n_operators == N_OPERATORS, p.n_operators
+    return p

@@ -1,0 +1,168 @@
+"""Synthetic plans for the efficiency and scalability experiments.
+
+* :func:`pipeline_plan` — an n-operator pipeline (Figs. 9(a)-(d), Table I;
+  the paper notes that complex workflows easily reach 80+ operators);
+* :func:`join_plan` — a plan with j joins (Fig. 10);
+* :func:`dataflow_plan` — the 40-operator "synthetic pipeline dataflow"
+  of Fig. 1 (a pipeline with a couple of junctures, mimicking a long ETL
+  dataflow).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+
+#: Unary operator kinds cycled through synthetic pipelines. All of them are
+#: supported by every platform of a synthetic registry.
+_PIPELINE_KINDS = (
+    "Map",
+    "Filter",
+    "FlatMap",
+    "ReduceBy",
+    "Sort",
+    "Distinct",
+    "MapPartitions",
+    "ZipWithId",
+)
+
+_COMPLEXITIES = (
+    UdfComplexity.LOGARITHMIC,
+    UdfComplexity.LINEAR,
+    UdfComplexity.QUADRATIC,
+)
+
+
+def _dataset(cardinality: float, name: str = "synthetic") -> DatasetProfile:
+    return DatasetProfile(name, cardinality=cardinality, tuple_size=100.0)
+
+
+def pipeline_plan(
+    n_operators: int,
+    cardinality: float = 1e6,
+    seed: Optional[int] = None,
+) -> LogicalPlan:
+    """A pipeline with exactly ``n_operators`` operators.
+
+    The interior operators cycle deterministically through common unary
+    kinds (or are drawn with ``seed``), with varied UDF complexities, so
+    consecutive plans are structurally diverse but reproducible.
+    """
+    if n_operators < 3:
+        raise GenerationError(
+            f"a pipeline needs >= 3 operators (source, op, sink), got {n_operators}"
+        )
+    rng = np.random.default_rng(seed) if seed is not None else None
+    p = LogicalPlan(f"pipeline{n_operators}")
+    ops = [p.add(operator("TextFileSource"), dataset=_dataset(cardinality))]
+    for i in range(n_operators - 2):
+        if rng is None:
+            kind = _PIPELINE_KINDS[i % len(_PIPELINE_KINDS)]
+            complexity = _COMPLEXITIES[i % len(_COMPLEXITIES)]
+        else:
+            kind = _PIPELINE_KINDS[int(rng.integers(len(_PIPELINE_KINDS)))]
+            complexity = _COMPLEXITIES[int(rng.integers(len(_COMPLEXITIES)))]
+        # Keep cardinalities roughly stable along the pipeline so very long
+        # pipelines neither explode nor collapse to empty flows.
+        selectivity = {"FlatMap": 1.5, "ReduceBy": 0.6, "Filter": 0.8}.get(kind, 1.0)
+        ops.append(
+            p.add(operator(kind, selectivity=selectivity, udf_complexity=complexity))
+        )
+    ops.append(p.add(operator("CollectionSink")))
+    p.chain(*ops)
+    p.validate()
+    return p
+
+
+def join_plan(
+    n_joins: int,
+    cardinality: float = 1e6,
+) -> LogicalPlan:
+    """A bushy-ish plan with ``n_joins`` join operators (Fig. 10).
+
+    Each join merges one fresh source branch (source → filter → project)
+    into the running spine, followed by an aggregate/sort/sink suffix —
+    the classical multi-way relational query shape.
+    """
+    if n_joins < 1:
+        raise GenerationError(f"need >= 1 joins, got {n_joins}")
+    p = LogicalPlan(f"joins{n_joins}")
+
+    def branch(index: int):
+        src = p.add(
+            operator("TextFileSource", f"Source(r{index})"),
+            dataset=_dataset(cardinality / (index + 1), name=f"r{index}"),
+        )
+        flt = p.add(operator("Filter", selectivity=0.5))
+        prj = p.add(operator("Project"))
+        p.chain(src, flt, prj)
+        return prj
+
+    spine = branch(0)
+    for j in range(n_joins):
+        other = branch(j + 1)
+        join = p.add(operator("Join", f"Join{j}", selectivity=0.8))
+        p.connect(spine, join)
+        p.connect(other, join)
+        spine = join
+    reduced = p.add(operator("ReduceBy", selectivity=0.1))
+    ordered = p.add(operator("Sort"))
+    sink = p.add(operator("CollectionSink"))
+    p.chain(spine, reduced, ordered, sink)
+    p.validate()
+    return p
+
+
+def dataflow_plan(
+    n_operators: int = 40,
+    cardinality: float = 1e6,
+) -> LogicalPlan:
+    """The Fig. 1 "synthetic (40 op.)" dataflow.
+
+    Two source pipelines meet in a join, followed by one long processing
+    pipeline — a shape representative of large ETL dataflows.
+    """
+    if n_operators < 10:
+        raise GenerationError(f"dataflow needs >= 10 operators, got {n_operators}")
+    p = LogicalPlan(f"dataflow{n_operators}")
+    head = n_operators // 5
+
+    def source_pipeline(index: int, length: int):
+        ops = [
+            p.add(
+                operator("TextFileSource", f"Source(s{index})"),
+                dataset=_dataset(cardinality / (index + 1), name=f"s{index}"),
+            )
+        ]
+        for i in range(length - 1):
+            kind = _PIPELINE_KINDS[(i + index) % len(_PIPELINE_KINDS)]
+            selectivity = {"FlatMap": 1.5, "ReduceBy": 0.6, "Filter": 0.8}.get(
+                kind, 1.0
+            )
+            ops.append(p.add(operator(kind, selectivity=selectivity)))
+        p.chain(*ops)
+        return ops[-1]
+
+    left = source_pipeline(0, head)
+    right = source_pipeline(1, head)
+    join = p.add(operator("Join", selectivity=0.8))
+    p.connect(left, join)
+    p.connect(right, join)
+
+    remaining = n_operators - 2 * head - 2  # join and sink are accounted for
+    tail = [join]
+    for i in range(remaining):
+        kind = _PIPELINE_KINDS[i % len(_PIPELINE_KINDS)]
+        selectivity = {"FlatMap": 1.5, "ReduceBy": 0.6, "Filter": 0.8}.get(kind, 1.0)
+        tail.append(p.add(operator(kind, selectivity=selectivity)))
+    tail.append(p.add(operator("CollectionSink")))
+    p.chain(*tail)
+    p.validate()
+    assert p.n_operators == n_operators, p.n_operators
+    return p

@@ -1,0 +1,108 @@
+"""TPC-H Q1 ("Aggregate") and Q3 ("Join") — Table II, 7 and 18 operators.
+
+Q1 is a scan-filter-aggregate over ``lineitem``; Q3 joins ``customer``,
+``orders`` and ``lineitem`` and aggregates revenue per order. Both come in
+two flavours: data on HDFS-style files (``in_postgres=False``, the default
+for Figs. 11(d)/(e)) or data stored in Postgres (``in_postgres=True``,
+used by Fig. 13, where the profitable plan pushes the relational prefix
+into Postgres and performs join/aggregation on Spark).
+"""
+
+from __future__ import annotations
+
+from repro.rheem.datasets import GB, DatasetProfile, paper_dataset
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+
+#: Table II operator counts.
+N_OPERATORS_Q1 = 7
+N_OPERATORS_Q3 = 18
+
+#: Dataset sizes of Figs. 11(d) and 11(e), in bytes.
+FIG11_SIZES = [1 * GB, 10 * GB, 100 * GB, 200 * GB, 1000 * GB]
+
+#: Dataset sizes of Fig. 13, in bytes.
+FIG13_SIZES = [10 * GB, 100 * GB]
+
+
+def _source_kind(in_postgres: bool) -> str:
+    return "TableSource" if in_postgres else "TextFileSource"
+
+
+def q1(size_bytes: float = 1 * GB, in_postgres: bool = False) -> LogicalPlan:
+    """TPC-H Q1: pricing summary report (7 operators)."""
+    lineitem = paper_dataset("tpch", size_bytes)
+    p = LogicalPlan("tpch_q1")
+    source = p.add(
+        operator(_source_kind(in_postgres), "Source(lineitem)"), dataset=lineitem
+    )
+    shipped = p.add(operator("Filter", "Filter(shipdate)", selectivity=0.97))
+    projected = p.add(operator("Project", "Project(flags,qty,price)"))
+    grouped = p.add(
+        operator(
+            "ReduceBy",
+            "ReduceBy(returnflag,linestatus)",
+            fixed_output_cardinality=6,
+        )
+    )
+    averaged = p.add(operator("Map", "Map(averages)"))
+    ordered = p.add(operator("Sort", "Sort(returnflag,linestatus)"))
+    sink = p.add(operator("CollectionSink", "CollectionSink"))
+    p.chain(source, shipped, projected, grouped, averaged, ordered, sink)
+    p.validate()
+    return p
+
+
+def q3(size_bytes: float = 1 * GB, in_postgres: bool = False) -> LogicalPlan:
+    """TPC-H Q3: shipping priority (18 operators, two joins)."""
+    # Scale the three relations with TPC-H's row proportions: per scale
+    # factor, lineitem ~6M, orders ~1.5M, customer ~150K rows.
+    lineitem = paper_dataset("tpch", size_bytes * 0.70)
+    orders = DatasetProfile(
+        "tpch_orders", cardinality=lineitem.cardinality / 4, tuple_size=110.0
+    )
+    customer = DatasetProfile(
+        "tpch_customer", cardinality=lineitem.cardinality / 40, tuple_size=160.0
+    )
+    src_kind = _source_kind(in_postgres)
+
+    p = LogicalPlan("tpch_q3")
+    cust_src = p.add(operator(src_kind, "Source(customer)"), dataset=customer)
+    cust_filter = p.add(operator("Filter", "Filter(mktsegment)", selectivity=0.2))
+    cust_proj = p.add(operator("Project", "Project(custkey)"))
+    ord_src = p.add(operator(src_kind, "Source(orders)"), dataset=orders)
+    ord_filter = p.add(operator("Filter", "Filter(orderdate)", selectivity=0.48))
+    ord_proj = p.add(operator("Project", "Project(okey,custkey,date,prio)"))
+    li_src = p.add(operator(src_kind, "Source(lineitem)"), dataset=lineitem)
+    li_filter = p.add(operator("Filter", "Filter(shipdate)", selectivity=0.54))
+    li_proj = p.add(operator("Project", "Project(okey,price,discount)"))
+    join_co = p.add(operator("Join", "Join(custkey)", selectivity=0.2))
+    co_proj = p.add(operator("Project", "Project(okey,date,prio)"))
+    join_col = p.add(operator("Join", "Join(orderkey)", selectivity=1.0))
+    # Revenue is an arithmetic projection (SQL-expressible, so Postgres can
+    # host it when the data lives there).
+    revenue = p.add(operator("Project", "Project(revenue)"))
+    grouped = p.add(
+        operator("ReduceBy", "ReduceBy(okey,date,prio)", selectivity=0.25)
+    )
+    ordered = p.add(operator("Sort", "Sort(revenue desc)"))
+    top = p.add(operator("Filter", "Filter(top10)", selectivity=1e-4))
+    fmt = p.add(operator("Map", "Map(format)"))
+    sink = p.add(operator("CollectionSink", "CollectionSink"))
+
+    p.chain(cust_src, cust_filter, cust_proj, join_co)
+    p.chain(ord_src, ord_filter, ord_proj, join_co)
+    p.chain(join_co, co_proj, join_col)
+    p.chain(li_src, li_filter, li_proj, join_col)
+    p.chain(join_col, revenue, grouped, ordered, top, fmt, sink)
+    p.validate()
+    return p
+
+
+def plan(size_bytes: float = 1 * GB, variant: str = "q3", in_postgres: bool = False):
+    """Dispatch helper: ``variant`` is ``"q1"`` or ``"q3"``."""
+    if variant == "q1":
+        return q1(size_bytes, in_postgres=in_postgres)
+    if variant == "q3":
+        return q3(size_bytes, in_postgres=in_postgres)
+    raise ValueError(f"unknown TPC-H variant {variant!r}; expected 'q1' or 'q3'")

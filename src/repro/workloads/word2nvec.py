@@ -1,0 +1,59 @@
+"""Word2NVec: word neighborhood vectors (Table II, 14 operators).
+
+A compute-heavy text-mining pipeline over Wikipedia: extract words and
+their neighbourhoods, aggregate co-occurrences per word, build and
+normalize neighbourhood vectors. The vector-building UDF is quadratic in
+the neighbourhood width, which is what makes single-node execution
+unattractive beyond tiny inputs (Fig. 11(b), 3–150 MB).
+"""
+
+from __future__ import annotations
+
+from repro.rheem.datasets import MB, paper_dataset
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+
+#: Number of logical operators (Table II).
+N_OPERATORS = 14
+
+#: Dataset sizes of Fig. 11(b), in bytes.
+FIG11_SIZES = [3 * MB, 30 * MB, 60 * MB, 90 * MB, 150 * MB]
+
+
+def plan(size_bytes: float = 30 * MB) -> LogicalPlan:
+    """The Word2NVec logical plan over ``size_bytes`` of Wikipedia text."""
+    dataset = paper_dataset("wikipedia", size_bytes)
+    p = LogicalPlan("word2nvec")
+    source = p.add(operator("TextFileSource", "TextFileSource(wiki)"), dataset=dataset)
+    sentences = p.add(operator("FlatMap", "FlatMap(sentences)", selectivity=1.5))
+    clean = p.add(operator("Map", "Map(clean)"))
+    neighbors = p.add(
+        operator(
+            "FlatMap",
+            "FlatMap(neighborhoods)",
+            selectivity=6.0,
+            udf_complexity=UdfComplexity.SUPER_QUADRATIC,
+        )
+    )
+    pairs = p.add(operator("Map", "Map(word,neighborhood)"))
+    combine = p.add(operator("ReduceBy", "ReduceBy(combine)", selectivity=0.04))
+    support = p.add(operator("Filter", "Filter(minSupport)", selectivity=0.5))
+    vector = p.add(
+        operator(
+            "Map",
+            "Map(buildVector)",
+            udf_complexity=UdfComplexity.SUPER_QUADRATIC,
+        )
+    )
+    ids = p.add(operator("ZipWithId", "ZipWithId"))
+    norm = p.add(operator("Map", "Map(normalize)"))
+    dedup = p.add(operator("Distinct", "Distinct", selectivity=0.9))
+    ordered = p.add(operator("Sort", "Sort(byWord)"))
+    fmt = p.add(operator("Map", "Map(format)"))
+    sink = p.add(operator("CollectionSink", "CollectionSink"))
+    p.chain(
+        source, sentences, clean, neighbors, pairs, combine, support,
+        vector, ids, norm, dedup, ordered, fmt, sink,
+    )
+    p.validate()
+    return p

@@ -1,0 +1,49 @@
+"""WordCount: count distinct words (Table II, 6 operators).
+
+The classic pipeline over Wikipedia text: split lines into words, map each
+to a ``(word, 1)`` pair, reduce by key, format, sink. Fig. 11(a) sweeps the
+input from 30 MB to 1 TB; Fig. 1 uses it as the 6-operator task.
+"""
+
+from __future__ import annotations
+
+from repro.rheem.datasets import MB, paper_dataset
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+
+#: Number of logical operators (Table II).
+N_OPERATORS = 6
+
+#: Dataset sizes of Fig. 11(a), in bytes.
+FIG11_SIZES = [
+    30 * MB,
+    300 * MB,
+    1.5 * 1024 * MB,
+    3 * 1024 * MB,
+    6 * 1024 * MB,
+    24 * 1024 * MB,
+    1000 * 1024 * MB,
+]
+
+
+def plan(size_bytes: float = 30 * MB) -> LogicalPlan:
+    """The WordCount logical plan over a Wikipedia sample of ``size_bytes``."""
+    dataset = paper_dataset("wikipedia", size_bytes)
+    p = LogicalPlan("wordcount")
+    source = p.add(operator("TextFileSource", "TextFileSource(wiki)"), dataset=dataset)
+    words = p.add(
+        operator("FlatMap", "FlatMap(split-words)", selectivity=7.0)
+    )
+    pairs = p.add(operator("Map", "Map(word,1)"))
+    counts = p.add(
+        operator("ReduceBy", "ReduceBy(count)", selectivity=0.05)
+    )
+    fmt = p.add(
+        operator(
+            "Map", "Map(format)", udf_complexity=UdfComplexity.LOGARITHMIC
+        )
+    )
+    sink = p.add(operator("CollectionSink", "CollectionSink"))
+    p.chain(source, words, pairs, counts, fmt, sink)
+    p.validate()
+    return p

@@ -1,0 +1,155 @@
+"""Shared fixtures for the test suite.
+
+Fixtures keep to the cheap end: synthetic registries, small plans, a
+deterministic decomposable cost function (losslessness of the boundary
+pruning is only guaranteed for cost models that decompose over merges —
+linear functions of the plan vector do), and one tiny trained model for
+the integration tests (session-scoped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSchema
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+from repro.rheem.platforms import default_registry, synthetic_registry
+
+
+@pytest.fixture
+def reg2():
+    return synthetic_registry(2)
+
+
+@pytest.fixture
+def reg3():
+    return synthetic_registry(3)
+
+
+@pytest.fixture
+def real_registry():
+    return default_registry(("java", "spark", "flink"))
+
+
+@pytest.fixture
+def dataset():
+    return DatasetProfile("d", cardinality=1e6, tuple_size=100.0)
+
+
+def build_pipeline(n_middle: int = 3, cardinality: float = 1e6) -> LogicalPlan:
+    """source -> n_middle unary ops -> sink."""
+    plan = LogicalPlan(f"pipe{n_middle + 2}")
+    ops = [
+        plan.add(
+            operator("TextFileSource"),
+            dataset=DatasetProfile("d", cardinality, 100.0),
+        )
+    ]
+    kinds = ("Filter", "Map", "ReduceBy", "Sort", "Distinct", "FlatMap")
+    for i in range(n_middle):
+        ops.append(plan.add(operator(kinds[i % len(kinds)])))
+    ops.append(plan.add(operator("CollectionSink")))
+    plan.chain(*ops)
+    plan.validate()
+    return plan
+
+
+def build_join_plan(cardinality: float = 1e6) -> LogicalPlan:
+    """Two source branches joined, then reduced and sunk (7 operators)."""
+    plan = LogicalPlan("join7")
+    s1 = plan.add(operator("TextFileSource"), dataset=DatasetProfile("a", cardinality, 100.0))
+    f1 = plan.add(operator("Filter"))
+    s2 = plan.add(operator("TextFileSource"), dataset=DatasetProfile("b", cardinality / 5, 50.0))
+    m2 = plan.add(operator("Map"))
+    j = plan.add(operator("Join"))
+    r = plan.add(operator("ReduceBy"))
+    k = plan.add(operator("CollectionSink"))
+    plan.chain(s1, f1, j)
+    plan.chain(s2, m2, j)
+    plan.chain(j, r, k)
+    plan.validate()
+    return plan
+
+
+def build_loop_plan(iterations: int = 10, cardinality: float = 1e5) -> LogicalPlan:
+    """A pipeline with a loop over its middle operators."""
+    plan = LogicalPlan("loop6")
+    src = plan.add(operator("TextFileSource"), dataset=DatasetProfile("d", cardinality, 100.0))
+    a = plan.add(operator("Map"))
+    b = plan.add(operator("ReduceBy", fixed_output_cardinality=64))
+    c = plan.add(operator("Map"))
+    sink = plan.add(operator("CollectionSink"))
+    plan.chain(src, a, b, c, sink)
+    plan.add_loop([a, b, c], iterations=iterations)
+    plan.validate()
+    return plan
+
+
+@pytest.fixture
+def pipeline_plan():
+    return build_pipeline()
+
+
+@pytest.fixture
+def join_plan():
+    return build_join_plan()
+
+
+@pytest.fixture
+def loop_plan():
+    return build_loop_plan()
+
+
+def make_linear_cost(schema: FeatureSchema, seed: int = 0):
+    """A deterministic, merge-decomposable cost oracle.
+
+    Linear in the plan vector with non-negative weights: cost(merge(a, b))
+    = cost(a) + cost(b) + conversion terms + scope-static terms, so the
+    boundary pruning is provably lossless against it.
+    """
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.0, 1.0, schema.n_features)
+
+    def cost(enumeration):
+        return enumeration.features @ weights
+
+    return cost
+
+
+@pytest.fixture
+def linear_cost_factory():
+    return make_linear_cost
+
+
+@pytest.fixture(scope="session")
+def tiny_context():
+    """A small trained model + executor for integration tests.
+
+    Session-scoped: one TDGEN run (~1.5k points) and one small forest.
+    """
+    from repro.ml.model import RuntimeModel
+    from repro.simulator.executor import SimulatedExecutor
+    from repro.tdgen.generator import TrainingDataGenerator
+
+    registry = default_registry(("java", "spark", "flink"))
+    schema = FeatureSchema(registry)
+    executor = SimulatedExecutor.default(registry)
+    tdgen = TrainingDataGenerator(registry, executor, seed=7, schema=schema)
+    dataset = tdgen.generate(
+        1500,
+        shapes=("pipeline", "juncture", "loop", "ml_loop", "sgd_loop"),
+        assignments_per_plan=4,
+    )
+    model = RuntimeModel.train(
+        dataset, "random_forest", seed=7, n_estimators=12, max_depth=14
+    )
+    return {
+        "registry": registry,
+        "schema": schema,
+        "executor": executor,
+        "model": model,
+        "dataset": dataset,
+    }

@@ -1,0 +1,134 @@
+"""Tests for the Rheem-ML, exhaustive and RHEEMix optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveOptimizer
+from repro.baselines.rheem_ml import RheemMLOptimizer
+from repro.core.features import FeatureSchema
+from repro.cost.cost_model import CostModel, CostParameters
+from repro.cost.optimizer import RheemixOptimizer
+from repro.exceptions import EnumerationError
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import build_join_plan, build_pipeline
+
+
+class LinearModel:
+    """A stand-in runtime model: non-negative linear in the plan vector."""
+
+    def __init__(self, schema, seed=0):
+        rng = np.random.default_rng(seed)
+        self.weights = rng.uniform(0, 1, schema.n_features)
+
+    def predict(self, X):
+        return np.asarray(X) @ self.weights
+
+
+@pytest.fixture
+def reg():
+    return synthetic_registry(2)
+
+
+@pytest.fixture
+def schema(reg):
+    return FeatureSchema(reg)
+
+
+@pytest.fixture
+def model(schema):
+    return LinearModel(schema)
+
+
+class TestRheemML:
+    def test_finds_the_vectorized_optimum(self, reg, schema, model):
+        from repro.core.enumerator import PriorityEnumerator
+        from repro.core.pruning import ml_cost
+
+        plan = build_join_plan()
+        rml = RheemMLOptimizer(reg, model, schema=schema).optimize(plan)
+        vec = PriorityEnumerator(reg, ml_cost(model), schema=schema).enumerate_plan(plan)
+        assert rml.cost == pytest.approx(vec.predicted_cost)
+        assert rml.execution_plan == vec.execution_plan
+
+    def test_records_vectorization_time(self, reg, schema, model):
+        plan = build_pipeline(4)
+        result = RheemMLOptimizer(reg, model, schema=schema).optimize(plan)
+        assert result.stats.time_vectorize_s > 0
+        assert result.stats.time_predict_s > 0
+
+    def test_vectorization_dominates_prediction(self, reg, schema, model):
+        """The §VII-B observation: per-subplan plan→vector transformation
+        costs far more than the model invocations themselves."""
+        plan = build_pipeline(8)
+        result = RheemMLOptimizer(reg, model, schema=schema).optimize(plan)
+        assert result.stats.time_vectorize_s > result.stats.time_predict_s
+
+
+class TestExhaustive:
+    def test_explores_k_to_n(self, reg, schema, model):
+        plan = build_pipeline(3)
+        result = ExhaustiveOptimizer(reg, model, schema=schema).optimize(plan)
+        assert result.stats.final_vectors == 2 ** plan.n_operators
+
+    def test_guard_for_large_plans(self, reg, schema, model):
+        plan = build_pipeline(10)
+        opt = ExhaustiveOptimizer(reg, model, schema=schema, max_vectors=1000)
+        with pytest.raises(EnumerationError):
+            opt.optimize(plan)
+
+
+class TestRheemix:
+    def make_cost_model(self, reg):
+        params = CostParameters()
+        for kind in (
+            "TextFileSource",
+            "Filter",
+            "Map",
+            "FlatMap",
+            "ReduceBy",
+            "Sort",
+            "Distinct",
+            "Join",
+            "CollectionSink",
+        ):
+            for i, p in enumerate(reg.names):
+                params.operator_coeffs[(kind, p)] = (0.05 * (i + 1), 1e-7 / (i + 1), 0)
+        params.startup = {name: 2.0 * i for i, name in enumerate(reg.names)}
+        for conv in ("collect", "distribute", "broadcast"):
+            params.conversion_coeffs[conv] = (0.4, 1e-6)
+        return CostModel(reg, params)
+
+    def test_optimizes_with_cost_model(self, reg):
+        plan = build_join_plan()
+        cost_model = self.make_cost_model(reg)
+        result = RheemixOptimizer(reg, cost_model).optimize(plan)
+        assert result.cost > 0
+        assert set(result.execution_plan.assignment) == set(plan.operators)
+
+    def test_matches_brute_force_on_small_plan(self, reg):
+        import itertools
+
+        from repro.rheem.execution_plan import ExecutionPlan
+
+        plan = build_pipeline(2)
+        cost_model = self.make_cost_model(reg)
+        result = RheemixOptimizer(reg, cost_model).optimize(plan)
+        best = min(
+            cost_model.cost_of_plan(
+                ExecutionPlan(
+                    plan,
+                    dict(zip(sorted(plan.operators), combo)),
+                    reg,
+                )
+            )
+            for combo in itertools.product(reg.names, repeat=plan.n_operators)
+        )
+        assert result.cost == pytest.approx(best)
+
+    def test_pruning_flag(self, reg):
+        plan = build_pipeline(3)
+        cost_model = self.make_cost_model(reg)
+        pruned = RheemixOptimizer(reg, cost_model).optimize(plan)
+        full = RheemixOptimizer(reg, cost_model, pruning=False).optimize(plan)
+        assert pruned.cost == pytest.approx(full.cost)

@@ -1,0 +1,60 @@
+"""Tests for the benchmark support code (synthetic setups, artifacts dir)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.context import artifacts_dir
+from repro.bench.synthetic_setup import latency_setup
+
+
+class TestLatencySetup:
+    def test_returns_consistent_bundle(self):
+        registry, schema, model, cost_model = latency_setup(3)
+        assert len(registry) == 3
+        assert schema.registry is registry
+        assert model.n_features == schema.n_features
+        assert cost_model.registry is registry
+
+    def test_cached_per_k(self):
+        a = latency_setup(2)
+        b = latency_setup(2)
+        assert a is b
+        c = latency_setup(4)
+        assert c is not a
+
+    def test_model_predicts_on_schema_vectors(self):
+        registry, schema, model, _ = latency_setup(2)
+        X = np.zeros((4, schema.n_features))
+        preds = model.predict(X)
+        assert preds.shape == (4,)
+        assert np.all(preds >= 0)
+
+    def test_cost_model_covers_every_kind(self):
+        registry, _, _, cost_model = latency_setup(2)
+        from repro.rheem.operators import KINDS
+
+        for kind in KINDS:
+            for name in registry.names:
+                assert (kind, name) in cost_model.parameters.operator_coeffs
+
+    def test_cost_model_usable_by_rheemix(self):
+        from repro.cost.optimizer import RheemixOptimizer
+        from repro.workloads import synthetic
+
+        registry, _, _, cost_model = latency_setup(2)
+        result = RheemixOptimizer(registry, cost_model).optimize(
+            synthetic.pipeline_plan(6)
+        )
+        assert result.cost > 0
+
+
+class TestArtifactsDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "cache"))
+        assert artifacts_dir() == tmp_path / "cache"
+
+    def test_defaults_to_repo_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+        path = artifacts_dir()
+        assert path.name == ".artifacts"
+        assert (path.parent / "pyproject.toml").exists()

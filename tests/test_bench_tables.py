@@ -1,0 +1,31 @@
+"""Tests for the benchmark table renderer."""
+
+from repro.bench.tables import format_table
+
+
+class TestFormatTable:
+    def test_contains_title_headers_rows(self):
+        text = format_table(
+            "Table I", ["a", "bb"], [[1, 2.5], ["x", float("inf")]]
+        )
+        assert "=== Table I ===" in text
+        assert "a" in text and "bb" in text
+        assert "2.500" in text
+        assert "inf" in text
+
+    def test_number_formatting(self):
+        text = format_table("t", ["v"], [[12345.6], [12.34], [1.2345], [float("nan")]])
+        assert "12,346" in text
+        assert "12.3" in text
+        assert "1.234" in text  # three decimals for small floats
+        assert "-" in text  # NaN placeholder
+
+    def test_note_appended(self):
+        text = format_table("t", ["v"], [[1]], note="paper reports 2x")
+        assert text.endswith("note: paper reports 2x")
+
+    def test_column_alignment(self):
+        text = format_table("t", ["col"], [["verylongvalue"], ["x"]])
+        lines = text.splitlines()
+        data_lines = lines[3:]
+        assert len(data_lines[0]) >= len("verylongvalue")

@@ -1,0 +1,101 @@
+"""Tests for cardinality propagation."""
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.rheem.cardinality import edge_cardinality, propagate_cardinalities
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+
+from conftest import build_join_plan, build_pipeline
+
+
+class TestPropagation:
+    def test_source_takes_dataset_cardinality(self):
+        p = build_pipeline(2, cardinality=12345)
+        cards = p.cardinalities()
+        src = p.sources()[0]
+        assert cards[src][0] == 12345
+
+    def test_selectivity_applied_along_pipeline(self):
+        p = LogicalPlan()
+        s = p.add(operator("TextFileSource"), dataset=DatasetProfile("d", 1000, 10))
+        f = p.add(operator("Filter", selectivity=0.5))
+        g = p.add(operator("Filter", selectivity=0.2))
+        k = p.add(operator("CollectionSink"))
+        p.chain(s, f, g, k)
+        cards = p.cardinalities()
+        assert cards[f.id] == (1000, 500)
+        assert cards[g.id] == (500, 100)
+        assert cards[k.id] == (100, 0)
+
+    def test_join_input_is_sum_output_is_scaled_max(self):
+        p = build_join_plan(cardinality=1e6)
+        join_id = next(i for i, op in p.operators.items() if op.kind_name == "Join")
+        cards = p.cardinalities()
+        parents = p.parents(join_id)
+        parent_outs = [cards[q][1] for q in parents]
+        assert cards[join_id][0] == pytest.approx(sum(parent_outs))
+        join_op = p.operators[join_id]
+        assert cards[join_id][1] == pytest.approx(
+            join_op.selectivity * max(parent_outs)
+        )
+
+    def test_cartesian_output_is_product(self):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=DatasetProfile("a", 100, 10))
+        b = p.add(operator("TextFileSource"), dataset=DatasetProfile("b", 200, 10))
+        c = p.add(operator("Cartesian", selectivity=1.0))
+        k = p.add(operator("CollectionSink"))
+        p.connect(a, c)
+        p.connect(b, c)
+        p.connect(c, k)
+        cards = p.cardinalities()
+        assert cards[c.id][1] == pytest.approx(100 * 200)
+
+    def test_fixed_output_cardinality(self):
+        p = LogicalPlan()
+        s = p.add(operator("TextFileSource"), dataset=DatasetProfile("d", 1e9, 10))
+        r = p.add(operator("ReduceBy", fixed_output_cardinality=42))
+        k = p.add(operator("CollectionSink"))
+        p.chain(s, r, k)
+        assert p.cardinalities()[r.id][1] == 42.0
+
+    def test_replicate_sends_full_output_on_each_edge(self):
+        p = LogicalPlan()
+        s = p.add(operator("TextFileSource"), dataset=DatasetProfile("d", 1000, 10))
+        m = p.add(operator("Map"))
+        a = p.add(operator("Filter"))
+        b = p.add(operator("Filter"))
+        u = p.add(operator("Union"))
+        k = p.add(operator("CollectionSink"))
+        p.connect(s, m)
+        p.connect(m, a)
+        p.connect(m, b)
+        p.connect(a, u)
+        p.connect(b, u)
+        p.connect(u, k)
+        assert edge_cardinality(p, m.id, a.id) == 1000.0
+        assert edge_cardinality(p, m.id, b.id) == 1000.0
+
+    def test_cache_invalidation_on_dataset_change(self):
+        p = build_pipeline(2, cardinality=1000)
+        before = p.cardinalities()[0][0]
+        src = p.sources()[0]
+        p.set_dataset(src, DatasetProfile("d", 9999, 100))
+        assert p.cardinalities()[0][0] != before
+
+    def test_edge_cardinality_unknown_edge(self):
+        p = build_pipeline(2)
+        with pytest.raises(PlanError):
+            edge_cardinality(p, 0, 99)
+
+    def test_propagation_requires_datasets(self):
+        p = LogicalPlan()
+        s = p.add(operator("TextFileSource"), dataset=DatasetProfile("d", 10, 10))
+        p.datasets.clear()
+        k = p.add(operator("CollectionSink"))
+        p.connect(s, k)
+        with pytest.raises(PlanError):
+            propagate_cardinalities(p)

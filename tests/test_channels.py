@@ -1,0 +1,82 @@
+"""Tests for channels and the channel conversion graph."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.rheem.channels import (
+    Channel,
+    build_conversion_graph,
+    channel_conversion_path,
+    conversion_path_via_graph,
+    platform_channel,
+)
+from repro.rheem.conversion import conversion_path
+from repro.rheem.platforms import Platform, default_registry
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink", "postgres"))
+
+
+class TestChannels:
+    def test_platform_channel_per_category(self, reg):
+        assert platform_channel(reg["java"]).name == "java.collection"
+        assert platform_channel(reg["spark"]).name == "spark.dataset"
+        assert platform_channel(reg["postgres"]).name == "postgres.relation"
+
+    def test_database_channels_not_reusable(self, reg):
+        assert not platform_channel(reg["postgres"]).reusable
+        assert platform_channel(reg["spark"]).reusable
+
+
+class TestConversionGraph:
+    def test_graph_has_driver_hub(self, reg):
+        graph = build_conversion_graph(tuple(reg.platforms))
+        names = {node.name for node in graph.nodes}
+        assert "driver.collection" in names
+        assert len(names) == len(reg) + 1
+
+    def test_local_platform_costs_nothing_to_reach_driver(self, reg):
+        graph = build_conversion_graph(tuple(reg.platforms))
+        java = platform_channel(reg["java"])
+        driver = next(n for n in graph.nodes if n.name == "driver.collection")
+        assert graph.edges[java, driver]["weight"] == 0.0
+
+    def test_same_platform_no_steps(self, reg):
+        assert channel_conversion_path(reg["spark"], reg["spark"]) == []
+
+    def test_distributed_pair_goes_through_driver(self, reg):
+        steps = channel_conversion_path(reg["spark"], reg["flink"])
+        assert [(s.kind, s.platform) for s in steps] == [
+            ("collect", "spark"),
+            ("distribute", "flink"),
+        ]
+
+    def test_broadcast_in_loops(self, reg):
+        steps = channel_conversion_path(reg["java"], reg["spark"], in_loop=True)
+        assert [s.kind for s in steps] == ["broadcast"]
+
+
+class TestEquivalenceWithRuleTable:
+    def test_graph_matches_rule_table_for_all_pairs(self, reg):
+        """The Dijkstra-derived paths equal the hand-written rule table."""
+        for a in reg:
+            for b in reg:
+                for in_loop in (False, True):
+                    expected = tuple(
+                        (s.kind, s.platform)
+                        for s in conversion_path(a, b, in_loop=in_loop)
+                    )
+                    derived = conversion_path_via_graph(a, b, in_loop=in_loop)
+                    assert derived == expected, (a.name, b.name, in_loop)
+
+    def test_new_platform_category_needs_no_rule(self):
+        """The graph handles platforms the rule table never saw."""
+        exotic = Platform("duckdb", "database", frozenset({"Join"}))
+        spark = Platform("spark", "distributed")
+        steps = channel_conversion_path(exotic, spark)
+        assert [(s.kind, s.platform) for s in steps] == [
+            ("db_export", "duckdb"),
+            ("distribute", "spark"),
+        ]

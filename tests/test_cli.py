@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_size
+
+
+class TestParseSize:
+    def test_suffixes(self):
+        assert parse_size("30MB") == 30 * 2 ** 20
+        assert parse_size("6GB") == 6 * 2 ** 30
+        assert parse_size("1TB") == 2 ** 40
+        assert parse_size("2.5 gb") == 2.5 * 2 ** 30
+
+    def test_plain_bytes(self):
+        assert parse_size("1024") == 1024.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_size("many")
+
+
+class TestCommands:
+    def test_workloads_lists_table2(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("WordCount", "SGD", "CrocoPR", "TPC-H Q3"):
+            assert name in out
+
+    def test_simulate_all_platforms(self, capsys):
+        rc = main(["simulate", "--workload", "wordcount", "--size", "3GB"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "java" in out and "oom" in out  # 3GB OOMs on java
+        assert "spark" in out and "flink" in out
+
+    def test_simulate_single_platform(self, capsys):
+        rc = main(
+            ["simulate", "--workload", "tpchq1", "--size", "1GB", "--platform", "flink"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flink" in out and "java" not in out
+
+    def test_unknown_workload_is_an_error(self, capsys):
+        rc = main(["simulate", "--workload", "nosuchquery"])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_train_optimize_explain_pipeline(self, tmp_path, capsys):
+        model_path = tmp_path / "model.pkl"
+        rc = main(
+            [
+                "train",
+                "--points", "400",
+                "--seed", "1",
+                "--out", str(model_path),
+            ]
+        )
+        assert rc == 0
+        assert model_path.exists()
+        capsys.readouterr()
+
+        plan_path = tmp_path / "plan.json"
+        rc = main(
+            [
+                "optimize",
+                "--workload", "WordCount",
+                "--size", "300MB",
+                "--model", str(model_path),
+                "--out", str(plan_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted runtime" in out
+        blob = json.loads(plan_path.read_text())
+        assert blob["plan"]["name"] == "wordcount"
+        assert len(blob["assignment"]) == 6
+
+        rc = main(
+            [
+                "explain",
+                "--workload", "WordCount",
+                "--size", "300MB",
+                "--model", str(model_path),
+            ]
+        )
+        assert rc == 0
+        assert "Chosen plan" in capsys.readouterr().out
+
+    def test_optimize_plan_json_input(self, tmp_path, capsys):
+        from repro.rheem.serialization import plan_to_json
+        from conftest import build_pipeline
+
+        model_path = tmp_path / "model.pkl"
+        main(["train", "--points", "400", "--seed", "2", "--out", str(model_path)])
+        capsys.readouterr()
+        plan_path = tmp_path / "my_plan.json"
+        plan_path.write_text(plan_to_json(build_pipeline(3)))
+        rc = main(
+            ["optimize", "--plan-json", str(plan_path), "--model", str(model_path)]
+        )
+        assert rc == 0
+        assert "predicted runtime" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Tests for conversion operators and conversion paths."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.rheem.conversion import CONVERSION_KINDS, ConversionStep, conversion_path
+from repro.rheem.platforms import default_registry
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink", "postgres"))
+
+
+class TestConversionStep:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlatformError):
+            ConversionStep("teleport", "spark")
+
+    def test_known_kinds(self):
+        for kind in CONVERSION_KINDS:
+            ConversionStep(kind, "spark")
+
+
+class TestConversionPath:
+    def test_same_platform_needs_nothing(self, reg):
+        assert conversion_path(reg["spark"], reg["spark"]) == ()
+
+    def test_local_to_distributed(self, reg):
+        steps = conversion_path(reg["java"], reg["spark"])
+        assert [(s.kind, s.platform) for s in steps] == [("distribute", "spark")]
+
+    def test_local_to_distributed_in_loop_broadcasts(self, reg):
+        steps = conversion_path(reg["java"], reg["spark"], in_loop=True)
+        assert [(s.kind, s.platform) for s in steps] == [("broadcast", "spark")]
+
+    def test_distributed_to_local_collects(self, reg):
+        steps = conversion_path(reg["spark"], reg["java"])
+        assert [(s.kind, s.platform) for s in steps] == [("collect", "spark")]
+
+    def test_distributed_to_distributed_goes_through_driver(self, reg):
+        steps = conversion_path(reg["spark"], reg["flink"])
+        assert [(s.kind, s.platform) for s in steps] == [
+            ("collect", "spark"),
+            ("distribute", "flink"),
+        ]
+
+    def test_database_to_local(self, reg):
+        steps = conversion_path(reg["postgres"], reg["java"])
+        assert [(s.kind, s.platform) for s in steps] == [("db_export", "postgres")]
+
+    def test_database_to_distributed(self, reg):
+        steps = conversion_path(reg["postgres"], reg["spark"])
+        assert [(s.kind, s.platform) for s in steps] == [
+            ("db_export", "postgres"),
+            ("distribute", "spark"),
+        ]
+
+    def test_local_to_database(self, reg):
+        steps = conversion_path(reg["java"], reg["postgres"])
+        assert [(s.kind, s.platform) for s in steps] == [("db_import", "postgres")]
+
+    def test_distributed_to_database(self, reg):
+        steps = conversion_path(reg["flink"], reg["postgres"])
+        assert [(s.kind, s.platform) for s in steps] == [
+            ("collect", "flink"),
+            ("db_import", "postgres"),
+        ]
+
+    def test_every_pair_has_a_path(self, reg):
+        for a in reg:
+            for b in reg:
+                steps = conversion_path(a, b)
+                if a.name == b.name:
+                    assert steps == ()
+                else:
+                    assert len(steps) >= 1
+                    for s in steps:
+                        assert s.platform in (a.name, b.name)

@@ -1,0 +1,66 @@
+"""Tests for dataset profiles."""
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.rheem.datasets import (
+    GB,
+    MB,
+    PAPER_DATASETS,
+    DatasetProfile,
+    paper_dataset,
+)
+
+
+class TestDatasetProfile:
+    def test_size_bytes(self):
+        d = DatasetProfile("d", cardinality=1000, tuple_size=50)
+        assert d.size_bytes == 50_000
+
+    def test_scaled_to_bytes(self):
+        d = DatasetProfile("d", cardinality=1000, tuple_size=50)
+        scaled = d.scaled_to_bytes(1 * MB)
+        assert scaled.size_bytes == pytest.approx(1 * MB)
+        assert scaled.tuple_size == 50
+        assert scaled.name == "d"
+
+    def test_scaled_to_cardinality(self):
+        d = DatasetProfile("d", cardinality=1000, tuple_size=50)
+        assert d.scaled_to_cardinality(7).cardinality == 7
+
+    def test_original_unchanged_by_scaling(self):
+        d = DatasetProfile("d", cardinality=1000, tuple_size=50)
+        d.scaled_to_bytes(1 * GB)
+        assert d.cardinality == 1000
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(PlanError):
+            DatasetProfile("d", cardinality=-1, tuple_size=50)
+
+    def test_nonpositive_tuple_size_rejected(self):
+        with pytest.raises(PlanError):
+            DatasetProfile("d", cardinality=1, tuple_size=0)
+
+
+class TestPaperDatasets:
+    def test_all_table2_datasets_present(self):
+        assert set(PAPER_DATASETS) == {
+            "wikipedia",
+            "tpch",
+            "uscensus1990",
+            "higgs",
+            "dbpedia",
+        }
+
+    def test_base_sizes_match_table2_minimums(self):
+        assert PAPER_DATASETS["wikipedia"].size_bytes == pytest.approx(30 * MB)
+        assert PAPER_DATASETS["tpch"].size_bytes == pytest.approx(1 * GB)
+        assert PAPER_DATASETS["higgs"].size_bytes == pytest.approx(740 * MB)
+
+    def test_paper_dataset_scaling(self):
+        d = paper_dataset("wikipedia", 1 * GB)
+        assert d.size_bytes == pytest.approx(1 * GB)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(PlanError):
+            paper_dataset("imagenet")

@@ -1,0 +1,129 @@
+"""Tests for PlanVectorEnumeration and EnumerationContext."""
+
+import numpy as np
+import pytest
+
+from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+from repro.core.operations import enumerate_abstract, enumerate_singleton, split, vectorize
+from repro.exceptions import EnumerationError, ScopeError
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import build_join_plan, build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def ctx():
+    return EnumerationContext(build_pipeline(2), synthetic_registry(3))
+
+
+class TestContext:
+    def test_alternatives_per_operator(self, ctx):
+        for op_id in ctx.plan.operators:
+            alts = ctx.alternatives[op_id]
+            assert len(alts) == 3
+            assert set(alts.tolist()) == {0, 1, 2}
+
+    def test_edges_carry_cardinalities(self, ctx):
+        cards = ctx.plan.cardinalities()
+        for edge in ctx.edges:
+            assert edge.cardinality == cards[edge.src][1]
+
+    def test_edge_deltas_exist_for_all_cross_pairs(self, ctx):
+        k = len(ctx.registry)
+        for edge in ctx.edges:
+            assert len(edge.deltas) == k * (k - 1)
+
+    def test_edge_lookup(self, ctx):
+        u, v = ctx.plan.edges[0]
+        assert ctx.edge(u, v).src == u
+        with pytest.raises(EnumerationError):
+            ctx.edge(99, 100)
+
+    def test_static_cache_returns_same_array(self, ctx):
+        scope = frozenset({0, 1})
+        assert ctx.static_features(scope) is ctx.static_features(scope)
+
+    def test_crossing_edges(self, ctx):
+        crossing = ctx.crossing_edges(frozenset({0, 1}), frozenset({2}))
+        assert [(e.src, e.dst) for e in crossing] == [(1, 2)]
+        assert ctx.crossing_edges(frozenset({0}), frozenset({3})) == []
+
+    def test_loop_edge_metadata(self):
+        plan = build_loop_plan(iterations=4)
+        ctx = EnumerationContext(plan, synthetic_registry(2))
+        body = plan.loops[0].body
+        internal = [e for e in ctx.edges if e.src in body and e.dst in body]
+        assert internal
+        assert all(e.in_loop and e.iterations == 4 for e in internal)
+
+
+class TestEnumerationObject:
+    def test_shape_validation(self, ctx):
+        with pytest.raises(EnumerationError):
+            PlanVectorEnumeration(
+                ctx,
+                frozenset({0}),
+                np.zeros((2, ctx.schema.n_features)),
+                np.zeros((3, ctx.n_ops), dtype=np.int8),
+            )
+        with pytest.raises(EnumerationError):
+            PlanVectorEnumeration(
+                ctx,
+                frozenset({0}),
+                np.zeros((2, ctx.schema.n_features)),
+                np.zeros((2, ctx.n_ops + 1), dtype=np.int8),
+            )
+
+    def test_len_and_is_complete(self, ctx):
+        part = enumerate_singleton(split(vectorize(ctx))[0])
+        assert len(part) == 3
+        assert not part.is_complete
+        full = enumerate_abstract(vectorize(ctx))
+        assert full.is_complete
+
+    def test_boundary_ids_cached_and_sorted(self, ctx):
+        part = enumerate_singleton(split(vectorize(ctx))[1])
+        b1 = part.boundary_ids()
+        assert b1.tolist() == [1]
+        assert part.boundary_ids() is b1
+
+    def test_select_subsets_rows(self, ctx):
+        full = enumerate_abstract(vectorize(ctx))
+        sel = full.select(np.array([0, 2, 4]))
+        assert sel.n_vectors == 3
+        assert np.array_equal(sel.features[1], full.features[2])
+        assert sel.scope == full.scope
+
+    def test_assignment_dict_names(self, ctx):
+        part = enumerate_singleton(split(vectorize(ctx))[0])
+        d = part.assignment_dict(1)
+        assert set(d) == {0}
+        assert d[0] in ctx.registry.names
+
+    def test_switch_counts_zero_for_singletons(self, ctx):
+        part = enumerate_singleton(split(vectorize(ctx))[0])
+        assert np.all(part.switch_counts() == 0)
+
+    def test_switch_counts_full(self, ctx):
+        full = enumerate_abstract(vectorize(ctx))
+        switches = full.switch_counts()
+        n_edges = len(ctx.plan.edges)
+        assert switches.max() <= n_edges
+        assert switches.min() == 0
+
+    def test_scope_disjoint_check(self, ctx):
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        parts[0].check_scope_disjoint(parts[1])
+        with pytest.raises(ScopeError):
+            parts[0].check_scope_disjoint(parts[0])
+
+    def test_registry_mismatch_rejected(self):
+        plan = build_pipeline(2)
+        reg = synthetic_registry(2)
+        other_schema_ctx_registry = synthetic_registry(3)
+        from repro.core.features import FeatureSchema
+
+        with pytest.raises(EnumerationError):
+            EnumerationContext(
+                plan, reg, FeatureSchema(other_schema_ctx_registry)
+            )

@@ -1,0 +1,114 @@
+"""Tests for the priority-based enumerator (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.enumerator import PriorityEnumerator
+from repro.core.features import FeatureSchema
+from repro.exceptions import EnumerationError
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import (
+    build_join_plan,
+    build_loop_plan,
+    build_pipeline,
+    make_linear_cost,
+)
+
+
+def run_both(plan, k=2, seed=0, priority="robopt"):
+    reg = synthetic_registry(k)
+    schema = FeatureSchema(reg)
+    cost = make_linear_cost(schema, seed=seed)
+    pruned = PriorityEnumerator(reg, cost, priority=priority, schema=schema).enumerate_plan(plan)
+    exhaustive = PriorityEnumerator(
+        reg, cost, pruning=False, schema=schema
+    ).enumerate_plan(plan)
+    return pruned, exhaustive
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("n_middle", [1, 2, 4])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_lossless_on_pipelines(self, n_middle, k):
+        pruned, exhaustive = run_both(build_pipeline(n_middle), k=k, seed=n_middle)
+        assert pruned.predicted_cost == pytest.approx(exhaustive.predicted_cost)
+        assert pruned.execution_plan == exhaustive.execution_plan
+
+    def test_lossless_on_join_plan(self):
+        pruned, exhaustive = run_both(build_join_plan(), k=3, seed=1)
+        assert pruned.predicted_cost == pytest.approx(exhaustive.predicted_cost)
+
+    def test_lossless_on_loop_plan(self):
+        pruned, exhaustive = run_both(build_loop_plan(), k=3, seed=2)
+        assert pruned.predicted_cost == pytest.approx(exhaustive.predicted_cost)
+
+    @pytest.mark.parametrize("priority", ["robopt", "topdown", "bottomup"])
+    def test_all_priorities_reach_the_optimum(self, priority):
+        pruned, exhaustive = run_both(build_join_plan(), k=2, seed=3, priority=priority)
+        assert pruned.predicted_cost == pytest.approx(exhaustive.predicted_cost)
+
+
+class TestSearchSpace:
+    def test_exhaustive_final_size_is_k_to_n(self):
+        plan = build_pipeline(2)
+        _, exhaustive = run_both(plan, k=3)
+        assert exhaustive.stats.final_vectors == 3 ** plan.n_operators
+
+    def test_pruning_reduces_created_vectors(self):
+        plan = build_pipeline(5)
+        pruned, exhaustive = run_both(plan, k=3)
+        assert pruned.stats.vectors_created < exhaustive.stats.vectors_created
+        assert pruned.stats.vectors_pruned > 0
+
+    def test_pipeline_enumerations_stay_quadratic(self):
+        """Lemma 1: every pruned enumeration of a pipeline has <= k^2 vectors."""
+        reg = synthetic_registry(3)
+        schema = FeatureSchema(reg)
+        cost = make_linear_cost(schema)
+        enum = PriorityEnumerator(reg, cost, schema=schema)
+        result = enum.enumerate_plan(build_pipeline(8))
+        assert result.stats.peak_enumeration <= 3 ** 2 * 3 ** 2
+        assert result.stats.final_vectors <= 3 ** 2
+
+    def test_max_vectors_guard(self):
+        reg = synthetic_registry(3)
+        schema = FeatureSchema(reg)
+        cost = make_linear_cost(schema)
+        enum = PriorityEnumerator(
+            reg, cost, pruning=False, schema=schema, max_vectors=100
+        )
+        with pytest.raises(EnumerationError):
+            enum.enumerate_plan(build_pipeline(6))
+
+
+class TestStats:
+    def test_stats_are_consistent(self):
+        pruned, _ = run_both(build_pipeline(4), k=2)
+        s = pruned.stats
+        assert s.merges == s.prune_calls
+        assert s.singleton_vectors == 2 * 6  # 6 ops x 2 platforms
+        assert s.final_vectors >= 1
+        assert s.latency_s > 0
+        assert s.rows_predicted >= s.vectors_created
+
+    def test_total_vectors_property(self):
+        pruned, _ = run_both(build_pipeline(3), k=2)
+        s = pruned.stats
+        assert s.total_vectors == s.singleton_vectors + s.vectors_created
+
+
+class TestResultObject:
+    def test_final_enumeration_is_complete(self):
+        pruned, _ = run_both(build_pipeline(3), k=2)
+        assert pruned.final_enumeration.is_complete
+
+    def test_predicted_cost_matches_best_row(self):
+        reg = synthetic_registry(2)
+        schema = FeatureSchema(reg)
+        cost = make_linear_cost(schema, seed=9)
+        result = PriorityEnumerator(reg, cost, schema=schema).enumerate_plan(
+            build_pipeline(3)
+        )
+        final_costs = cost(result.final_enumeration)
+        assert result.predicted_cost == pytest.approx(final_costs.min())

@@ -1,0 +1,152 @@
+"""Tests for execution plans and conversion derivation."""
+
+import pytest
+
+from repro.exceptions import PlanError, PlatformError
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.execution_plan import (
+    ExecutionPlan,
+    feasible_platforms,
+    single_platform_plan,
+)
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+from repro.rheem.platforms import default_registry
+
+from conftest import build_join_plan, build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink"))
+
+
+class TestConstruction:
+    def test_complete_assignment_required(self, reg):
+        plan = build_pipeline(2)
+        with pytest.raises(PlanError):
+            ExecutionPlan(plan, {0: "java"}, reg)
+
+    def test_extra_operators_rejected(self, reg):
+        plan = build_pipeline(1)
+        assignment = {i: "java" for i in plan.operators}
+        assignment[99] = "java"
+        with pytest.raises(PlanError):
+            ExecutionPlan(plan, assignment, reg)
+
+    def test_unsupported_platform_rejected(self):
+        reg = default_registry(("java", "spark", "graphx"))
+        plan = build_pipeline(1)
+        assignment = {i: "graphx" for i in plan.operators}
+        with pytest.raises(PlatformError):
+            ExecutionPlan(plan, assignment, reg)
+
+    def test_single_platform_helper(self, reg):
+        plan = build_pipeline(2)
+        xp = single_platform_plan(plan, "spark", reg)
+        assert xp.platforms_used() == ("spark",)
+        assert xp.num_platform_switches() == 0
+        assert xp.conversions() == []
+
+
+class TestConversions:
+    def test_cross_platform_edge_gets_conversions(self, reg):
+        plan = build_pipeline(2)  # src -> Filter -> Map -> sink
+        assignment = {0: "spark", 1: "spark", 2: "java", 3: "java"}
+        xp = ExecutionPlan(plan, assignment, reg)
+        convs = xp.conversions()
+        assert [c.kind for c in convs] == ["collect"]
+        assert convs[0].edge == (1, 2)
+        assert convs[0].platform == "spark"
+        assert xp.num_platform_switches() == 1
+
+    def test_conversion_carries_edge_cardinality(self, reg):
+        plan = build_pipeline(2, cardinality=1000)
+        assignment = {0: "spark", 1: "java", 2: "java", 3: "java"}
+        xp = ExecutionPlan(plan, assignment, reg)
+        (conv,) = xp.conversions()
+        cards = plan.cardinalities()
+        assert conv.cardinality == cards[0][1]
+
+    def test_distributed_to_distributed_two_steps(self, reg):
+        plan = build_pipeline(1)
+        assignment = {0: "spark", 1: "flink", 2: "flink"}
+        xp = ExecutionPlan(plan, assignment, reg)
+        kinds = [c.kind for c in xp.conversions()]
+        assert kinds == ["collect", "distribute"]
+
+    def test_loop_edge_uses_broadcast_and_iterations(self, reg):
+        plan = build_loop_plan(iterations=7)
+        body = sorted(plan.loops[0].body)
+        assignment = {i: "spark" for i in plan.operators}
+        assignment[body[-1]] = "java"  # last body op on java
+        # edge body[-2] -> body[-1] is spark->java inside the loop
+        xp = ExecutionPlan(plan, assignment, reg)
+        in_loop = [c for c in xp.conversions() if c.in_loop]
+        assert in_loop, "expected loop-internal conversions"
+        assert all(c.iterations == 7 for c in in_loop)
+        kinds = {c.kind for c in xp.conversions()}
+        # java -> spark edge back out of the body exists too (to next op)
+        assert "collect" in kinds
+
+    def test_loop_boundary_edge_runs_once(self, reg):
+        plan = build_loop_plan(iterations=9)
+        body = plan.loops[0].body
+        src = plan.sources()[0]
+        assignment = {i: ("flink" if i == src else "java") for i in plan.operators}
+        xp = ExecutionPlan(plan, assignment, reg)
+        for conv in xp.conversions():
+            u, v = conv.edge
+            if u == src:
+                assert conv.iterations == 1
+
+    def test_platforms_used_in_registry_order(self, reg):
+        plan = build_join_plan()
+        assignment = {i: "flink" for i in plan.operators}
+        assignment[0] = "java"
+        xp = ExecutionPlan(plan, assignment, reg)
+        assert xp.platforms_used() == ("java", "flink")
+
+
+class TestIdentity:
+    def test_equality_and_hash(self, reg):
+        plan = build_pipeline(2)
+        a = single_platform_plan(plan, "java", reg)
+        b = single_platform_plan(plan, "java", reg)
+        c = single_platform_plan(plan, "spark", reg)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_describe_mentions_all_operators(self, reg):
+        plan = build_pipeline(2)
+        text = single_platform_plan(plan, "java", reg).describe()
+        for op in plan.operators.values():
+            assert op.label in text
+
+
+class TestFeasiblePlatforms:
+    def test_all_platforms_for_common_kind(self, reg):
+        plan = build_pipeline(2)
+        assert feasible_platforms(plan, reg, 1) == ["java", "spark", "flink"]
+
+    def test_restricted_kind(self):
+        reg = default_registry(("java", "spark", "postgres"))
+        plan = LogicalPlan()
+        s = plan.add(
+            operator("TableSource"), dataset=DatasetProfile("t", 1000, 100)
+        )
+        k = plan.add(operator("CollectionSink"))
+        plan.connect(s, k)
+        assert feasible_platforms(plan, reg, s.id) == ["postgres"]
+
+    def test_no_platform_raises(self):
+        reg = default_registry(("java", "spark"))
+        plan = LogicalPlan()
+        s = plan.add(
+            operator("TableSource"), dataset=DatasetProfile("t", 1000, 100)
+        )
+        k = plan.add(operator("CollectionSink"))
+        plan.connect(s, k)
+        with pytest.raises(PlatformError):
+            feasible_platforms(plan, reg, s.id)

@@ -1,0 +1,211 @@
+"""Tests for the plan-vector feature schema (§IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import TOPOLOGIES, FeatureSchema
+from repro.exceptions import VectorizationError
+from repro.rheem.execution_plan import ExecutionPlan, single_platform_plan
+from repro.rheem.platforms import default_registry, synthetic_registry
+
+from conftest import build_join_plan, build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink"))
+
+
+@pytest.fixture
+def schema(reg):
+    return FeatureSchema(reg)
+
+
+class TestLayout:
+    def test_topology_cells_lead(self, schema):
+        names = schema.feature_names()
+        assert names[:4] == [f"topology.{t}" for t in TOPOLOGIES]
+
+    def test_every_cell_named_uniquely(self, schema):
+        names = schema.feature_names()
+        assert len(names) == schema.n_features
+        assert all(names)
+        assert len(set(names)) == len(names)
+
+    def test_block_sizes_scale_with_platforms(self):
+        small = FeatureSchema(synthetic_registry(2))
+        large = FeatureSchema(synthetic_registry(5))
+        assert large.n_features > small.n_features
+
+    def test_unknown_kind_raises(self, schema):
+        with pytest.raises(VectorizationError):
+            schema.kind_offset("Teleport")
+        with pytest.raises(VectorizationError):
+            schema.conv_offset("teleport")
+
+    def test_static_mask_partition(self, schema):
+        names = schema.feature_names()
+        mask = schema.static_mask
+        for i, name in enumerate(names):
+            dynamic = (
+                ".on." in name
+                or name.startswith("conv.")
+                or name.startswith("platform.")
+            )
+            assert mask[i] == (not dynamic), name
+
+
+class TestStaticFeatures:
+    def test_pipeline_topology_cells(self, schema):
+        plan = build_pipeline(3)
+        v = schema.static_features(plan)
+        assert v[0] == 1  # one pipeline
+        assert v[1] == v[2] == v[3] == 0
+
+    def test_operator_totals(self, schema):
+        plan = build_join_plan()
+        v = schema.static_features(plan)
+        assert v[schema.op_total_cell("Join")] == 1
+        assert v[schema.op_total_cell("TextFileSource")] == 2
+        assert v[schema.op_total_cell("Cartesian")] == 0
+
+    def test_cardinality_sums(self, schema):
+        plan = build_pipeline(2)
+        v = schema.static_features(plan)
+        cards = plan.cardinalities()
+        filter_id = 1
+        assert v[schema.op_input_card_cell("Filter")] == cards[filter_id][0]
+        assert v[schema.op_output_card_cell("Filter")] == cards[filter_id][1]
+
+    def test_udf_complexity_sum(self, schema):
+        plan = build_pipeline(3)
+        v = schema.static_features(plan)
+        expected = sum(
+            int(op.udf_complexity)
+            for op in plan.operators.values()
+            if op.kind_name == "Map"
+        )
+        assert v[schema.op_udf_cell("Map")] == expected
+
+    def test_tuple_size_is_max_over_sources(self, schema):
+        plan = build_join_plan()  # sources with tuple sizes 100 and 50
+        v = schema.static_features(plan)
+        assert v[schema.tuple_size_cell] == 100.0
+
+    def test_loop_iterations_cell(self, schema):
+        plan = build_loop_plan(iterations=13)
+        v = schema.static_features(plan)
+        assert v[schema.loop_iterations_cell] == 13.0
+
+    def test_scoped_static_features(self, schema):
+        plan = build_join_plan()
+        v = schema.static_features(plan, scope={0, 1})
+        assert v[schema.op_total_cell("TextFileSource")] == 1
+        assert v[schema.op_total_cell("Join")] == 0
+
+    def test_dynamic_cells_zero(self, schema):
+        plan = build_pipeline(2)
+        v = schema.static_features(plan)
+        assert np.all(v[~schema.static_mask] == 0.0)
+
+
+class TestEncodeExecutionPlan:
+    def test_platform_counts(self, schema, reg):
+        plan = build_pipeline(2)
+        xp = single_platform_plan(plan, "spark", reg)
+        v = schema.encode_execution_plan(xp)
+        spark = reg.index("spark")
+        java = reg.index("java")
+        assert v[schema.platform_count_cell(spark)] == plan.n_operators
+        assert v[schema.platform_count_cell(java)] == 0
+        assert v[schema.op_platform_cell("Filter", spark)] == 1
+
+    def test_no_conversions_on_single_platform(self, schema, reg):
+        plan = build_pipeline(2)
+        v = schema.encode_execution_plan(single_platform_plan(plan, "flink", reg))
+        for kind in schema.conversion_kinds:
+            for i in range(len(reg)):
+                assert v[schema.conv_platform_cell(kind, i)] == 0
+
+    def test_conversion_features_recorded(self, schema, reg):
+        plan = build_pipeline(2)
+        assignment = {0: "spark", 1: "spark", 2: "java", 3: "java"}
+        xp = ExecutionPlan(plan, assignment, reg)
+        v = schema.encode_execution_plan(xp)
+        spark = reg.index("spark")
+        assert v[schema.conv_platform_cell("collect", spark)] == 1
+        moved = xp.conversions()[0].cardinality
+        assert v[schema.conv_input_card_cell("collect")] == moved
+        assert v[schema.conv_output_card_cell("collect")] == moved
+
+    def test_loop_conversion_weighted_by_iterations(self, schema, reg):
+        plan = build_loop_plan(iterations=5)
+        body = sorted(plan.loops[0].body)
+        assignment = {i: "spark" for i in plan.operators}
+        assignment[body[1]] = "java"
+        xp = ExecutionPlan(plan, assignment, reg)
+        v = schema.encode_execution_plan(xp)
+        cards = plan.cardinalities()
+        expected = sum(
+            c.cardinality * c.iterations
+            for c in xp.conversions()
+            if c.kind == "collect"
+        )
+        assert v[schema.conv_input_card_cell("collect")] == pytest.approx(expected)
+
+    def test_platform_aggregates(self, schema, reg):
+        plan = build_pipeline(2)
+        xp = single_platform_plan(plan, "java", reg)
+        v = schema.encode_execution_plan(xp)
+        java = reg.index("java")
+        cards = plan.cardinalities()
+        assert v[schema.platform_in_card_cell(java)] == pytest.approx(
+            sum(c[0] for c in cards.values())
+        )
+        assert v[schema.platform_out_card_cell(java)] == pytest.approx(
+            sum(c[1] for c in cards.values())
+        )
+
+    def test_loop_work_aggregate(self, schema, reg):
+        plan = build_loop_plan(iterations=11)
+        xp = single_platform_plan(plan, "spark", reg)
+        v = schema.encode_execution_plan(xp)
+        spark = reg.index("spark")
+        cards = plan.cardinalities()
+        expected = sum(11 * cards[i][0] for i in plan.loops[0].body)
+        assert v[schema.platform_loop_work_cell(spark)] == pytest.approx(expected)
+
+    def test_registry_mismatch_rejected(self, schema):
+        other = default_registry(("java", "spark"))
+        plan = build_pipeline(2)
+        xp = single_platform_plan(plan, "java", other)
+        with pytest.raises(VectorizationError):
+            schema.encode_execution_plan(xp)
+
+    def test_encode_batch_shape(self, schema, reg):
+        plan = build_pipeline(2)
+        xplans = [single_platform_plan(plan, p, reg) for p in reg.names]
+        matrix = schema.encode_batch(xplans)
+        assert matrix.shape == (3, schema.n_features)
+        assert schema.encode_batch([]).shape == (0, schema.n_features)
+
+
+class TestEncodePartial:
+    def test_partial_matches_scoped_static_plus_dynamic(self, schema, reg):
+        plan = build_pipeline(2)
+        scope = {0, 1}
+        assignment = {0: "spark", 1: "java", 2: "java", 3: "java"}
+        v = schema.encode_partial(plan, scope, assignment)
+        assert v[schema.op_total_cell("TextFileSource")] == 1
+        spark = reg.index("spark")
+        assert v[schema.op_platform_cell("TextFileSource", spark)] == 1
+        # edge 0->1 crosses spark -> java inside the scope
+        assert v[schema.conv_platform_cell("collect", spark)] == 1
+
+    def test_partial_full_scope_equals_direct_encoding(self, schema, reg):
+        plan = build_join_plan()
+        assignment = {i: ("spark" if i % 2 else "java") for i in plan.operators}
+        xp = ExecutionPlan(plan, assignment, reg)
+        direct = schema.encode_execution_plan(xp)
+        partial = schema.encode_partial(plan, set(plan.operators), assignment)
+        assert np.allclose(direct, partial)

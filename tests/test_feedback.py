@@ -1,0 +1,93 @@
+"""Tests for the execution-feedback loop."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.feedback import FeedbackLoop
+from repro.ml.model import TrainingDataset
+from repro.rheem.execution_plan import single_platform_plan
+
+from conftest import build_pipeline
+
+
+@pytest.fixture
+def setup(tiny_context):
+    ctx = tiny_context
+    loop = FeedbackLoop(
+        ctx["schema"],
+        base_dataset=ctx["dataset"],
+        algorithm="random_forest",
+        n_estimators=10,
+        max_depth=12,
+    )
+    return ctx, loop
+
+
+class TestObservation:
+    def test_observe_accumulates(self, setup):
+        ctx, loop = setup
+        plan = build_pipeline(3)
+        xp = single_platform_plan(plan, "spark", ctx["registry"])
+        loop.observe(xp, 12.5)
+        loop.observe(xp, 13.0)
+        assert loop.n_observations == 2
+        assert loop.observations_since_retrain == 2
+        ds = loop.observations_dataset()
+        assert len(ds) == 2
+        assert ds.y.tolist() == [12.5, 13.0]
+        assert all(m["source"] == "observation" for m in ds.meta)
+
+    def test_invalid_runtime_rejected(self, setup):
+        ctx, loop = setup
+        xp = single_platform_plan(build_pipeline(2), "java", ctx["registry"])
+        with pytest.raises(ModelError):
+            loop.observe(xp, -1.0)
+        with pytest.raises(ModelError):
+            loop.observe(xp, float("inf"))
+
+    def test_schema_mismatch_rejected(self, setup):
+        ctx, _ = setup
+        bad = TrainingDataset(np.zeros((10, 3)), np.zeros(10))
+        with pytest.raises(ModelError):
+            FeedbackLoop(ctx["schema"], base_dataset=bad)
+
+    def test_invalid_weight_rejected(self, setup):
+        ctx, _ = setup
+        with pytest.raises(ModelError):
+            FeedbackLoop(
+                ctx["schema"], base_dataset=ctx["dataset"], observation_weight=0
+            )
+
+
+class TestRetraining:
+    def test_weighted_training_dataset(self, setup):
+        ctx, loop = setup
+        xp = single_platform_plan(build_pipeline(3), "flink", ctx["registry"])
+        loop.observe(xp, 30.0)
+        combined = loop.training_dataset()
+        assert len(combined) == len(ctx["dataset"]) + loop.observation_weight
+
+    def test_retrain_resets_counter_and_counts(self, setup):
+        ctx, loop = setup
+        xp = single_platform_plan(build_pipeline(3), "flink", ctx["registry"])
+        loop.observe(xp, 30.0)
+        model = loop.retrain()
+        assert loop.observations_since_retrain == 0
+        assert loop.n_retrains == 1
+        assert model.predict(ctx["dataset"].X[:4]).shape == (4,)
+
+    def test_feedback_corrects_a_misprediction(self, setup):
+        """Repeated observations of a surprising runtime pull the model's
+        prediction toward the observed value."""
+        ctx, loop = setup
+        plan = build_pipeline(4, cardinality=3e6)
+        xp = single_platform_plan(plan, "spark", ctx["registry"])
+        vector = ctx["schema"].encode_execution_plan(xp)
+        before_model = loop.retrain()
+        before = before_model.predict_one(vector)
+        surprise = before * 6 + 10.0  # pretend the cluster is degraded
+        for _ in range(30):
+            loop.observe(xp, surprise)
+        after = loop.retrain().predict_one(vector)
+        assert abs(after - surprise) < abs(before - surprise)

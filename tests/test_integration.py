@@ -1,0 +1,115 @@
+"""End-to-end integration tests: TDGEN → model → Robopt → simulator.
+
+These use the session-scoped ``tiny_context`` fixture (a small but real
+trained model) and exercise the full paper pipeline on the actual
+workloads — the miniature version of the §VII evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import Robopt
+from repro.baselines.rheem_ml import RheemMLOptimizer
+from repro.rheem.datasets import GB, MB
+from repro.rheem.execution_plan import single_platform_plan
+from repro.workloads import kmeans, sgd, wordcount
+
+
+class TestEndToEnd:
+    def test_model_orders_plans_reasonably(self, tiny_context):
+        """The trained model must rank real workload plans usefully."""
+        ctx = tiny_context
+        truths, preds = [], []
+        for size in (30 * MB, 3 * GB):
+            plan = wordcount.plan(size)
+            for platform in ctx["registry"].names:
+                xp = single_platform_plan(plan, platform, ctx["registry"])
+                report = ctx["executor"].execute(xp)
+                truth = report.runtime_s if report.ok else 7200.0
+                truths.append(truth)
+                preds.append(
+                    ctx["model"].predict_one(
+                        ctx["schema"].encode_execution_plan(xp)
+                    )
+                )
+        from repro.ml.metrics import spearman
+
+        assert spearman(np.array(truths), np.array(preds)) > 0.5
+
+    def test_robopt_produces_valid_executable_plan(self, tiny_context):
+        ctx = tiny_context
+        robopt = Robopt(ctx["registry"], ctx["model"], schema=ctx["schema"])
+        result = robopt.optimize(wordcount.plan(300 * MB))
+        assert set(result.execution_plan.assignment) == set(
+            result.execution_plan.plan.operators
+        )
+        report = ctx["executor"].execute(result.execution_plan)
+        assert report.status in ("ok", "timeout")
+        assert result.predicted_runtime >= 0
+        assert result.latency_s > 0
+
+    def test_robopt_avoids_catastrophic_plans(self, tiny_context):
+        """Even a small model keeps the chosen plan within a sane factor
+        of the best single platform (the paper's headline behaviour)."""
+        ctx = tiny_context
+        robopt = Robopt(ctx["registry"], ctx["model"], schema=ctx["schema"])
+        plan = wordcount.plan(3 * GB)
+        chosen = robopt.optimize(plan).execution_plan
+        chosen_runtime = ctx["executor"].execute(chosen).runtime_s
+        best_single = min(
+            ctx["executor"].execute(
+                single_platform_plan(plan, p, ctx["registry"])
+            ).runtime_s
+            for p in ("spark", "flink")
+        )
+        assert chosen_runtime <= 10 * best_single
+
+    def test_robopt_and_rheem_ml_agree_on_plan_quality(self, tiny_context):
+        """Same model, same pruning: both optimizers find the same optimum
+        (they differ in representation, not in search result)."""
+        ctx = tiny_context
+        plan = kmeans.plan(36 * MB, n_centroids=10, iterations=5)
+        vec = Robopt(ctx["registry"], ctx["model"], schema=ctx["schema"]).optimize(plan)
+        obj = RheemMLOptimizer(
+            ctx["registry"], ctx["model"], schema=ctx["schema"]
+        ).optimize(plan)
+        assert obj.cost == pytest.approx(vec.predicted_runtime, rel=1e-6)
+        assert obj.execution_plan == vec.execution_plan
+
+    def test_vectorized_is_faster_than_object_based(self, tiny_context):
+        """Fig. 1 in miniature: the vector-based enumeration beats the
+        object-based Rheem-ML on wall-clock for a mid-sized plan."""
+        ctx = tiny_context
+        from repro.workloads import synthetic
+
+        plan = synthetic.pipeline_plan(20)
+        robopt = Robopt(ctx["registry"], ctx["model"], schema=ctx["schema"])
+        rheem_ml = RheemMLOptimizer(
+            ctx["registry"], ctx["model"], schema=ctx["schema"]
+        )
+        t_vec = robopt.optimize(plan).stats.latency_s
+        t_obj = rheem_ml.optimize(plan).stats.latency_s
+        assert t_vec < t_obj
+
+    def test_iterative_workload_multi_platform_opportunity(self, tiny_context):
+        """SGD: the optimizer may exploit multiple platforms; whatever it
+        picks must beat the worst single platform by a wide margin."""
+        ctx = tiny_context
+        plan = sgd.plan(2 * GB, iterations=100)
+        robopt = Robopt(ctx["registry"], ctx["model"], schema=ctx["schema"])
+        chosen = robopt.optimize(plan).execution_plan
+        chosen_runtime = ctx["executor"].execute(chosen).runtime_s
+        worst = max(
+            ctx["executor"].execute(
+                single_platform_plan(plan, p, ctx["registry"])
+            ).runtime_s
+            for p in ("spark", "flink")
+        )
+        assert chosen_runtime < worst
+
+    def test_dataset_statistics(self, tiny_context):
+        dataset = tiny_context["dataset"]
+        assert len(dataset) == 1500
+        assert np.all(dataset.y >= 0)
+        statuses = {m["status"] for m in dataset.meta}
+        assert {"ok", "interpolated"} <= statuses

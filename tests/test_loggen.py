@@ -1,0 +1,150 @@
+"""Tests for log generation and runtime interpolation (§VI-B, Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.rheem.execution_plan import single_platform_plan
+from repro.rheem.platforms import default_registry
+from repro.simulator.executor import SimulatedExecutor
+from repro.tdgen.loggen import (
+    FAILURE_PENALTY_S,
+    LogGenerator,
+    interpolate_level,
+    interpolate_runtimes,
+)
+
+from conftest import build_pipeline
+
+
+class TestInterpolateRuntimes:
+    def test_passes_through_training_points(self):
+        cards = np.geomspace(1e3, 1e7, 6)
+        runtimes = 2.0 + cards / 1e5
+        predicted = interpolate_runtimes(cards, runtimes, cards)
+        assert np.allclose(predicted, runtimes, rtol=1e-6)
+
+    def test_interpolates_polynomial_growth(self):
+        cards = np.geomspace(1e3, 1e7, 8)
+        runtimes = 1e-6 * cards ** 1.2
+        query = np.geomspace(2e3, 5e6, 5)
+        predicted = interpolate_runtimes(cards, runtimes, query)
+        expected = 1e-6 * query ** 1.2
+        assert np.allclose(predicted, expected, rtol=0.05)
+
+    def test_unsorted_input_accepted(self):
+        cards = np.array([1e5, 1e3, 1e4])
+        runtimes = cards / 1e3
+        predicted = interpolate_runtimes(cards, runtimes, [5e3])
+        assert 1.0 < predicted[0] < 100.0
+
+    def test_degree_caps_at_point_count(self):
+        predicted = interpolate_runtimes([1e3, 1e6], [1.0, 1000.0], [1e4])
+        assert 1.0 <= predicted[0] <= 1000.0
+
+    def test_predictions_clipped_to_penalty(self):
+        cards = np.geomspace(1e3, 1e6, 6)
+        runtimes = 1e-9 * cards ** 3  # explosive growth
+        predicted = interpolate_runtimes(cards, runtimes, [1e8])
+        assert predicted[0] <= FAILURE_PENALTY_S
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            interpolate_runtimes([1e3], [1.0], [1e4])
+        with pytest.raises(GenerationError):
+            interpolate_runtimes([1e3, 1e3], [1.0, 2.0], [1e4])
+        with pytest.raises(GenerationError):
+            interpolate_runtimes([1e3, -1], [1.0, 2.0], [1e4])
+        with pytest.raises(GenerationError):
+            interpolate_runtimes([1e3, 1e4], [1.0], [1e4])
+
+
+class TestInterpolateLevel:
+    def test_endpoint_exact(self):
+        assert interpolate_level(1, 10.0, 4, 100.0, 1) == 10.0
+        assert interpolate_level(1, 10.0, 4, 100.0, 4) == 100.0
+
+    def test_midpoints_monotone(self):
+        v2 = interpolate_level(1, 10.0, 4, 100.0, 2)
+        v3 = interpolate_level(1, 10.0, 4, 100.0, 3)
+        assert 10.0 < v2 < v3 < 100.0
+
+    def test_clipped_to_penalty(self):
+        value = interpolate_level(1, 0.0, 4, 1e9, 3)
+        assert value <= FAILURE_PENALTY_S
+
+
+class TestLogGenerator:
+    @pytest.fixture
+    def setup(self):
+        registry = default_registry(("java", "spark"))
+        executor = SimulatedExecutor.default(registry)
+        return registry, executor
+
+    def test_label_grid_covers_everything(self, setup):
+        registry, executor = setup
+        loggen = LogGenerator(executor)
+        cards = list(np.geomspace(1e4, 1e7, 6))
+
+        def make_xplan(card, level):
+            return single_platform_plan(
+                build_pipeline(3, cardinality=card), "spark", registry
+            )
+
+        records = loggen.label_grid(
+            make_xplan,
+            cardinalities=cards,
+            executed_card_indices=[0, 1, 2, 5],
+            levels=[1, 2, 3, 4],
+            executed_levels=[1, 4],
+        )
+        assert len(records) == 6 * 4
+        executed = [r for r in records if r.executed]
+        imputed = [r for r in records if not r.executed]
+        assert len(executed) == 4 * 2  # executed cards x executed levels
+        assert len(imputed) == 24 - 8
+        assert loggen.n_executed == 8
+        assert loggen.n_imputed == 16
+        assert all(r.runtime >= 0 for r in records)
+
+    def test_failures_get_penalty_label(self, setup):
+        registry, executor = setup
+        loggen = LogGenerator(executor)
+        cards = [1e4, 1e6, 5e9]  # the last one OOMs on java
+
+        def make_xplan(card, level):
+            return single_platform_plan(
+                build_pipeline(3, cardinality=card), "java", registry
+            )
+
+        records = loggen.label_grid(
+            make_xplan,
+            cardinalities=cards,
+            executed_card_indices=[0, 1, 2],
+            levels=[2],
+            executed_levels=[2],
+        )
+        oom = [r for r in records if r.status == "oom"]
+        assert oom and all(r.runtime == FAILURE_PENALTY_S for r in oom)
+
+    def test_imputed_runtimes_between_neighbours(self, setup):
+        registry, executor = setup
+        loggen = LogGenerator(executor)
+        cards = list(np.geomspace(1e4, 1e7, 5))
+
+        def make_xplan(card, level):
+            return single_platform_plan(
+                build_pipeline(3, cardinality=card), "spark", registry
+            )
+
+        records = loggen.label_grid(
+            make_xplan,
+            cardinalities=cards,
+            executed_card_indices=[0, 1, 2, 4],
+            levels=[2],
+            executed_levels=[2],
+        )
+        by_card = {r.cardinality: r for r in records}
+        imputed = by_card[cards[3]]
+        assert not imputed.executed
+        assert by_card[cards[2]].runtime <= imputed.runtime <= by_card[cards[4]].runtime

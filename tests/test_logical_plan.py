@@ -1,0 +1,238 @@
+"""Tests for logical plan construction, validation and topology analysis."""
+
+import pytest
+
+from repro.exceptions import ArityError, CycleError, PlanError
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.logical_plan import LogicalPlan, LoopSpec
+from repro.rheem.operators import operator
+
+from conftest import build_join_plan, build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def ds():
+    return DatasetProfile("d", 1e6, 100.0)
+
+
+class TestConstruction:
+    def test_ids_are_dense_insertion_order(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        b = p.add(operator("Map"))
+        c = p.add(operator("CollectionSink"))
+        assert (a.id, b.id, c.id) == (0, 1, 2)
+
+    def test_source_requires_dataset(self):
+        p = LogicalPlan()
+        with pytest.raises(PlanError):
+            p.add(operator("TextFileSource"))
+
+    def test_non_source_rejects_dataset(self, ds):
+        p = LogicalPlan()
+        with pytest.raises(PlanError):
+            p.add(operator("Map"), dataset=ds)
+
+    def test_operator_cannot_join_two_plans(self, ds):
+        p1, p2 = LogicalPlan(), LogicalPlan()
+        op = p1.add(operator("TextFileSource"), dataset=ds)
+        with pytest.raises(PlanError):
+            p2.add(op)
+
+    def test_connect_unknown_operator_raises(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        with pytest.raises(PlanError):
+            p.connect(a, 99)
+
+    def test_self_loop_rejected(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        with pytest.raises(CycleError):
+            p.connect(a, a)
+
+    def test_chain_returns_last(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        b = p.add(operator("Map"))
+        c = p.add(operator("CollectionSink"))
+        assert p.chain(a, b, c) is c
+        assert p.children(a.id) == [b.id]
+        assert p.parents(c.id) == [b.id]
+
+
+class TestValidation:
+    def test_valid_pipeline_passes(self):
+        build_pipeline().validate()
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError):
+            LogicalPlan().validate()
+
+    def test_cycle_detected(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        b = p.add(operator("Map"))
+        c = p.add(operator("Map"))
+        p.connect(a, b)
+        p.connect(b, c)
+        p.connect(c, b)
+        with pytest.raises(CycleError):
+            p.validate()
+
+    def test_wrong_arity_detected(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        j = p.add(operator("Join"))  # binary but gets one input
+        k = p.add(operator("CollectionSink"))
+        p.chain(a, j, k)
+        with pytest.raises(ArityError):
+            p.validate()
+
+    def test_dangling_operator_detected_strict(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        b = p.add(operator("Map"))  # feeds nothing
+        k = p.add(operator("CollectionSink"))
+        p.connect(a, b)
+        # no sink path; build a second complete path so only b dangles
+        with pytest.raises(ArityError):
+            p.validate()
+        p2 = LogicalPlan()
+        s = p2.add(operator("TextFileSource"), dataset=ds)
+        m = p2.add(operator("Map"))
+        p2.connect(s, m)
+        p2.validate(strict=False)  # lenient mode allows partial plans
+
+    def test_sink_with_consumer_rejected(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        k = p.add(operator("CollectionSink"))
+        m = p.add(operator("Map"))
+        p.connect(a, k)
+        p.connect(k, m)
+        with pytest.raises(ArityError):
+            p.validate(strict=False)
+
+    def test_plan_without_source_rejected(self):
+        p = LogicalPlan()
+        p.add(operator("Map"))
+        with pytest.raises((PlanError, ArityError)):
+            p.validate()
+
+
+class TestLoops:
+    def test_loop_spec_validation(self):
+        with pytest.raises(PlanError):
+            LoopSpec(frozenset({1}), iterations=0)
+        with pytest.raises(PlanError):
+            LoopSpec(frozenset(), iterations=5)
+
+    def test_add_loop_checks_membership(self, ds):
+        p = LogicalPlan()
+        p.add(operator("TextFileSource"), dataset=ds)
+        with pytest.raises(PlanError):
+            p.add_loop([42], iterations=3)
+
+    def test_loop_iterations_multiply_when_nested(self):
+        p = build_loop_plan(iterations=10)
+        body_op = next(iter(p.loops[0].body))
+        p.add_loop([body_op], iterations=3)
+        assert p.loop_iterations(body_op) == 30
+
+    def test_in_loop(self):
+        p = build_loop_plan()
+        body = p.loops[0].body
+        for op_id in p.operators:
+            assert p.in_loop(op_id) == (op_id in body)
+
+
+class TestTopology:
+    def test_pipeline_counts(self):
+        p = build_pipeline(4)
+        topo = p.topology_counts()
+        assert topo.pipeline == 1
+        assert topo.juncture == 0
+        assert topo.replicate == 0
+        assert topo.loop == 0
+
+    def test_join_plan_counts_match_paper_example(self):
+        # The running example shape (Fig. 3a): 3 pipelines + 1 juncture.
+        p = build_join_plan()
+        topo = p.topology_counts()
+        assert topo.juncture == 1
+        assert topo.pipeline == 3
+
+    def test_loop_counted(self):
+        p = build_loop_plan()
+        assert p.topology_counts().loop == 1
+
+    def test_replicate_counted(self, ds):
+        p = LogicalPlan()
+        a = p.add(operator("TextFileSource"), dataset=ds)
+        b = p.add(operator("Map"))
+        c1 = p.add(operator("Filter"))
+        c2 = p.add(operator("Map"))
+        u = p.add(operator("Union"))
+        k = p.add(operator("CollectionSink"))
+        p.connect(a, b)
+        p.connect(b, c1)
+        p.connect(b, c2)
+        p.connect(c1, u)
+        p.connect(c2, u)
+        p.connect(u, k)
+        topo = p.topology_counts()
+        assert topo.replicate == 1
+        assert topo.juncture == 1
+
+    def test_scoped_topology_counts(self):
+        p = build_join_plan()
+        # Scope = the two ops of one source branch: a single pipeline.
+        topo = p.topology_counts(scope={0, 1})
+        assert topo.pipeline == 1
+        assert topo.juncture == 0
+
+    def test_singleton_join_scope_is_juncture(self):
+        p = build_join_plan()
+        join_id = next(
+            i for i, op in p.operators.items() if op.kind_name == "Join"
+        )
+        topo = p.topology_counts(scope={join_id})
+        assert topo.juncture == 1
+        assert topo.pipeline == 0
+
+
+class TestIntrospection:
+    def test_sources_and_sinks(self):
+        p = build_join_plan()
+        assert len(p.sources()) == 2
+        assert len(p.sinks()) == 1
+
+    def test_topological_order_respects_edges(self):
+        p = build_join_plan()
+        order = p.topological_order()
+        position = {op: i for i, op in enumerate(order)}
+        for u, v in p.edges:
+            assert position[u] < position[v]
+
+    def test_signature_stable_and_distinct(self):
+        assert build_pipeline(3).signature() == build_pipeline(3).signature()
+        assert build_pipeline(3).signature() != build_pipeline(4).signature()
+
+    def test_clone_is_independent(self):
+        p = build_pipeline(3)
+        q = p.clone()
+        q.scale_datasets_to_bytes(1e9)
+        src = p.sources()[0]
+        assert p.datasets[src].size_bytes != q.datasets[src].size_bytes
+
+    def test_scale_datasets(self):
+        p = build_pipeline(3)
+        p.scale_datasets_to_bytes(5e8)
+        src = p.sources()[0]
+        assert p.datasets[src].size_bytes == pytest.approx(5e8)
+
+    def test_set_dataset_requires_source(self, ds):
+        p = build_pipeline(3)
+        with pytest.raises(PlanError):
+            p.set_dataset(1, ds)  # op 1 is a Filter

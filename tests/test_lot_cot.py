@@ -1,0 +1,61 @@
+"""Tests for the LOT and COT auxiliary tables (§IV-C, Fig. 6)."""
+
+import pytest
+
+from repro.core.lot_cot import ConversionOperatorsTable, LogicalOperatorsTable
+from repro.rheem.execution_plan import ExecutionPlan, single_platform_plan
+from repro.rheem.platforms import default_registry
+
+from conftest import build_join_plan, build_pipeline
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink"))
+
+
+class TestLot:
+    def test_one_row_per_operator(self):
+        plan = build_join_plan()
+        lot = LogicalOperatorsTable(plan)
+        assert len(lot) == plan.n_operators
+
+    def test_rows_capture_structure(self):
+        plan = build_join_plan()
+        lot = LogicalOperatorsTable(plan)
+        for row in lot.rows:
+            assert row.parents == tuple(plan.parents(row.op_id))
+            assert row.kind == plan.operators[row.op_id].kind_name
+
+    def test_lookup_by_id(self):
+        plan = build_pipeline(2)
+        lot = LogicalOperatorsTable(plan)
+        assert lot[0].kind == "TextFileSource"
+
+    def test_render_mentions_all_labels(self):
+        plan = build_join_plan()
+        text = LogicalOperatorsTable(plan).render()
+        for op in plan.operators.values():
+            assert op.label in text
+
+
+class TestCot:
+    def test_single_platform_plan_has_empty_cot(self, reg):
+        plan = build_pipeline(2)
+        cot = ConversionOperatorsTable(single_platform_plan(plan, "java", reg))
+        assert len(cot) == 0
+
+    def test_cot_rows_match_conversions(self, reg):
+        plan = build_pipeline(2)
+        assignment = {0: "spark", 1: "spark", 2: "java", 3: "java"}
+        xplan = ExecutionPlan(plan, assignment, reg)
+        cot = ConversionOperatorsTable(xplan)
+        assert len(cot) == len(xplan.conversions())
+        assert cot.rows[0].kind == "collect"
+        assert cot.rows[0].edge == (1, 2)
+
+    def test_render(self, reg):
+        plan = build_pipeline(2)
+        assignment = {0: "spark", 1: "spark", 2: "java", 3: "java"}
+        text = ConversionOperatorsTable(ExecutionPlan(plan, assignment, reg)).render()
+        assert "spark.collect" in text

@@ -1,0 +1,116 @@
+"""Miscellaneous coverage: exceptions, lazy exports, robustness paths."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import exceptions as exc
+from repro.core.enumerator import PriorityEnumerator
+from repro.core.features import FeatureSchema
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import make_linear_cost
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "PlanError",
+            "CycleError",
+            "ArityError",
+            "UnknownOperatorError",
+            "PlatformError",
+            "EnumerationError",
+            "ScopeError",
+            "VectorizationError",
+            "ModelError",
+            "NotFittedError",
+            "SimulationError",
+            "ExecutionFailure",
+            "GenerationError",
+        ):
+            klass = getattr(exc, name)
+            assert issubclass(klass, exc.ReproError), name
+
+    def test_specializations(self):
+        assert issubclass(exc.CycleError, exc.PlanError)
+        assert issubclass(exc.NotFittedError, exc.ModelError)
+        assert issubclass(exc.ScopeError, exc.EnumerationError)
+        assert issubclass(exc.ExecutionFailure, exc.SimulationError)
+
+    def test_execution_failure_carries_context(self):
+        failure = exc.ExecutionFailure("oom", runtime=12.5)
+        assert failure.reason == "oom"
+        assert failure.runtime == 12.5
+        assert "oom" in str(failure)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_exports(self):
+        assert repro.SimulatedExecutor.__name__ == "SimulatedExecutor"
+        assert repro.RuntimeModel.__name__ == "RuntimeModel"
+        assert repro.TrainingDataGenerator.__name__ == "TrainingDataGenerator"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestDisconnectedPlans:
+    def build_two_components(self):
+        """Two independent source→map→sink chains in one plan."""
+        plan = LogicalPlan("two")
+        for tag in ("a", "b"):
+            src = plan.add(
+                operator("TextFileSource", f"src-{tag}"),
+                dataset=DatasetProfile(tag, 1e5, 100.0),
+            )
+            mid = plan.add(operator("Map", f"map-{tag}"))
+            sink = plan.add(operator("CollectionSink", f"sink-{tag}"))
+            plan.chain(src, mid, sink)
+        plan.validate()
+        return plan
+
+    def test_enumerator_handles_disconnected_components(self):
+        reg = synthetic_registry(2)
+        schema = FeatureSchema(reg)
+        cost = make_linear_cost(schema, seed=1)
+        plan = self.build_two_components()
+        result = PriorityEnumerator(reg, cost, schema=schema).enumerate_plan(plan)
+        assert set(result.execution_plan.assignment) == set(plan.operators)
+
+    def test_disconnected_optimum_matches_exhaustive(self):
+        reg = synthetic_registry(2)
+        schema = FeatureSchema(reg)
+        cost = make_linear_cost(schema, seed=2)
+        plan = self.build_two_components()
+        pruned = PriorityEnumerator(reg, cost, schema=schema).enumerate_plan(plan)
+        full = PriorityEnumerator(
+            reg, cost, pruning=False, schema=schema
+        ).enumerate_plan(plan)
+        assert pruned.predicted_cost == pytest.approx(full.predicted_cost)
+
+
+class TestSchemaAcrossRegistries:
+    def test_feature_count_formula(self):
+        for k in (1, 2, 3, 5):
+            schema = FeatureSchema(synthetic_registry(k))
+            kinds = len(schema.kind_names)
+            convs = len(schema.conversion_kinds)
+            expected = 4 + kinds * (2 * k + 8) + convs * (k + 2) + 6 * k + 2
+            assert schema.n_features == expected
+
+    def test_vectors_are_not_transferable_between_ks(self):
+        small = FeatureSchema(synthetic_registry(2))
+        large = FeatureSchema(synthetic_registry(3))
+        assert small.n_features != large.n_features

@@ -1,0 +1,78 @@
+"""Tests for gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.boosting import GradientBoostingRegressor
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(-1, 1, size=(500, 4))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + 0.5 * X[:, 2]
+    return X, y
+
+
+class TestBoosting:
+    def test_beats_single_tree_on_smooth_target(self, data):
+        X, y = data
+        from repro.ml.tree import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        boost = GradientBoostingRegressor(
+            n_estimators=100, max_depth=4, seed=0
+        ).fit(X, y)
+        err_tree = np.mean((tree.predict(X) - y) ** 2)
+        err_boost = np.mean((boost.predict(X) - y) ** 2)
+        assert err_boost < err_tree
+
+    def test_training_error_decreases_with_stages(self, data):
+        X, y = data
+        boost = GradientBoostingRegressor(
+            n_estimators=60, seed=0, subsample=1.0
+        ).fit(X, y)
+        curve = boost.staged_score(X, y)
+        assert curve[-1] < curve[0]
+        # Mostly decreasing (allow small wiggles from shallow stages).
+        assert curve[-1] <= np.min(curve) + 1e-9
+
+    def test_learning_rate_shrinkage(self, data):
+        X, y = data
+        slow = GradientBoostingRegressor(
+            n_estimators=5, learning_rate=0.01, seed=0
+        ).fit(X, y)
+        fast = GradientBoostingRegressor(
+            n_estimators=5, learning_rate=0.5, seed=0
+        ).fit(X, y)
+        err_slow = np.mean((slow.predict(X) - y) ** 2)
+        err_fast = np.mean((fast.predict(X) - y) ** 2)
+        assert err_fast < err_slow  # few stages: large steps fit faster
+
+    def test_reproducible(self, data):
+        X, y = data
+        a = GradientBoostingRegressor(n_estimators=10, seed=5).fit(X, y).predict(X[:9])
+        b = GradientBoostingRegressor(n_estimators=10, seed=5).fit(X, y).predict(X[:9])
+        assert np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(subsample=1.5)
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict(np.zeros((2, 2)))
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_runtime_model_integration(self, data):
+        X, y = data
+        from repro.ml.model import RuntimeModel, TrainingDataset
+
+        dataset = TrainingDataset(X, np.abs(y) + 0.1)
+        model = RuntimeModel.train(dataset, "boosting", seed=0, n_estimators=40)
+        assert model.metrics["spearman"] > 0.5
+        assert np.all(model.predict(X[:10]) >= 0)

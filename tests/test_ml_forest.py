@@ -1,0 +1,85 @@
+"""Tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.forest import RandomForestRegressor
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(size=(400, 6))
+    y = 2 * X[:, 0] + X[:, 1] * X[:, 2] + rng.normal(0, 0.01, 400)
+    return X, y
+
+
+class TestFit:
+    def test_trains_requested_number_of_trees(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=7, seed=0).fit(X, y)
+        assert len(rf.trees_) == 7
+
+    def test_reproducible_with_seed(self, data):
+        X, y = data
+        a = RandomForestRegressor(n_estimators=5, seed=42).fit(X, y).predict(X[:20])
+        b = RandomForestRegressor(n_estimators=5, seed=42).fit(X, y).predict(X[:20])
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self, data):
+        X, y = data
+        a = RandomForestRegressor(n_estimators=5, seed=1).fit(X, y).predict(X[:20])
+        b = RandomForestRegressor(n_estimators=5, seed=2).fit(X, y).predict(X[:20])
+        assert not np.allclose(a, b)
+
+    def test_more_trees_reduce_test_error(self, data):
+        X, y = data
+        rng = np.random.default_rng(9)
+        Xt = rng.uniform(size=(200, 6))
+        yt = 2 * Xt[:, 0] + Xt[:, 1] * Xt[:, 2]
+        small = RandomForestRegressor(n_estimators=2, seed=0).fit(X, y)
+        large = RandomForestRegressor(n_estimators=30, seed=0).fit(X, y)
+        err_small = np.mean((small.predict(Xt) - yt) ** 2)
+        err_large = np.mean((large.predict(Xt) - yt) ** 2)
+        assert err_large <= err_small * 1.05
+
+    def test_max_samples_limits_tree_data(self, data):
+        X, y = data
+        rf = RandomForestRegressor(
+            n_estimators=3, max_samples=0.1, seed=0, min_samples_leaf=1
+        ).fit(X, y)
+        # With 40 rows per tree, trees stay small.
+        assert all(t.n_nodes < 80 for t in rf.trees_)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ModelError):
+            RandomForestRegressor(max_samples=0.0)
+        with pytest.raises(ModelError):
+            RandomForestRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestPredict:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_prediction_is_mean_of_trees(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=4, seed=3).fit(X, y)
+        manual = np.mean([t.predict(X[:10]) for t in rf.trees_], axis=0)
+        assert np.allclose(rf.predict(X[:10]), manual)
+
+    def test_feature_importances_sum_to_one(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=5, seed=0).fit(X, y)
+        imp = rf.feature_importances()
+        assert imp.shape == (6,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert np.all(imp >= 0)
+
+    def test_importances_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().feature_importances()

@@ -1,0 +1,83 @@
+"""Tests for linear models and non-negative least squares."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.linear import (
+    LinearRegression,
+    RidgeRegression,
+    nonnegative_least_squares,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4)
+
+
+class TestRidge:
+    def test_recovers_linear_relationship(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 4.0
+        model = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-3)
+
+    def test_handles_constant_columns(self, rng):
+        X = np.hstack([rng.normal(size=(100, 2)), np.ones((100, 1))])
+        y = X[:, 0]
+        model = RidgeRegression().fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_regularization_shrinks_coefficients(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X @ np.array([5.0, 5.0, 5.0])
+        weak = RidgeRegression(alpha=1e-6).fit(X, y)
+        strong = RidgeRegression(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_no_intercept(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = RidgeRegression(alpha=1e-6, fit_intercept=False).fit(X, y)
+        assert model.y_mean_ == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            RidgeRegression(alpha=-1.0)
+        with pytest.raises(ModelError):
+            RidgeRegression().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(NotFittedError):
+            RidgeRegression().predict(np.zeros((2, 2)))
+
+    def test_linear_regression_alias(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0] * 3
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-3)
+
+
+class TestNNLS:
+    def test_recovers_nonnegative_solution(self, rng):
+        X = rng.uniform(size=(300, 4))
+        w_true = np.array([1.0, 0.0, 2.5, 0.3])
+        y = X @ w_true
+        w = nonnegative_least_squares(X, y)
+        assert np.allclose(w, w_true, atol=1e-6)
+
+    def test_never_negative(self, rng):
+        X = rng.uniform(size=(100, 5))
+        y = X @ np.array([1.0, -2.0, 0.5, 0.0, 3.0])  # unreachable target
+        w = nonnegative_least_squares(X, y)
+        assert np.all(w >= 0)
+
+    def test_zero_columns_get_zero_weight(self, rng):
+        X = rng.uniform(size=(50, 3))
+        X[:, 1] = 0.0
+        y = X[:, 0]
+        w = nonnegative_least_squares(X, y)
+        assert w[1] == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            nonnegative_least_squares(np.zeros((5, 2)), np.zeros(4))

@@ -1,0 +1,55 @@
+"""Tests for the regression / ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.metrics import mae, pearson, q_error, rmse, spearman
+
+
+class TestBasicMetrics:
+    def test_rmse(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+        assert rmse([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_mae(self):
+        assert mae([0, 0], [3, -4]) == pytest.approx(3.5)
+
+    def test_q_error_median(self):
+        assert q_error([1, 10], [2, 10], quantile=1.0) == pytest.approx(2.0)
+        assert q_error([4], [2]) == pytest.approx(2.0)  # symmetric
+
+    def test_q_error_symmetry(self):
+        assert q_error([2], [8]) == q_error([8], [2])
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            rmse([1, 2], [1])
+        with pytest.raises(ModelError):
+            mae([], [])
+
+
+class TestCorrelation:
+    def test_pearson_perfect(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_constant_input_is_zero(self):
+        assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_spearman_monotone_transform_invariance(self):
+        x = np.array([1.0, 5.0, 3.0, 9.0, 7.0])
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+        assert spearman(x, -np.exp(x)) == pytest.approx(-1.0)
+
+    def test_spearman_handles_ties(self):
+        x = np.array([1.0, 1.0, 2.0, 3.0])
+        y = np.array([1.0, 1.0, 2.0, 3.0])
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_spearman_uncorrelated_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=3000)
+        y = rng.normal(size=3000)
+        assert abs(spearman(x, y)) < 0.1

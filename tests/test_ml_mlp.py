@@ -1,0 +1,56 @@
+"""Tests for the MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.mlp import MLPRegressor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestMLP:
+    def test_learns_linear_function(self, rng):
+        X = rng.normal(size=(400, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 1.0
+        model = MLPRegressor(hidden=(16,), epochs=100, seed=0).fit(X, y)
+        pred = model.predict(X)
+        rmse = np.sqrt(np.mean((pred - y) ** 2))
+        assert rmse < 0.5 * y.std()
+
+    def test_learns_nonlinear_function(self, rng):
+        X = rng.uniform(-1, 1, size=(600, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        model = MLPRegressor(hidden=(32, 16), epochs=200, seed=0).fit(X, y)
+        rmse = np.sqrt(np.mean((model.predict(X) - y) ** 2))
+        assert rmse < 0.6 * y.std()
+
+    def test_reproducible_with_seed(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        a = MLPRegressor(epochs=10, seed=3).fit(X, y).predict(X[:5])
+        b = MLPRegressor(epochs=10, seed=3).fit(X, y).predict(X[:5])
+        assert np.allclose(a, b)
+
+    def test_handles_constant_columns(self, rng):
+        X = np.hstack([rng.normal(size=(100, 2)), np.zeros((100, 1))])
+        y = X[:, 0]
+        model = MLPRegressor(epochs=20, seed=0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MLPRegressor(hidden=(0,))
+        with pytest.raises(ModelError):
+            MLPRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict(np.zeros((2, 2)))
+
+    def test_batch_larger_than_data(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = X[:, 0]
+        model = MLPRegressor(epochs=5, batch_size=256, seed=0).fit(X, y)
+        assert model.predict(X).shape == (10,)

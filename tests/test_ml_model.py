@@ -1,0 +1,113 @@
+"""Tests for RuntimeModel and TrainingDataset."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.model import ALGORITHMS, RuntimeModel, TrainingDataset
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(6)
+    X = rng.uniform(0, 10, size=(300, 8))
+    y = np.abs(X[:, 0] * 3 + X[:, 1] + rng.normal(0, 0.1, 300))
+    meta = [{"i": i} for i in range(300)]
+    return TrainingDataset(X, y, meta)
+
+
+class TestTrainingDataset:
+    def test_shapes_validated(self):
+        with pytest.raises(ModelError):
+            TrainingDataset(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            TrainingDataset(np.zeros((3, 2)), np.zeros(3), meta=[{}])
+
+    def test_len_and_features(self, dataset):
+        assert len(dataset) == 300
+        assert dataset.n_features == 8
+
+    def test_split_partitions(self, dataset):
+        train, test = dataset.split(0.25, seed=1)
+        assert len(train) + len(test) == 300
+        assert len(test) == 75
+        assert train.meta and test.meta
+        indices = {m["i"] for m in train.meta} | {m["i"] for m in test.meta}
+        assert indices == set(range(300))
+
+    def test_split_validation(self, dataset):
+        with pytest.raises(ModelError):
+            dataset.split(0.0)
+        with pytest.raises(ModelError):
+            dataset.split(1.0)
+
+    def test_take(self, dataset):
+        sub = dataset.take(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        assert sub.meta[1]["i"] == 5
+
+    def test_extend(self, dataset):
+        combined = dataset.extend(dataset)
+        assert len(combined) == 600
+        with pytest.raises(ModelError):
+            dataset.extend(TrainingDataset(np.zeros((2, 3)), np.zeros(2)))
+
+    def test_save_load_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "ds.pkl"
+        dataset.save(path)
+        loaded = TrainingDataset.load(path)
+        assert np.allclose(loaded.X, dataset.X)
+        assert np.allclose(loaded.y, dataset.y)
+        assert loaded.meta == dataset.meta
+
+
+class TestRuntimeModel:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_train_all_algorithms(self, dataset, algorithm):
+        params = {"n_estimators": 5} if algorithm == "random_forest" else {}
+        if algorithm == "mlp":
+            params = {"epochs": 20}
+        model = RuntimeModel.train(dataset, algorithm, seed=0, **params)
+        preds = model.predict(dataset.X[:10])
+        assert preds.shape == (10,)
+        assert np.all(preds >= 0)
+        assert model.metrics["spearman"] > 0.5
+
+    def test_unknown_algorithm(self, dataset):
+        with pytest.raises(ModelError):
+            RuntimeModel.train(dataset, "svm")
+
+    def test_needs_minimum_rows(self):
+        tiny = TrainingDataset(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(ModelError):
+            RuntimeModel.train(tiny)
+
+    def test_predict_shape_checks(self, dataset):
+        model = RuntimeModel.train(dataset, "linear", seed=0)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_predict_accepts_single_vector(self, dataset):
+        model = RuntimeModel.train(dataset, "linear", seed=0)
+        value = model.predict_one(dataset.X[0])
+        assert isinstance(value, float)
+        assert value >= 0
+
+    def test_predictions_never_negative(self, dataset):
+        model = RuntimeModel.train(dataset, "linear", seed=0)
+        wild = dataset.X - 100.0
+        assert np.all(model.predict(wild) >= 0)
+
+    def test_save_load_roundtrip(self, dataset, tmp_path):
+        model = RuntimeModel.train(dataset, "random_forest", seed=0, n_estimators=5)
+        path = tmp_path / "model.pkl"
+        model.save(path)
+        loaded = RuntimeModel.load(path)
+        assert np.allclose(loaded.predict(dataset.X[:20]), model.predict(dataset.X[:20]))
+        assert loaded.algorithm == "random_forest"
+        assert loaded.metrics == model.metrics
+
+    def test_metrics_populated(self, dataset):
+        model = RuntimeModel.train(dataset, "linear", seed=0)
+        for key in ("rmse_log", "spearman", "q50", "q95", "n_train", "n_test"):
+            assert key in model.metrics

@@ -1,0 +1,103 @@
+"""Tests for the decision-tree regressor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFit:
+    def test_fits_a_step_function_exactly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1.0, 1.0, 5.0, 5.0])
+        tree = DecisionTreeRegressor(min_samples_leaf=1, min_samples_split=2).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.full(20, 3.5)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_nodes == 1
+        assert np.allclose(tree.predict(X), 3.5)
+
+    def test_constant_features_single_leaf(self):
+        X = np.ones((20, 3))
+        y = np.arange(20, dtype=float)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_nodes == 1
+        assert np.allclose(tree.predict(X), y.mean())
+
+    def test_max_depth_respected(self, rng):
+        X = rng.uniform(size=(300, 4))
+        y = rng.uniform(size=300)
+        tree = DecisionTreeRegressor(
+            max_depth=3, min_samples_leaf=1, min_samples_split=2
+        ).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.uniform(size=(100, 3))
+        y = rng.uniform(size=100)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        # Each leaf prediction is an average over >= 10 samples: check by
+        # counting unique leaf values vs. an upper bound.
+        assert tree.n_nodes <= 2 * (100 // 10) - 1
+
+    def test_deeper_fits_are_at_least_as_good(self, rng):
+        X = rng.uniform(size=(500, 3))
+        y = X[:, 0] * 3 + np.sin(5 * X[:, 1])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=10).fit(X, y)
+        err_s = np.mean((shallow.predict(X) - y) ** 2)
+        err_d = np.mean((deep.predict(X) - y) ** 2)
+        assert err_d <= err_s
+
+    def test_input_validation(self):
+        tree = DecisionTreeRegressor()
+        with pytest.raises(ModelError):
+            tree.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ModelError):
+            tree.fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(max_features=0).fit(
+                np.zeros((5, 2)), np.zeros(5)
+            )
+
+
+class TestPredict:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((2, 2)))
+
+    def test_predict_wrong_width(self, rng):
+        X = rng.uniform(size=(50, 3))
+        tree = DecisionTreeRegressor().fit(X, X[:, 0])
+        with pytest.raises(ModelError):
+            tree.predict(np.zeros((2, 4)))
+
+    def test_prediction_is_piecewise_constant(self, rng):
+        X = rng.uniform(size=(200, 2))
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        preds = tree.predict(rng.uniform(size=(500, 2)))
+        assert len(np.unique(preds)) <= 2 ** 4
+
+    def test_max_features_sqrt(self, rng):
+        X = rng.uniform(size=(100, 16))
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_features="sqrt", rng=rng).fit(X, y)
+        assert tree.n_nodes >= 1

@@ -1,0 +1,106 @@
+"""Tests for the object-based enumeration (the baselines' engine)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.object_enumerator import ObjectEnumerator
+from repro.core.features import FeatureSchema
+from repro.core.enumerator import PriorityEnumerator
+from repro.exceptions import EnumerationError
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import build_join_plan, build_loop_plan, build_pipeline, make_linear_cost
+
+
+def object_linear_cost(schema):
+    """Same decomposable cost as make_linear_cost, via encode_partial."""
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(0.0, 1.0, schema.n_features)
+
+    def batch_cost(plan, subplans, stats):
+        return np.asarray(
+            [
+                schema.encode_partial(plan, sp.scope, sp.assignment) @ weights
+                for sp in subplans
+            ]
+        )
+
+    return batch_cost
+
+
+def vector_linear_cost(schema):
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(0.0, 1.0, schema.n_features)
+
+    def cost(enumeration):
+        return enumeration.features @ weights
+
+    return cost
+
+
+@pytest.fixture
+def reg():
+    return synthetic_registry(2)
+
+
+class TestAgreementWithVectorized:
+    """Object and vectorized enumeration must find the same optimum when
+    driven by the same (decomposable) cost — the paper's fairness setup."""
+
+    @pytest.mark.parametrize(
+        "builder", [lambda: build_pipeline(3), build_join_plan, build_loop_plan]
+    )
+    def test_same_optimal_plan(self, reg, builder):
+        plan = builder()
+        schema = FeatureSchema(reg)
+        obj = ObjectEnumerator(reg, object_linear_cost(schema))
+        vec = PriorityEnumerator(reg, vector_linear_cost(schema), schema=schema)
+        r_obj = obj.enumerate_plan(plan)
+        r_vec = vec.enumerate_plan(plan)
+        assert r_obj.cost == pytest.approx(r_vec.predicted_cost)
+        assert r_obj.execution_plan == r_vec.execution_plan
+
+    @pytest.mark.parametrize("priority", ["robopt", "topdown", "bottomup"])
+    def test_priorities_supported(self, reg, priority):
+        plan = build_pipeline(3)
+        schema = FeatureSchema(reg)
+        result = ObjectEnumerator(
+            reg, object_linear_cost(schema), priority=priority
+        ).enumerate_plan(plan)
+        assert result.execution_plan is not None
+
+    def test_unknown_priority_rejected(self, reg):
+        with pytest.raises(EnumerationError):
+            ObjectEnumerator(reg, lambda *a: None, priority="diagonal")
+
+
+class TestPruningBehaviour:
+    def test_pruning_reduces_subplans(self, reg):
+        plan = build_pipeline(5)
+        schema = FeatureSchema(reg)
+        cost = object_linear_cost(schema)
+        pruned = ObjectEnumerator(reg, cost).enumerate_plan(plan)
+        exhaustive = ObjectEnumerator(reg, cost, pruning=False).enumerate_plan(plan)
+        assert pruned.stats.subplans_created < exhaustive.stats.subplans_created
+        assert pruned.stats.subplans_pruned > 0
+        assert exhaustive.stats.subplans_pruned == 0
+        assert pruned.cost == pytest.approx(exhaustive.cost)
+
+    def test_max_subplans_guard(self, reg):
+        plan = build_pipeline(6)
+        schema = FeatureSchema(reg)
+        enum = ObjectEnumerator(
+            reg, object_linear_cost(schema), pruning=False, max_subplans=50
+        )
+        with pytest.raises(EnumerationError):
+            enum.enumerate_plan(plan)
+
+    def test_stats_populated(self, reg):
+        plan = build_pipeline(3)
+        schema = FeatureSchema(reg)
+        result = ObjectEnumerator(reg, object_linear_cost(schema)).enumerate_plan(plan)
+        s = result.stats
+        assert s.singleton_subplans == 2 * plan.n_operators
+        assert s.merges > 0
+        assert s.cost_evaluations > 0
+        assert s.latency_s > 0

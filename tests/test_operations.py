@@ -1,0 +1,198 @@
+"""Tests for the algebraic operations (§IV-C/D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.enumeration import EnumerationContext
+from repro.core.operations import (
+    enumerate_abstract,
+    enumerate_singleton,
+    iterate,
+    merge,
+    merge_enumerations,
+    split,
+    unvectorize,
+    vectorize,
+)
+from repro.exceptions import (
+    EnumerationError,
+    ScopeError,
+    VectorizationError,
+)
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import build_join_plan, build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def ctx():
+    return EnumerationContext(build_pipeline(2), synthetic_registry(3))
+
+
+class TestVectorizeAndSplit:
+    def test_vectorize_covers_full_scope(self, ctx):
+        abstract = vectorize(ctx)
+        assert abstract.scope == frozenset(ctx.plan.operators)
+
+    def test_abstract_marks_alternatives_with_minus_one(self, ctx):
+        abstract = vectorize(ctx)
+        schema = ctx.schema
+        for op_id, alts in abstract.alternatives.items():
+            kind = ctx.plan.operators[op_id].kind_name
+            for pi in alts:
+                assert abstract.features[schema.op_platform_cell(kind, int(pi))] == -1.0
+
+    def test_vectorize_from_plan_and_registry(self):
+        plan = build_pipeline(2)
+        reg = synthetic_registry(2)
+        abstract = vectorize(plan, reg)
+        assert abstract.n_operators == plan.n_operators
+
+    def test_vectorize_requires_registry_with_plan(self):
+        with pytest.raises(VectorizationError):
+            vectorize(build_pipeline(2))
+
+    def test_split_yields_disjoint_singletons_covering_scope(self, ctx):
+        parts = split(vectorize(ctx))
+        scopes = [part.scope for part in parts]
+        assert all(len(s) == 1 for s in scopes)
+        union = frozenset().union(*scopes)
+        assert union == frozenset(ctx.plan.operators)
+        assert len(scopes) == len(set(scopes))
+
+
+class TestEnumerate:
+    def test_singleton_enumeration_one_vector_per_platform(self, ctx):
+        parts = split(vectorize(ctx))
+        for part in parts:
+            enum = enumerate_singleton(part)
+            (op_id,) = part.scope
+            assert enum.n_vectors == len(ctx.alternatives[op_id])
+
+    def test_singleton_rejects_larger_scope(self, ctx):
+        with pytest.raises(EnumerationError):
+            enumerate_singleton(vectorize(ctx))
+
+    def test_enumerate_abstract_is_cartesian(self, ctx):
+        enum = enumerate_abstract(vectorize(ctx))
+        k = len(ctx.registry)
+        assert enum.n_vectors == k ** ctx.plan.n_operators
+        # all assignments distinct
+        uniq = np.unique(enum.assignments, axis=0)
+        assert uniq.shape[0] == enum.n_vectors
+
+
+class TestIterate:
+    def test_iterate_is_cartesian_product(self, ctx):
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        i, j = iterate(parts[0], parts[1])
+        n1, n2 = parts[0].n_vectors, parts[1].n_vectors
+        assert len(i) == len(j) == n1 * n2
+        pairs = set(zip(i.tolist(), j.tolist()))
+        assert len(pairs) == n1 * n2
+
+
+class TestMerge:
+    def test_merge_scope_is_union(self, ctx):
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        merged = merge_enumerations(parts[0], parts[1])
+        assert merged.scope == parts[0].scope | parts[1].scope
+
+    def test_merge_overlapping_scopes_rejected(self, ctx):
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        merged = merge_enumerations(parts[0], parts[1])
+        with pytest.raises(ScopeError):
+            merge_enumerations(merged, parts[0])
+
+    def test_merge_different_contexts_rejected(self):
+        reg = synthetic_registry(2)
+        c1 = EnumerationContext(build_pipeline(2), reg)
+        c2 = EnumerationContext(build_pipeline(2), reg)
+        a = enumerate_singleton(split(vectorize(c1))[0])
+        b = enumerate_singleton(split(vectorize(c2))[1])
+        with pytest.raises(ScopeError):
+            merge_enumerations(a, b)
+
+    def test_merge_assignments_combine(self, ctx):
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        merged = merge_enumerations(parts[0], parts[1])
+        for row in range(merged.n_vectors):
+            a = merged.assignments[row]
+            assert a[0] >= 0 and a[1] >= 0
+            assert np.all(a[2:] == -1)
+
+    def test_merge_adds_conversion_features_on_crossing_edges(self, ctx):
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        merged = merge_enumerations(parts[0], parts[1])
+        schema = ctx.schema
+        conv_cols = [
+            schema.conv_platform_cell(kind, i)
+            for kind in schema.conversion_kinds
+            for i in range(len(ctx.registry))
+        ]
+        for row in range(merged.n_vectors):
+            switches = merged.assignments[row, 0] != merged.assignments[row, 1]
+            has_conv = merged.features[row, conv_cols].sum() > 0
+            assert has_conv == bool(switches)
+
+    def test_merged_vector_matches_direct_encoding(self, ctx):
+        enum = enumerate_abstract(vectorize(ctx))
+        schema = ctx.schema
+        for row in range(0, enum.n_vectors, 7):
+            xp = ExecutionPlan(
+                ctx.plan, enum.assignment_dict(row), ctx.registry
+            )
+            direct = schema.encode_execution_plan(xp)
+            assert np.allclose(direct, enum.features[row]), row
+
+    def test_merged_vector_matches_direct_encoding_with_loops(self):
+        ctx = EnumerationContext(build_loop_plan(iterations=6), synthetic_registry(2))
+        enum = enumerate_abstract(vectorize(ctx))
+        schema = ctx.schema
+        for row in range(enum.n_vectors):
+            xp = ExecutionPlan(ctx.plan, enum.assignment_dict(row), ctx.registry)
+            assert np.allclose(
+                schema.encode_execution_plan(xp), enum.features[row]
+            ), row
+
+    def test_pairwise_merge_unit_form(self, ctx):
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        single = merge(parts[0], parts[1], 0, 1)
+        assert single.n_vectors == 1
+        batched = merge_enumerations(parts[0], parts[1])
+        i, j = iterate(parts[0], parts[1])
+        row = next(
+            r for r in range(len(i)) if i[r] == 0 and j[r] == 1
+        )
+        assert np.allclose(single.features[0], batched.features[row])
+
+
+class TestUnvectorize:
+    def test_roundtrip_assignment(self, ctx):
+        enum = enumerate_abstract(vectorize(ctx))
+        for row in (0, enum.n_vectors // 2, enum.n_vectors - 1):
+            xp = unvectorize(enum, row)
+            assert xp.assignment == enum.assignment_dict(row)
+
+    def test_partial_scope_rejected(self, ctx):
+        part = enumerate_singleton(split(vectorize(ctx))[0])
+        with pytest.raises(VectorizationError):
+            unvectorize(part, 0)
+
+    def test_row_out_of_range(self, ctx):
+        enum = enumerate_abstract(vectorize(ctx))
+        with pytest.raises(VectorizationError):
+            unvectorize(enum, enum.n_vectors)
+
+    def test_unvectorized_plan_has_conversions(self):
+        ctx = EnumerationContext(build_join_plan(), synthetic_registry(2))
+        enum = enumerate_abstract(vectorize(ctx))
+        mixed_row = next(
+            r
+            for r in range(enum.n_vectors)
+            if len(set(enum.assignments[r][enum.assignments[r] >= 0])) > 1
+        )
+        xp = unvectorize(enum, mixed_row)
+        assert xp.num_platform_switches() > 0
+        assert xp.conversions()

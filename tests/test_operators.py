@@ -1,0 +1,90 @@
+"""Tests for the operator catalog and operator instances."""
+
+import pytest
+
+from repro.exceptions import UnknownOperatorError
+from repro.rheem.operators import (
+    KIND_NAMES,
+    KINDS,
+    LogicalOperator,
+    UdfComplexity,
+    get_kind,
+    operator,
+)
+
+
+class TestCatalog:
+    def test_catalog_has_stable_order(self):
+        assert KIND_NAMES == tuple(KINDS)
+        assert KIND_NAMES[0] == "TextFileSource"
+
+    def test_sources_and_sinks_flagged(self):
+        assert KINDS["TextFileSource"].is_source
+        assert not KINDS["TextFileSource"].is_sink
+        assert KINDS["CollectionSink"].is_sink
+        assert KINDS["Join"].is_binary
+
+    def test_arities(self):
+        assert KINDS["Map"].arity_in == 1
+        assert KINDS["Join"].arity_in == 2
+        assert KINDS["TextFileSource"].arity_in == 0
+        assert KINDS["CollectionSink"].arity_out == 0
+
+    def test_get_kind_unknown_raises(self):
+        with pytest.raises(UnknownOperatorError):
+            get_kind("Teleport")
+
+    def test_every_kind_has_positive_default_selectivity(self):
+        for kind in KINDS.values():
+            assert kind.default_selectivity > 0
+
+
+class TestLogicalOperator:
+    def test_defaults_come_from_kind(self):
+        op = operator("Filter")
+        assert op.selectivity == KINDS["Filter"].default_selectivity
+        assert op.udf_complexity == KINDS["Filter"].default_complexity
+        assert op.label == "Filter"
+
+    def test_overrides(self):
+        op = operator(
+            "Map",
+            "Map(heavy)",
+            udf_complexity=UdfComplexity.SUPER_QUADRATIC,
+            selectivity=0.3,
+        )
+        assert op.label == "Map(heavy)"
+        assert op.udf_complexity == UdfComplexity.SUPER_QUADRATIC
+        assert op.selectivity == 0.3
+
+    def test_output_cardinality_uses_selectivity(self):
+        op = operator("Filter", selectivity=0.25)
+        assert op.output_cardinality(1000.0) == 250.0
+
+    def test_fixed_output_cardinality_wins(self):
+        op = operator("ReduceBy", fixed_output_cardinality=10)
+        assert op.output_cardinality(1e9) == 10.0
+
+    def test_sink_output_is_zero(self):
+        op = operator("CollectionSink")
+        assert op.output_cardinality(1e6) == 0.0
+
+    def test_params_passthrough(self):
+        op = operator("Map", note="hello", level=3)
+        assert op.params == {"note": "hello", "level": 3}
+
+    def test_id_unassigned_until_added(self):
+        assert operator("Map").id == -1
+
+
+class TestUdfComplexity:
+    def test_encoding_order(self):
+        assert (
+            UdfComplexity.LOGARITHMIC
+            < UdfComplexity.LINEAR
+            < UdfComplexity.QUADRATIC
+            < UdfComplexity.SUPER_QUADRATIC
+        )
+
+    def test_int_values_match_paper_classes(self):
+        assert [c.value for c in UdfComplexity] == [1, 2, 3, 4]

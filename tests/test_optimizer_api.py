@@ -1,0 +1,110 @@
+"""Tests for the Robopt facade: optimize, top-k, explain."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSchema
+from repro.core.optimizer import ExplainReport, Robopt
+from repro.exceptions import EnumerationError
+from repro.rheem.platforms import default_registry, synthetic_registry
+
+from conftest import build_join_plan, build_pipeline
+
+
+class LinearModel:
+    def __init__(self, schema, seed=0):
+        rng = np.random.default_rng(seed)
+        self.weights = rng.uniform(0, 1, schema.n_features)
+
+    def predict(self, X):
+        return np.asarray(X) @ self.weights
+
+
+@pytest.fixture
+def setup():
+    reg = synthetic_registry(3)
+    schema = FeatureSchema(reg)
+    return reg, schema, LinearModel(schema)
+
+
+class TestOptimize:
+    def test_returns_complete_plan(self, setup):
+        reg, schema, model = setup
+        result = Robopt(reg, model, schema=schema).optimize(build_pipeline(3))
+        assert set(result.execution_plan.assignment) == set(range(5))
+        assert result.predicted_runtime >= 0
+        assert result.latency_s > 0
+
+    def test_repr(self, setup):
+        reg, schema, model = setup
+        text = repr(Robopt(reg, model, schema=schema))
+        assert "priority='robopt'" in text
+
+    def test_optimization_is_deterministic(self, setup):
+        reg, schema, model = setup
+        robopt = Robopt(reg, model, schema=schema)
+        plan = build_join_plan()
+        a = robopt.optimize(plan)
+        b = robopt.optimize(plan)
+        assert a.execution_plan == b.execution_plan
+        assert a.predicted_runtime == b.predicted_runtime
+
+    def test_invalid_plan_rejected(self, setup):
+        reg, schema, model = setup
+        from repro.exceptions import PlanError
+        from repro.rheem.logical_plan import LogicalPlan
+
+        with pytest.raises(PlanError):
+            Robopt(reg, model, schema=schema).optimize(LogicalPlan("empty"))
+
+
+class TestTopK:
+    def test_topk_sorted_and_distinct(self, setup):
+        reg, schema, model = setup
+        robopt = Robopt(reg, model, schema=schema)
+        ranked = robopt.optimize_topk(build_pipeline(3), k=5)
+        assert 1 <= len(ranked) <= 5
+        costs = [cost for _, cost in ranked]
+        assert costs == sorted(costs)
+        plans = [xp.signature() for xp, _ in ranked]
+        assert len(set(plans)) == len(plans)
+
+    def test_topk_first_equals_optimize(self, setup):
+        reg, schema, model = setup
+        robopt = Robopt(reg, model, schema=schema)
+        plan = build_join_plan()
+        best = robopt.optimize(plan)
+        ranked = robopt.optimize_topk(plan, k=2)
+        assert ranked[0][1] == pytest.approx(best.predicted_runtime)
+        assert ranked[0][0] == best.execution_plan
+
+    def test_invalid_k(self, setup):
+        reg, schema, model = setup
+        with pytest.raises(EnumerationError):
+            Robopt(reg, model, schema=schema).optimize_topk(build_pipeline(2), k=0)
+
+
+class TestExplain:
+    def test_explain_fields(self, setup):
+        reg, schema, model = setup
+        report = Robopt(reg, model, schema=schema).explain(build_pipeline(3), k=3)
+        assert isinstance(report, ExplainReport)
+        assert report.predicted_runtime >= 0
+        assert set(report.single_platform_predictions) == set(reg.names)
+        assert len(report.alternatives) <= 2
+        for _, cost in report.alternatives:
+            assert cost >= report.predicted_runtime
+
+    def test_explain_skips_infeasible_platforms(self):
+        reg = default_registry(("java", "spark", "graphx"))
+        schema = FeatureSchema(reg)
+        model = LinearModel(schema)
+        report = Robopt(reg, model, schema=schema).explain(build_pipeline(2))
+        assert "graphx" not in report.single_platform_predictions
+
+    def test_render_readable(self, setup):
+        reg, schema, model = setup
+        text = Robopt(reg, model, schema=schema).explain(build_pipeline(3)).render()
+        assert "Chosen plan" in text
+        assert "Single-platform predictions" in text
+        assert "plan vectors" in text

@@ -1,0 +1,132 @@
+"""The paper's running example (Figs. 3, 5, 6) as an executable test.
+
+Builds the customer-classification query of Fig. 3(a), instantiates the
+execution plan of Fig. 3(b) (Spark for the large transactions branch,
+Java for the small customers branch), and checks the plan vector encodes
+exactly what Fig. 5 describes, plus the LOT/COT structure of Fig. 6.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSchema
+from repro.core.lot_cot import ConversionOperatorsTable, LogicalOperatorsTable
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+from repro.rheem.platforms import default_registry
+
+
+@pytest.fixture
+def running_example():
+    """Fig. 3(a): classify customers of a country by their transactions."""
+    plan = LogicalPlan("fig3")
+    # o1/o2: transactions branch (large).
+    o1 = plan.add(
+        operator("TextFileSource", "TextFileSource(transactions)"),
+        dataset=DatasetProfile("transactions", 40e6, 120.0),
+    )
+    o2 = plan.add(operator("Filter", "Filter(month)", selectivity=0.25))
+    # o3/o4/o5: customers branch (small).
+    o3 = plan.add(
+        operator("TextFileSource", "TextFileSource(customers)"),
+        dataset=DatasetProfile("customers", 2e6, 80.0),
+    )
+    o4 = plan.add(operator("Filter", "Filter(country)", selectivity=0.05))
+    o5 = plan.add(operator("Map", "Map(project)"))
+    # o6..o9: join and aggregation.
+    o6 = plan.add(operator("Join", "Join(customer_id)", selectivity=0.1))
+    o7 = plan.add(operator("ReduceBy", "ReduceBy(sum_&_count)", selectivity=0.01))
+    o8 = plan.add(operator("Map", "Map(label)"))
+    o9 = plan.add(operator("CollectionSink", "CollectionSink"))
+    plan.chain(o1, o2, o6)
+    plan.chain(o3, o4, o5, o6)
+    plan.chain(o6, o7, o8, o9)
+    plan.validate()
+    return plan
+
+
+@pytest.fixture
+def fig3b_execution_plan(running_example):
+    """Fig. 3(b): customers on Java, everything else on Spark."""
+    reg = default_registry(("java", "spark"))
+    assignment = {i: "spark" for i in running_example.operators}
+    assignment[2] = "java"  # o3 TextFileSource(customers)
+    assignment[3] = "java"  # o4 Filter(country)
+    assignment[4] = "java"  # o5 Map(project)
+    return ExecutionPlan(running_example, assignment, reg)
+
+
+class TestFig3Topology:
+    def test_three_pipelines_one_juncture(self, running_example):
+        topo = running_example.topology_counts()
+        assert topo.pipeline == 3
+        assert topo.juncture == 1
+        assert topo.replicate == 0
+        assert topo.loop == 0
+
+
+class TestFig3bConversions:
+    def test_data_moves_at_the_branch_boundary_and_sink(self, fig3b_execution_plan):
+        kinds = [(c.kind, c.platform) for c in fig3b_execution_plan.conversions()]
+        # Java customers branch ships into Spark for the join
+        # (Fig. 3(b)'s JavaCollect + SparkCollectionSource pair = our
+        # 'distribute' channel step into Spark).
+        assert ("distribute", "spark") in kinds
+        assert fig3b_execution_plan.num_platform_switches() == 1
+        assert fig3b_execution_plan.platforms_used() == ("java", "spark")
+
+
+class TestFig5PlanVector:
+    def test_fig5_cells(self, fig3b_execution_plan):
+        xplan = fig3b_execution_plan
+        schema = FeatureSchema(xplan.registry)
+        v = schema.encode_execution_plan(xplan)
+        java = xplan.registry.index("java")
+        spark = xplan.registry.index("spark")
+
+        # Shape features (orange): 3 pipelines, 1 juncture, 0 replicate/loop.
+        assert v[0:4].tolist() == [3, 1, 0, 0]
+
+        # Operator features (green): Filter appears twice — once per
+        # platform — and both instances sit in pipelines.
+        assert v[schema.op_total_cell("Filter")] == 2
+        assert v[schema.op_platform_cell("Filter", java)] == 1
+        assert v[schema.op_platform_cell("Filter", spark)] == 1
+        assert v[schema.op_topology_cell("Filter", 0)] == 2  # pipeline
+        assert v[schema.op_topology_cell("Filter", 1)] == 0  # juncture
+
+        # Filter input cardinalities: 40M transactions + 2M customers.
+        assert v[schema.op_input_card_cell("Filter")] == pytest.approx(42e6)
+        # Filter UDF complexities: both linear (2 + 2), as in Fig. 5.
+        assert v[schema.op_udf_cell("Filter")] == 4
+
+        # Data movement features (blue): one distribute into Spark.
+        assert v[schema.conv_platform_cell("distribute", spark)] == 1
+        moved = xplan.conversions()[0].cardinality
+        assert v[schema.conv_input_card_cell("distribute")] == pytest.approx(moved)
+
+        # Dataset feature (pink): the max input tuple size.
+        assert v[schema.tuple_size_cell] == 120.0
+
+    def test_join_is_the_juncture(self, fig3b_execution_plan):
+        schema = FeatureSchema(fig3b_execution_plan.registry)
+        v = schema.encode_execution_plan(fig3b_execution_plan)
+        assert v[schema.op_topology_cell("Join", 1)] == 1
+
+
+class TestFig6Tables:
+    def test_lot_matches_fig6(self, running_example):
+        lot = LogicalOperatorsTable(running_example)
+        assert len(lot) == 9
+        join_row = lot[5]
+        assert join_row.kind == "Join"
+        assert set(join_row.parents) == {1, 4}  # o2 and o5 feed the join
+        text = lot.render()
+        assert "Join(customer_id)" in text
+
+    def test_cot_lists_the_platform_switches(self, fig3b_execution_plan):
+        cot = ConversionOperatorsTable(fig3b_execution_plan)
+        assert len(cot) == len(fig3b_execution_plan.conversions()) >= 1
+        assert any(row.kind == "distribute" for row in cot.rows)

@@ -1,0 +1,138 @@
+"""Tests for platforms and the platform registry."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.rheem.platforms import (
+    CATEGORY_DATABASE,
+    CATEGORY_DISTRIBUTED,
+    CATEGORY_LOCAL,
+    Platform,
+    PlatformRegistry,
+    default_registry,
+    synthetic_registry,
+)
+
+
+class TestPlatform:
+    def test_supports_everything_by_default(self):
+        p = Platform("x")
+        assert p.supports("Map")
+        assert p.supports("Join")
+
+    def test_supported_kinds_whitelist(self):
+        p = Platform("db", CATEGORY_DATABASE, frozenset({"Filter", "Join"}))
+        assert p.supports("Filter")
+        assert not p.supports("Map")
+
+    def test_unsupported_kinds_blacklist(self):
+        p = Platform("x", unsupported_kinds=frozenset({"TableSource"}))
+        assert p.supports("Map")
+        assert not p.supports("TableSource")
+
+    def test_blacklist_overrides_whitelist(self):
+        p = Platform(
+            "x",
+            supported_kinds=frozenset({"Map"}),
+            unsupported_kinds=frozenset({"Map"}),
+        )
+        assert not p.supports("Map")
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform("x", "quantum")
+
+
+class TestPlatformRegistry:
+    def test_order_is_preserved(self):
+        reg = PlatformRegistry([Platform("a"), Platform("b"), Platform("c")])
+        assert reg.names == ("a", "b", "c")
+        assert reg.index("b") == 1
+
+    def test_lookup_by_name_and_index(self):
+        reg = synthetic_registry(3)
+        assert reg["platform1"].name == "platform1"
+        assert reg[2].name == "platform2"
+
+    def test_unknown_platform_raises(self):
+        reg = synthetic_registry(2)
+        with pytest.raises(PlatformError):
+            reg.index("nope")
+        with pytest.raises(PlatformError):
+            reg["nope"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformRegistry([Platform("a"), Platform("a")])
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformRegistry([])
+
+    def test_contains_and_len(self):
+        reg = synthetic_registry(4)
+        assert len(reg) == 4
+        assert "platform0" in reg
+        assert "spark" not in reg
+
+    def test_supporting_filters_platforms(self):
+        reg = default_registry(("java", "spark", "postgres"))
+        names = [p.name for p in reg.supporting("TableSource")]
+        assert names == ["postgres"]
+        names = [p.name for p in reg.supporting("Map")]
+        assert "postgres" not in names
+
+    def test_restricted_subsets_in_order(self):
+        reg = default_registry(("java", "spark", "flink"))
+        sub = reg.restricted(["flink", "java"])
+        assert sub.names == ("flink", "java")
+
+
+class TestDefaultRegistry:
+    def test_default_trio(self):
+        reg = default_registry()
+        assert reg.names == ("java", "spark", "flink")
+
+    def test_categories(self):
+        reg = default_registry(("java", "spark", "postgres", "graphx"))
+        assert reg["java"].category == CATEGORY_LOCAL
+        assert reg["spark"].category == CATEGORY_DISTRIBUTED
+        assert reg["postgres"].category == CATEGORY_DATABASE
+
+    def test_graphx_only_runs_pagerank(self):
+        reg = default_registry(("graphx",))
+        assert reg["graphx"].supports("PageRank")
+        assert not reg["graphx"].supports("Map")
+
+    def test_postgres_is_relational_only(self):
+        reg = default_registry(("postgres",))
+        pg = reg["postgres"]
+        assert pg.supports("Join")
+        assert pg.supports("TableSource")
+        assert not pg.supports("FlatMap")
+        assert not pg.supports("PageRank")
+        assert not pg.supports("Cache")
+
+    def test_only_postgres_reads_tables(self):
+        reg = default_registry(("java", "spark", "flink", "postgres"))
+        assert [p.name for p in reg.supporting("TableSource")] == ["postgres"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PlatformError):
+            default_registry(("java", "oracle"))
+
+
+class TestSyntheticRegistry:
+    def test_platform0_is_local_rest_distributed(self):
+        reg = synthetic_registry(4)
+        assert reg["platform0"].category == CATEGORY_LOCAL
+        for i in range(1, 4):
+            assert reg[f"platform{i}"].category == CATEGORY_DISTRIBUTED
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_sizes(self, k):
+        assert len(synthetic_registry(k)) == k
+
+    def test_zero_platforms_rejected(self):
+        with pytest.raises(PlatformError):
+            synthetic_registry(0)

@@ -1,0 +1,81 @@
+"""Tests for the priority metrics (§V-A)."""
+
+import pytest
+
+from repro.core.enumeration import EnumerationContext
+from repro.core.operations import enumerate_singleton, split, vectorize
+from repro.core.priority import make_priority, robopt_priority
+from repro.exceptions import EnumerationError
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import build_join_plan, build_pipeline
+
+
+@pytest.fixture
+def ctx():
+    return EnumerationContext(build_pipeline(2), synthetic_registry(3))
+
+
+def singleton_enums(ctx):
+    return {next(iter(p.scope)): enumerate_singleton(p) for p in split(vectorize(ctx))}
+
+
+class TestRoboptPriority:
+    def test_definition_3(self, ctx):
+        enums = singleton_enums(ctx)
+        # op 1's child is op 2 in the pipeline.
+        value = robopt_priority(enums[1], [enums[2]])
+        assert value == enums[1].n_vectors * enums[2].n_vectors
+
+    def test_no_children_priority_is_own_size(self, ctx):
+        enums = singleton_enums(ctx)
+        assert robopt_priority(enums[3], []) == enums[3].n_vectors
+
+    def test_paper_example_3(self):
+        """Join with 3 execution operators, ReduceBy with 2 -> priority 6."""
+        plan = build_join_plan()
+        reg = synthetic_registry(3)
+        ctx = EnumerationContext(plan, reg)
+        join_id = next(i for i, op in plan.operators.items() if op.kind_name == "Join")
+        reduce_id = next(
+            i for i, op in plan.operators.items() if op.kind_name == "ReduceBy"
+        )
+        enums = singleton_enums(ctx)
+        # Mimic the paper's |V_join|=3, |V_reduce|=2 by trimming the child.
+        import numpy as np
+
+        trimmed = enums[reduce_id].select(np.array([0, 1]))
+        assert robopt_priority(enums[join_id], [trimmed]) == 6
+
+
+class TestDistancePriorities:
+    def test_topdown_prefers_sink_side(self, ctx):
+        priority = make_priority("topdown", ctx)
+        enums = singleton_enums(ctx)
+        sink = ctx.plan.sinks()[0]
+        source = ctx.plan.sources()[0]
+        assert priority(enums[sink], []) > priority(enums[source], [])
+
+    def test_bottomup_prefers_source_side(self, ctx):
+        priority = make_priority("bottomup", ctx)
+        enums = singleton_enums(ctx)
+        sink = ctx.plan.sinks()[0]
+        source = ctx.plan.sources()[0]
+        assert priority(enums[source], []) > priority(enums[sink], [])
+
+    def test_distance_priority_uses_scope_max(self, ctx):
+        priority = make_priority("bottomup", ctx)
+        enums = singleton_enums(ctx)
+        from repro.core.operations import merge_enumerations
+
+        merged = merge_enumerations(enums[0], enums[1])
+        assert priority(merged, []) == max(
+            priority(enums[0], []), priority(enums[1], [])
+        )
+
+    def test_unknown_priority_rejected(self, ctx):
+        with pytest.raises(EnumerationError):
+            make_priority("sideways", ctx)
+
+    def test_make_priority_robopt(self, ctx):
+        assert make_priority("robopt", ctx) is robopt_priority

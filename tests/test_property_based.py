@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The invariants under test are the paper's formal claims:
+
+* ``merge`` is commutative and associative (§IV-D);
+* boundary pruning is lossless w.r.t. a decomposable cost model (Def. 2);
+* a pruned pipeline enumeration never exceeds k² vectors (Lemma 1);
+* merged plan vectors equal the direct encoding of the same execution
+  plan (the vectorized enumeration computes *the* plan vector);
+* the β-switch pruning bound holds for every surviving vector.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration import EnumerationContext
+from repro.core.enumerator import PriorityEnumerator
+from repro.core.features import FeatureSchema
+from repro.core.operations import (
+    enumerate_abstract,
+    enumerate_singleton,
+    merge_enumerations,
+    split,
+    vectorize,
+)
+from repro.core.pruning import prune, prune_switches
+from repro.ml.metrics import spearman
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.execution_plan import ExecutionPlan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+from repro.rheem.platforms import synthetic_registry
+from repro.tdgen.loggen import interpolate_runtimes
+
+# ---------------------------------------------------------------------------
+# Plan strategies
+# ---------------------------------------------------------------------------
+
+_UNARY = ("Map", "Filter", "FlatMap", "ReduceBy", "Sort", "Distinct")
+
+
+@st.composite
+def pipeline_plans(draw, max_middle=5):
+    """Random small pipelines with random kinds and selectivities."""
+    n_middle = draw(st.integers(1, max_middle))
+    cardinality = draw(st.floats(1e3, 1e8))
+    plan = LogicalPlan("hyp")
+    ops = [
+        plan.add(
+            operator("TextFileSource"),
+            dataset=DatasetProfile("d", cardinality, 100.0),
+        )
+    ]
+    for _ in range(n_middle):
+        kind = draw(st.sampled_from(_UNARY))
+        sel = draw(st.floats(0.05, 2.0))
+        ops.append(plan.add(operator(kind, selectivity=sel)))
+    ops.append(plan.add(operator("CollectionSink")))
+    plan.chain(*ops)
+    if draw(st.booleans()) and n_middle >= 2:
+        body = [ops[1].id, ops[2].id]
+        plan.add_loop(body, iterations=draw(st.integers(2, 50)))
+    plan.validate()
+    return plan
+
+
+def linear_cost(schema, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0, 1, schema.n_features)
+    return lambda enum: enum.features @ weights
+
+
+# ---------------------------------------------------------------------------
+# Merge algebra
+# ---------------------------------------------------------------------------
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=pipeline_plans(max_middle=3), k=st.integers(2, 3))
+    def test_merge_commutative(self, plan, k):
+        ctx = EnumerationContext(plan, synthetic_registry(k))
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        ab = merge_enumerations(parts[0], parts[1])
+        ba = merge_enumerations(parts[1], parts[0])
+        # Same multiset of (assignment, features) rows.
+        order_ab = np.lexsort(ab.assignments.T)
+        order_ba = np.lexsort(ba.assignments.T)
+        assert np.array_equal(
+            ab.assignments[order_ab], ba.assignments[order_ba]
+        )
+        assert np.allclose(ab.features[order_ab], ba.features[order_ba])
+
+    @settings(max_examples=20, deadline=None)
+    @given(plan=pipeline_plans(max_middle=3), k=st.integers(2, 3))
+    def test_merge_associative(self, plan, k):
+        ctx = EnumerationContext(plan, synthetic_registry(k))
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        left = merge_enumerations(merge_enumerations(parts[0], parts[1]), parts[2])
+        right = merge_enumerations(parts[0], merge_enumerations(parts[1], parts[2]))
+        order_l = np.lexsort(left.assignments.T)
+        order_r = np.lexsort(right.assignments.T)
+        assert np.array_equal(
+            left.assignments[order_l], right.assignments[order_r]
+        )
+        assert np.allclose(left.features[order_l], right.features[order_r])
+
+    @settings(max_examples=20, deadline=None)
+    @given(plan=pipeline_plans(max_middle=4), k=st.integers(2, 3))
+    def test_merged_vectors_equal_direct_encoding(self, plan, k):
+        reg = synthetic_registry(k)
+        ctx = EnumerationContext(plan, reg)
+        enum = enumerate_abstract(vectorize(ctx))
+        rows = np.linspace(0, enum.n_vectors - 1, min(6, enum.n_vectors)).astype(int)
+        for row in rows:
+            xp = ExecutionPlan(plan, enum.assignment_dict(int(row)), reg)
+            direct = ctx.schema.encode_execution_plan(xp)
+            assert np.allclose(direct, enum.features[int(row)])
+
+
+# ---------------------------------------------------------------------------
+# Pruning invariants
+# ---------------------------------------------------------------------------
+
+
+class TestPruningInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        plan=pipeline_plans(max_middle=4),
+        k=st.integers(2, 3),
+        seed=st.integers(0, 1000),
+    )
+    def test_boundary_pruning_lossless(self, plan, k, seed):
+        """Def. 2: pruned optimum == exhaustive optimum for decomposable costs."""
+        reg = synthetic_registry(k)
+        schema = FeatureSchema(reg)
+        cost = linear_cost(schema, seed)
+        pruned = PriorityEnumerator(reg, cost, schema=schema).enumerate_plan(plan)
+        full = PriorityEnumerator(
+            reg, cost, pruning=False, schema=schema
+        ).enumerate_plan(plan)
+        assert pruned.predicted_cost == pytest.approx(full.predicted_cost)
+
+    @settings(max_examples=20, deadline=None)
+    @given(plan=pipeline_plans(max_middle=6), k=st.integers(2, 3), seed=st.integers(0, 50))
+    def test_lemma_1_quadratic_enumerations(self, plan, k, seed):
+        """Lemma 1: pruned pipeline enumerations hold at most k² vectors."""
+        reg = synthetic_registry(k)
+        schema = FeatureSchema(reg)
+        cost = linear_cost(schema, seed)
+        result = PriorityEnumerator(reg, cost, schema=schema).enumerate_plan(plan)
+        assert result.stats.final_vectors <= k ** 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=pipeline_plans(max_middle=4), beta=st.integers(0, 3))
+    def test_switch_pruning_bound(self, plan, beta):
+        ctx = EnumerationContext(plan, synthetic_registry(2))
+        enum = enumerate_abstract(vectorize(ctx))
+        pruned = prune_switches(enum, beta=beta)
+        assert pruned.n_vectors >= 1
+        assert np.all(pruned.switch_counts() <= max(beta, enum.switch_counts().min()))
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=pipeline_plans(max_middle=3), seed=st.integers(0, 100))
+    def test_prune_keeps_global_optimum_row(self, plan, seed):
+        """The overall cheapest vector always survives boundary pruning."""
+        ctx = EnumerationContext(plan, synthetic_registry(2))
+        enum = enumerate_abstract(vectorize(ctx))
+        cost = linear_cost(ctx.schema, seed)
+        costs = cost(enum)
+        pruned, _ = prune(enum, cost)
+        assert cost(pruned).min() == pytest.approx(costs.min())
+
+
+# ---------------------------------------------------------------------------
+# Supporting numerics
+# ---------------------------------------------------------------------------
+
+
+class TestSerializationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=pipeline_plans(max_middle=5))
+    def test_json_roundtrip_preserves_signature(self, plan):
+        from repro.rheem.serialization import plan_from_json, plan_to_json
+
+        restored = plan_from_json(plan_to_json(plan))
+        assert restored.signature() == plan.signature()
+        assert restored.cardinalities() == plan.cardinalities()
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=pipeline_plans(max_middle=3), k=st.integers(2, 3), row=st.integers(0, 10_000))
+    def test_execution_plan_roundtrip(self, plan, k, row):
+        from repro.rheem.serialization import (
+            execution_plan_from_json,
+            execution_plan_to_json,
+        )
+
+        reg = synthetic_registry(k)
+        ctx = EnumerationContext(plan, reg)
+        enum = enumerate_abstract(vectorize(ctx))
+        xplan = ExecutionPlan(
+            plan, enum.assignment_dict(row % enum.n_vectors), reg
+        )
+        restored = execution_plan_from_json(execution_plan_to_json(xplan), reg)
+        assert restored == xplan
+
+
+class TestChannelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.sampled_from(["java", "spark", "flink", "postgres"]),
+        b=st.sampled_from(["java", "spark", "flink", "postgres"]),
+        in_loop=st.booleans(),
+    )
+    def test_graph_paths_match_rule_table(self, a, b, in_loop):
+        from repro.rheem.channels import conversion_path_via_graph
+        from repro.rheem.conversion import conversion_path
+        from repro.rheem.platforms import default_registry
+
+        reg = default_registry(("java", "spark", "flink", "postgres"))
+        expected = tuple(
+            (s.kind, s.platform)
+            for s in conversion_path(reg[a], reg[b], in_loop=in_loop)
+        )
+        assert conversion_path_via_graph(reg[a], reg[b], in_loop=in_loop) == expected
+
+
+class TestNumericProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(1.0, 1e6), min_size=3, max_size=10, unique=True),
+    )
+    def test_interpolation_through_executed_points(self, cards):
+        cards = np.sort(np.asarray(cards))
+        runtimes = 0.5 + cards / 1e4
+        predicted = interpolate_runtimes(cards, runtimes, cards)
+        assert np.allclose(predicted, runtimes, rtol=1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=50, unique=True))
+    def test_spearman_bounds_and_self_correlation(self, values):
+        x = np.asarray(values)
+        assert spearman(x, x) == pytest.approx(1.0)
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=x.size)
+        assert -1.0 - 1e-9 <= spearman(x, y) <= 1.0 + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(plan=pipeline_plans(max_middle=4))
+    def test_cardinalities_nonnegative_and_consistent(self, plan):
+        cards = plan.cardinalities()
+        for op_id, (in_card, out_card) in cards.items():
+            assert in_card >= 0 and out_card >= 0
+            parents = plan.parents(op_id)
+            if parents:
+                assert in_card == pytest.approx(
+                    sum(cards[p][1] for p in parents)
+                )

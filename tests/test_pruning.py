@@ -1,0 +1,156 @@
+"""Tests for boundary pruning (§IV-E) and β-switch pruning (§VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.enumeration import EnumerationContext
+from repro.core.operations import enumerate_abstract, vectorize
+from repro.core.pruning import (
+    boundary_operators,
+    footprint_groups,
+    ml_cost,
+    prune,
+    prune_switches,
+    pruning_footprint,
+    switch_cost,
+)
+from repro.exceptions import EnumerationError
+from repro.rheem.platforms import synthetic_registry
+
+from conftest import build_join_plan, build_pipeline, make_linear_cost
+
+
+@pytest.fixture
+def ctx():
+    return EnumerationContext(build_pipeline(2), synthetic_registry(2))
+
+
+@pytest.fixture
+def full_enum(ctx):
+    return enumerate_abstract(vectorize(ctx))
+
+
+class TestBoundaryOperators:
+    def test_full_scope_has_no_boundary(self, ctx):
+        assert boundary_operators(ctx, frozenset(ctx.plan.operators)).size == 0
+
+    def test_chain_prefix_boundary_is_last_op(self, ctx):
+        boundary = boundary_operators(ctx, frozenset({0, 1}))
+        assert boundary.tolist() == [1]
+
+    def test_interior_scope_has_two_boundaries(self, ctx):
+        boundary = boundary_operators(ctx, frozenset({1, 2}))
+        assert boundary.tolist() == [1, 2]
+
+    def test_join_scope_boundary(self):
+        plan = build_join_plan()
+        ctx = EnumerationContext(plan, synthetic_registry(2))
+        join_id = next(i for i, op in plan.operators.items() if op.kind_name == "Join")
+        scope = frozenset({join_id})
+        assert boundary_operators(ctx, scope).tolist() == [join_id]
+
+
+class TestFootprint:
+    def test_footprint_shape(self, ctx):
+        enum = enumerate_abstract(vectorize(ctx))
+        fp = pruning_footprint(enum)
+        assert fp.shape == (enum.n_vectors, 0)  # complete scope -> no boundary
+
+    def test_footprint_groups_match_boundary_assignments(self, ctx):
+        # Build the enumeration for a prefix scope with a real boundary.
+        from repro.core.operations import enumerate_singleton, merge_enumerations, split
+
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        prefix = merge_enumerations(parts[0], parts[1])  # scope {0,1}, boundary {1}
+        groups = footprint_groups(prefix)
+        boundary_platform = prefix.assignments[:, 1]
+        # Same boundary platform <-> same group.
+        for i in range(prefix.n_vectors):
+            for j in range(prefix.n_vectors):
+                same = boundary_platform[i] == boundary_platform[j]
+                assert (groups[i] == groups[j]) == same
+
+
+class TestPrune:
+    def test_prune_keeps_min_per_footprint(self, ctx):
+        from repro.core.operations import enumerate_singleton, merge_enumerations, split
+
+        parts = [enumerate_singleton(p) for p in split(vectorize(ctx))]
+        prefix = merge_enumerations(parts[0], parts[1])
+        cost = make_linear_cost(ctx.schema, seed=3)
+        pruned, costs = prune(prefix, cost)
+        k = len(ctx.registry)
+        assert pruned.n_vectors == k  # one per boundary platform (Lemma 1 regime)
+        # kept vectors are the argmin of their group
+        groups = footprint_groups(prefix)
+        for row in range(pruned.n_vectors):
+            row_cost = cost(pruned)[row]
+            fp = pruned.assignments[row, 1]
+            group_costs = costs[prefix.assignments[:, 1] == fp]
+            assert row_cost == pytest.approx(group_costs.min())
+
+    def test_prune_complete_scope_keeps_single_best(self, full_enum, ctx):
+        cost = make_linear_cost(ctx.schema, seed=5)
+        pruned, costs = prune(full_enum, cost)
+        assert pruned.n_vectors == 1
+        assert cost(pruned)[0] == pytest.approx(costs.min())
+
+    def test_prune_is_deterministic_on_ties(self, full_enum):
+        constant = lambda e: np.zeros(e.n_vectors)
+        a, _ = prune(full_enum, constant)
+        b, _ = prune(full_enum, constant)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_prune_bad_cost_shape_rejected(self, full_enum):
+        with pytest.raises(EnumerationError):
+            prune(full_enum, lambda e: np.zeros((e.n_vectors, 2)))
+
+    def test_prune_empty_enumeration_rejected(self, full_enum):
+        empty = full_enum.select(np.array([], dtype=np.int64))
+        with pytest.raises(EnumerationError):
+            prune(empty, lambda e: np.zeros(e.n_vectors))
+
+    def test_ml_cost_feeds_feature_matrix(self, full_enum):
+        class Probe:
+            def __init__(self):
+                self.shapes = []
+
+            def predict(self, X):
+                self.shapes.append(X.shape)
+                return np.arange(X.shape[0], dtype=float)
+
+        probe = Probe()
+        costs = ml_cost(probe)(full_enum)
+        assert probe.shapes == [(full_enum.n_vectors, full_enum.features.shape[1])]
+        assert costs.tolist() == list(range(full_enum.n_vectors))
+
+
+class TestSwitchPruning:
+    def test_switch_cost_counts_internal_switches(self, full_enum):
+        switches = switch_cost(full_enum)
+        single = [
+            row
+            for row in range(full_enum.n_vectors)
+            if len(set(full_enum.assignments[row].tolist())) == 1
+        ]
+        for row in single:
+            assert switches[row] == 0
+
+    def test_beta_filter(self, full_enum):
+        pruned = prune_switches(full_enum, beta=0)
+        assert np.all(pruned.switch_counts() == 0)
+        k = 2
+        assert pruned.n_vectors == k  # only the single-platform plans
+
+    def test_beta_never_empties(self, full_enum):
+        # Even with beta=0, vectors with minimal switches survive.
+        pruned = prune_switches(full_enum, beta=0)
+        assert pruned.n_vectors >= 1
+
+    def test_negative_beta_rejected(self, full_enum):
+        with pytest.raises(EnumerationError):
+            prune_switches(full_enum, beta=-1)
+
+    def test_beta_large_keeps_everything(self, full_enum):
+        pruned = prune_switches(full_enum, beta=100)
+        assert pruned.n_vectors == full_enum.n_vectors

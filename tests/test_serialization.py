@@ -1,0 +1,104 @@
+"""Tests for JSON (de)serialization of plans and execution plans."""
+
+import json
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.rheem.execution_plan import single_platform_plan
+from repro.rheem.platforms import default_registry
+from repro.rheem.serialization import (
+    dataset_from_dict,
+    execution_plan_from_json,
+    execution_plan_to_json,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+
+from conftest import build_join_plan, build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink"))
+
+
+class TestPlanRoundtrip:
+    @pytest.mark.parametrize(
+        "builder", [lambda: build_pipeline(3), build_join_plan, build_loop_plan]
+    )
+    def test_roundtrip_preserves_signature(self, builder):
+        plan = builder()
+        restored = plan_from_json(plan_to_json(plan))
+        assert restored.signature() == plan.signature()
+        assert restored.name == plan.name
+
+    def test_roundtrip_preserves_selectivities_and_datasets(self):
+        plan = build_pipeline(2, cardinality=12345)
+        restored = plan_from_json(plan_to_json(plan))
+        for op_id, op in plan.operators.items():
+            assert restored.operators[op_id].selectivity == op.selectivity
+            assert restored.operators[op_id].udf_complexity == op.udf_complexity
+        src = plan.sources()[0]
+        assert restored.datasets[src].cardinality == 12345
+
+    def test_roundtrip_preserves_loops(self):
+        plan = build_loop_plan(iterations=17)
+        restored = plan_from_json(plan_to_json(plan))
+        assert restored.loops[0].iterations == 17
+        assert restored.loops[0].body == plan.loops[0].body
+
+    def test_roundtrip_cardinalities_identical(self):
+        plan = build_join_plan()
+        restored = plan_from_json(plan_to_json(plan))
+        assert restored.cardinalities() == plan.cardinalities()
+
+    def test_restored_plan_validates(self):
+        restored = plan_from_json(plan_to_json(build_join_plan()))
+        restored.validate()
+
+    def test_version_checked(self):
+        blob = plan_to_dict(build_pipeline(2))
+        blob["version"] = 999
+        with pytest.raises(PlanError):
+            plan_from_dict(blob)
+
+    def test_dataset_document_validation(self):
+        with pytest.raises(PlanError):
+            dataset_from_dict({"name": "x"})
+
+    def test_json_is_plain_and_readable(self):
+        text = plan_to_json(build_pipeline(2))
+        blob = json.loads(text)
+        assert {"version", "name", "operators", "edges", "loops", "datasets"} <= set(
+            blob
+        )
+
+
+class TestExecutionPlanRoundtrip:
+    def test_roundtrip(self, reg):
+        plan = build_join_plan()
+        xplan = single_platform_plan(plan, "spark", reg)
+        restored = execution_plan_from_json(execution_plan_to_json(xplan), reg)
+        assert restored == xplan
+
+    def test_conversions_recomputed(self, reg):
+        plan = build_pipeline(2)
+        from repro.rheem.execution_plan import ExecutionPlan
+
+        xplan = ExecutionPlan(
+            plan, {0: "spark", 1: "spark", 2: "java", 3: "java"}, reg
+        )
+        restored = execution_plan_from_json(execution_plan_to_json(xplan), reg)
+        assert [c.kind for c in restored.conversions()] == [
+            c.kind for c in xplan.conversions()
+        ]
+
+    def test_missing_platform_rejected(self, reg):
+        plan = build_pipeline(2)
+        xplan = single_platform_plan(plan, "flink", reg)
+        small = default_registry(("java", "spark"))
+        with pytest.raises(PlanError):
+            execution_plan_from_json(execution_plan_to_json(xplan), small)

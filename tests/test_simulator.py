@@ -1,0 +1,229 @@
+"""Tests for the simulated execution environment."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionFailure, SimulationError
+from repro.rheem.datasets import GB, MB, DatasetProfile
+from repro.rheem.execution_plan import ExecutionPlan, single_platform_plan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import UdfComplexity, operator
+from repro.rheem.platforms import default_registry, synthetic_registry
+from repro.simulator.executor import (
+    STATUS_OK,
+    STATUS_OOM,
+    STATUS_TIMEOUT,
+    SimulatedExecutor,
+)
+from repro.simulator.profiles import (
+    COMPLEXITY_WORK,
+    KIND_WORK,
+    PlatformProfile,
+    default_profiles,
+)
+
+from conftest import build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink"))
+
+
+@pytest.fixture
+def executor(reg):
+    return SimulatedExecutor.default(reg)
+
+
+class TestProfiles:
+    def test_default_profiles_cover_registry(self, reg):
+        profiles = default_profiles(reg)
+        assert set(profiles) == {"java", "spark", "flink"}
+
+    def test_synthetic_profiles_generated(self):
+        profiles = default_profiles(synthetic_registry(4))
+        assert set(profiles) == {f"platform{i}" for i in range(4)}
+        assert profiles["platform0"].startup_s == 0.0
+
+    def test_unknown_platform_rejected(self):
+        from repro.rheem.platforms import Platform, PlatformRegistry
+
+        reg = PlatformRegistry([Platform("mystery")])
+        with pytest.raises(SimulationError):
+            default_profiles(reg)
+
+    def test_profile_validation(self):
+        with pytest.raises(SimulationError):
+            PlatformProfile(
+                name="x", startup_s=0, per_op_overhead_s=0, tuple_rate=0,
+                shuffle_rate=1, io_rate=1, loop_overhead_s=0,
+            )
+
+    def test_kind_speed_default_one(self):
+        profiles = default_profiles(default_registry(("spark",)))
+        assert profiles["spark"].speed("NoSuchKind") == 1.0
+
+    def test_with_overrides(self):
+        p = default_profiles(default_registry(("spark",)))["spark"]
+        q = p.with_overrides(startup_s=99.0)
+        assert q.startup_s == 99.0
+        assert q.tuple_rate == p.tuple_rate
+
+    def test_complexity_work_monotone(self):
+        values = [COMPLEXITY_WORK[c] for c in UdfComplexity]
+        assert values == sorted(values)
+
+    def test_every_catalog_kind_has_work(self):
+        from repro.rheem.operators import KINDS
+
+        for name in KINDS:
+            assert name in KIND_WORK
+
+
+class TestExecution:
+    def test_deterministic_without_noise(self, executor, reg):
+        plan = build_pipeline(3)
+        xp = single_platform_plan(plan, "spark", reg)
+        a = executor.execute(xp).runtime_s
+        b = executor.execute(xp).runtime_s
+        assert a == b
+
+    def test_breakdown_sums_to_total(self, executor, reg):
+        plan = build_pipeline(3)
+        report = executor.execute(single_platform_plan(plan, "flink", reg))
+        b = report.breakdown
+        assert report.status == STATUS_OK
+        assert b["total"] == pytest.approx(
+            b["startup"] + b["operators"] + b["conversions"] + b["loops"]
+        )
+
+    def test_startup_charged_once_per_platform(self, executor, reg):
+        plan = build_pipeline(3)
+        report = executor.execute(single_platform_plan(plan, "spark", reg))
+        assert report.breakdown["startup"] == pytest.approx(6.0)
+
+    def test_more_data_takes_longer(self, executor, reg):
+        small = single_platform_plan(build_pipeline(3, 1e5), "spark", reg)
+        large = single_platform_plan(build_pipeline(3, 1e9), "spark", reg)
+        assert executor.execute(large).runtime_s > executor.execute(small).runtime_s
+
+    def test_java_wins_small_spark_wins_big(self, executor, reg):
+        small = build_pipeline(3, 1e5)
+        big = build_pipeline(3, 5e9)
+        t_small = {
+            p: executor.execute(single_platform_plan(small, p, reg)).runtime_s
+            for p in ("java", "spark")
+        }
+        assert t_small["java"] < t_small["spark"]
+        r_big = {
+            p: executor.execute(single_platform_plan(big, p, reg))
+            for p in ("java", "spark")
+        }
+        assert not r_big["java"].ok or (
+            r_big["java"].runtime_s > r_big["spark"].runtime_s
+        )
+
+    def test_conversions_cost_time(self, executor, reg):
+        plan = build_pipeline(2)
+        same = single_platform_plan(plan, "spark", reg)
+        mixed = ExecutionPlan(
+            plan, {0: "spark", 1: "spark", 2: "java", 3: "java"}, reg
+        )
+        assert executor.execute(mixed).breakdown["conversions"] > 0
+        assert executor.execute(same).breakdown["conversions"] == 0
+
+
+class TestFailureModes:
+    def test_java_oom_on_huge_input(self, executor, reg):
+        plan = build_pipeline(3, cardinality=5e9)  # ~500 GB at 100 B/tuple
+        report = executor.execute(single_platform_plan(plan, "java", reg))
+        assert report.status == STATUS_OOM
+        assert report.runtime_s == float("inf")
+        assert not report.ok
+
+    def test_distributed_platforms_spill_instead(self, executor, reg):
+        plan = build_pipeline(3, cardinality=5e9)
+        report = executor.execute(single_platform_plan(plan, "spark", reg))
+        assert report.status in (STATUS_OK, STATUS_TIMEOUT)
+
+    def test_timeout_reported(self, executor, reg):
+        plan = build_pipeline(3, cardinality=1e9)
+        report = executor.execute(
+            single_platform_plan(plan, "spark", reg), timeout_s=1.0
+        )
+        assert report.status == STATUS_TIMEOUT
+        assert report.runtime_s == 1.0
+
+    def test_measure_raises_on_failure(self, executor, reg):
+        plan = build_pipeline(3, cardinality=5e9)
+        with pytest.raises(ExecutionFailure):
+            executor.measure(single_platform_plan(plan, "java", reg))
+
+    def test_measure_returns_runtime_on_success(self, executor, reg):
+        plan = build_pipeline(3)
+        value = executor.measure(single_platform_plan(plan, "flink", reg))
+        assert value > 0
+
+
+class TestLoops:
+    def test_iterations_multiply_loop_body_cost(self, executor, reg):
+        short = single_platform_plan(build_loop_plan(iterations=2), "spark", reg)
+        long = single_platform_plan(build_loop_plan(iterations=50), "spark", reg)
+        assert (
+            executor.execute(long).runtime_s
+            > executor.execute(short).runtime_s
+        )
+
+    def test_java_cheaper_loop_driving(self, executor, reg):
+        plan = build_loop_plan(iterations=200, cardinality=1e4)
+        t_java = executor.execute(single_platform_plan(plan, "java", reg)).runtime_s
+        t_spark = executor.execute(single_platform_plan(plan, "spark", reg)).runtime_s
+        assert t_java < t_spark
+
+    def test_small_state_on_java_beats_spark_state(self, executor, reg):
+        plan = build_loop_plan(iterations=100, cardinality=1e6)
+        body = sorted(plan.loops[0].body)
+        all_spark = {i: "spark" for i in plan.operators}
+        hybrid = dict(all_spark)
+        hybrid[body[-1]] = "java"  # tiny state op (ReduceBy out=64 -> Map)
+        t_all = executor.execute(ExecutionPlan(plan, all_spark, reg)).runtime_s
+        t_hyb = executor.execute(ExecutionPlan(plan, hybrid, reg)).runtime_s
+        assert t_hyb < t_all
+
+    def test_cache_sample_state_loss_penalty(self, reg, executor):
+        from repro.workloads import sgd
+
+        plan = sgd.plan(2 * GB, iterations=200)
+        ids = {op.label: op.id for op in plan.operators.values()}
+        all_spark = {i: "spark" for i in plan.operators}
+        t_lost = executor.execute(ExecutionPlan(plan, all_spark, reg)).runtime_s
+        moved = dict(all_spark)
+        moved[ids["Cache(points)"]] = "flink"  # cache off the sample platform
+        t_kept = executor.execute(ExecutionPlan(plan, moved, reg)).runtime_s
+        assert t_lost > t_kept
+
+
+class TestNoise:
+    def test_noise_is_deterministic_per_plan(self, reg):
+        plan = build_pipeline(3)
+        xp = single_platform_plan(plan, "spark", reg)
+        ex = SimulatedExecutor.default(reg, seed=1, noise=0.2)
+        assert ex.execute(xp).runtime_s == ex.execute(xp).runtime_s
+
+    def test_noise_varies_across_plans(self, reg):
+        ex = SimulatedExecutor.default(reg, seed=1, noise=0.2)
+        ex0 = SimulatedExecutor.default(reg)
+        a = single_platform_plan(build_pipeline(3), "spark", reg)
+        b = single_platform_plan(build_pipeline(4), "spark", reg)
+        ratio_a = ex.execute(a).runtime_s / ex0.execute(a).runtime_s
+        ratio_b = ex.execute(b).runtime_s / ex0.execute(b).runtime_s
+        assert ratio_a != ratio_b
+
+    def test_negative_noise_rejected(self, reg):
+        with pytest.raises(SimulationError):
+            SimulatedExecutor.default(reg, noise=-0.1)
+
+    def test_execution_counter(self, executor, reg):
+        before = executor.executions
+        executor.execute(single_platform_plan(build_pipeline(2), "java", reg))
+        assert executor.executions == before + 1

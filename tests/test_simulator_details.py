@@ -1,0 +1,189 @@
+"""Fine-grained tests of the simulator's cost mechanics.
+
+These pin down the individual behaviours the reproduction's experiments
+rely on: loop-state redistribution, sample amortization, the small-
+conversion discount, and the detailed per-operator breakdown.
+"""
+
+import pytest
+
+from repro.rheem.datasets import DatasetProfile, GB
+from repro.rheem.execution_plan import ExecutionPlan, single_platform_plan
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+from repro.rheem.platforms import default_registry
+from repro.simulator.executor import (
+    SAMPLE_RESHUFFLE_FIXED_S,
+    SMALL_CONVERSION_CARD,
+    STATE_RDD_FIXED_S,
+    STATE_RDD_PER_ELEMENT_S,
+    SimulatedExecutor,
+)
+
+from conftest import build_loop_plan, build_pipeline
+
+
+@pytest.fixture
+def reg():
+    return default_registry(("java", "spark", "flink"))
+
+
+@pytest.fixture
+def executor(reg):
+    return SimulatedExecutor.default(reg)
+
+
+def loop_plan_with_state(state_card: float, iterations: int = 10) -> LogicalPlan:
+    plan = LogicalPlan("state")
+    src = plan.add(
+        operator("TextFileSource"), dataset=DatasetProfile("d", 1e6, 100.0)
+    )
+    heavy = plan.add(operator("Map"))
+    reduce_op = plan.add(
+        operator("ReduceBy", fixed_output_cardinality=state_card)
+    )
+    update = plan.add(operator("Map"))
+    sink = plan.add(operator("CollectionSink"))
+    plan.chain(src, heavy, reduce_op, update, sink)
+    plan.add_loop([heavy, reduce_op, update], iterations=iterations)
+    plan.validate()
+    return plan
+
+
+class TestLoopState:
+    def test_small_state_rdd_cost_scales_with_cardinality(self, executor, reg):
+        t_small = executor.execute(
+            single_platform_plan(loop_plan_with_state(10), "spark", reg)
+        ).breakdown["loops"]
+        t_large = executor.execute(
+            single_platform_plan(loop_plan_with_state(1500), "spark", reg)
+        ).breakdown["loops"]
+        expected_delta = 10 * (1500 - 10) * STATE_RDD_PER_ELEMENT_S
+        assert t_large - t_small == pytest.approx(expected_delta, rel=1e-6)
+
+    def test_huge_state_uses_shuffle_regime(self, executor, reg):
+        # Above the small-state threshold the cost switches to a shuffle,
+        # which is far cheaper per element than the RDD rebroadcast.
+        t = executor.execute(
+            single_platform_plan(loop_plan_with_state(1e6), "spark", reg)
+        ).breakdown["loops"]
+        rdd_regime_estimate = 10 * (STATE_RDD_FIXED_S + 1e6 * STATE_RDD_PER_ELEMENT_S)
+        assert t < rdd_regime_estimate / 10
+
+    def test_local_state_broadcast_cheaper_than_distributed(self, executor, reg):
+        plan = loop_plan_with_state(1000)
+        all_spark = single_platform_plan(plan, "spark", reg)
+        hybrid_assignment = dict(all_spark.assignment)
+        hybrid_assignment[3] = "java"  # the state-producing Map
+        hybrid = ExecutionPlan(plan, hybrid_assignment, reg)
+        assert (
+            executor.execute(hybrid).breakdown["loops"]
+            < executor.execute(all_spark).breakdown["loops"]
+        )
+
+    def test_loop_overhead_charged_per_platform_in_body(self, executor, reg):
+        plan = loop_plan_with_state(100, iterations=20)
+        all_java = single_platform_plan(plan, "java", reg)
+        loops_java = executor.execute(all_java).breakdown["loops"]
+        all_flink = single_platform_plan(plan, "flink", reg)
+        loops_flink = executor.execute(all_flink).breakdown["loops"]
+        assert loops_java < loops_flink
+
+
+class TestSampleMechanics:
+    def sgd_like(self, cache_platform, sample_platform, reg, iterations=50):
+        from repro.workloads import sgd
+
+        plan = sgd.plan(2 * GB, iterations=iterations)
+        ids = {op.label: op.id for op in plan.operators.values()}
+        assignment = {i: sample_platform for i in plan.operators}
+        assignment[ids["Cache(points)"]] = cache_platform
+        return plan, ExecutionPlan(plan, assignment, reg)
+
+    def test_state_loss_scales_with_iterations(self, executor, reg):
+        _, few = self.sgd_like("spark", "spark", reg, iterations=10)
+        _, many = self.sgd_like("spark", "spark", reg, iterations=200)
+        delta = (
+            executor.execute(many).runtime_s - executor.execute(few).runtime_s
+        )
+        # Each extra iteration pays at least the reshuffle fixed cost.
+        assert delta > 190 * SAMPLE_RESHUFFLE_FIXED_S
+
+    def test_moving_cache_away_restores_amortization(self, executor, reg):
+        _, lost = self.sgd_like("spark", "spark", reg, iterations=200)
+        _, kept = self.sgd_like("flink", "spark", reg, iterations=200)
+        assert executor.execute(kept).runtime_s < executor.execute(lost).runtime_s
+
+    def test_plain_sample_scans_every_iteration(self, executor, reg):
+        plan = LogicalPlan("sample")
+        src = plan.add(
+            operator("TextFileSource"), dataset=DatasetProfile("d", 1e7, 100.0)
+        )
+        sample = plan.add(operator("Sample", fixed_output_cardinality=100))
+        out = plan.add(operator("Map"))
+        sink = plan.add(operator("CollectionSink"))
+        plan.chain(src, sample, out, sink)
+        plan.add_loop([sample, out], iterations=20)
+        plan.validate()
+        t20 = executor.execute(single_platform_plan(plan, "java", reg)).runtime_s
+        plan2 = plan.clone()
+        plan2.loops[0] = type(plan2.loops[0])(plan2.loops[0].body, 40)
+        t40 = executor.execute(single_platform_plan(plan2, "java", reg)).runtime_s
+        # Doubling iterations roughly doubles the sampling work.
+        assert t40 > 1.6 * t20
+
+
+class TestConversionMechanics:
+    def test_small_conversion_discount(self, executor, reg):
+        def plan_with_edge_card(card):
+            plan = LogicalPlan("conv")
+            src = plan.add(
+                operator("TextFileSource"),
+                dataset=DatasetProfile("d", card, 100.0),
+            )
+            mid = plan.add(operator("Map"))
+            sink = plan.add(operator("CollectionSink"))
+            plan.chain(src, mid, sink)
+            return ExecutionPlan(
+                plan, {src.id: "spark", mid.id: "spark", sink.id: "java"}, reg
+            )
+
+        small = executor.execute(
+            plan_with_edge_card(SMALL_CONVERSION_CARD / 2)
+        ).breakdown["conversions"]
+        large = executor.execute(
+            plan_with_edge_card(SMALL_CONVERSION_CARD * 2)
+        ).breakdown["conversions"]
+        assert small < large
+        assert small < 0.45  # the discounted fixed cost
+
+    def test_loop_conversions_multiply(self, executor, reg):
+        plan = build_loop_plan(iterations=30)
+        body = sorted(plan.loops[0].body)
+        assignment = {i: "spark" for i in plan.operators}
+        assignment[body[-1]] = "java"
+        t30 = executor.execute(ExecutionPlan(plan, assignment, reg)).breakdown[
+            "conversions"
+        ]
+        plan2 = build_loop_plan(iterations=3)
+        t3 = executor.execute(ExecutionPlan(plan2, assignment, reg)).breakdown[
+            "conversions"
+        ]
+        assert t30 > 3 * t3
+
+
+class TestDetailedBreakdown:
+    def test_per_operator_breakdown(self, executor, reg):
+        plan = build_pipeline(3)
+        xp = single_platform_plan(plan, "flink", reg)
+        report = executor.execute(xp, detailed=True)
+        per_op = report.breakdown["per_operator"]
+        assert set(per_op) == set(plan.operators)
+        assert sum(per_op.values()) == pytest.approx(
+            report.breakdown["operators"]
+        )
+
+    def test_breakdown_omitted_by_default(self, executor, reg):
+        plan = build_pipeline(3)
+        report = executor.execute(single_platform_plan(plan, "flink", reg))
+        assert "per_operator" not in report.breakdown

@@ -1,0 +1,198 @@
+"""Tests for the Table II workloads and synthetic plan generators."""
+
+import pytest
+
+from repro.rheem.datasets import GB, MB
+from repro.rheem.platforms import default_registry
+from repro.workloads import (
+    TABLE2,
+    crocopr,
+    kmeans,
+    sgd,
+    simwords,
+    synthetic,
+    tpch,
+    word2nvec,
+    wordcount,
+)
+
+
+class TestTable2OperatorCounts:
+    """Table II pins the operator count of every query."""
+
+    def test_wordcount(self):
+        assert wordcount.plan().n_operators == 6
+
+    def test_word2nvec(self):
+        assert word2nvec.plan().n_operators == 14
+
+    def test_simwords(self):
+        assert simwords.plan().n_operators == 26
+
+    def test_tpch_q1(self):
+        assert tpch.q1().n_operators == 7
+
+    def test_tpch_q3(self):
+        assert tpch.q3().n_operators == 18
+
+    def test_kmeans(self):
+        assert kmeans.plan().n_operators == 7
+
+    def test_sgd(self):
+        assert sgd.plan().n_operators == 6
+
+    def test_crocopr(self):
+        assert crocopr.plan().n_operators == 22
+
+    def test_table2_registry_is_consistent(self):
+        for name, (module, n_ops, dataset) in TABLE2.items():
+            if name == "TPC-H Q1":
+                plan = module.q1()
+            elif name == "TPC-H Q3":
+                plan = module.q3()
+            else:
+                plan = module.plan()
+            assert plan.n_operators == n_ops, name
+
+
+class TestPlanValidity:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            wordcount.plan,
+            word2nvec.plan,
+            simwords.plan,
+            tpch.q1,
+            tpch.q3,
+            kmeans.plan,
+            sgd.plan,
+            crocopr.plan,
+        ],
+    )
+    def test_plans_validate(self, builder):
+        builder().validate()
+
+    @pytest.mark.parametrize(
+        "builder",
+        [wordcount.plan, word2nvec.plan, tpch.q1, tpch.q3, kmeans.plan, sgd.plan],
+    )
+    def test_plans_scale_with_size(self, builder):
+        small = builder(100 * MB)
+        large = builder(10 * GB)
+        s_card = sum(d.cardinality for d in small.datasets.values())
+        l_card = sum(d.cardinality for d in large.datasets.values())
+        assert l_card > s_card * 50
+
+    def test_iterative_workloads_have_loops(self):
+        assert kmeans.plan().topology_counts().loop == 1
+        assert sgd.plan().topology_counts().loop == 1
+        assert crocopr.plan().topology_counts().loop == 1
+        assert simwords.plan().topology_counts().loop == 1
+
+    def test_simwords_has_all_topologies(self):
+        topo = simwords.plan().topology_counts()
+        assert topo.pipeline >= 1
+        assert topo.juncture >= 1
+        assert topo.replicate >= 1
+        assert topo.loop >= 1
+
+    def test_q3_has_two_joins(self):
+        plan = tpch.q3()
+        joins = [op for op in plan.operators.values() if op.kind_name == "Join"]
+        assert len(joins) == 2
+
+    def test_sgd_cache_feeds_sample(self):
+        plan = sgd.plan()
+        sample = next(
+            i
+            for i, op in plan.operators.items()
+            if op.kind_name == "ShufflePartitionSample"
+        )
+        assert [plan.operators[p].kind_name for p in plan.parents(sample)] == ["Cache"]
+
+    def test_kmeans_parameters(self):
+        plan = kmeans.plan(n_centroids=10, iterations=5)
+        assert plan.loops[0].iterations == 5
+        reduce_op = next(
+            op for op in plan.operators.values() if op.kind_name == "ReduceBy"
+        )
+        assert reduce_op.fixed_output_cardinality == 10
+
+    def test_sgd_parameters(self):
+        plan = sgd.plan(batch_size=77, iterations=9)
+        assert plan.loops[0].iterations == 9
+        sample = next(
+            op
+            for op in plan.operators.values()
+            if op.kind_name == "ShufflePartitionSample"
+        )
+        assert sample.fixed_output_cardinality == 77
+
+    def test_crocopr_variants(self):
+        hdfs = crocopr.plan(in_postgres=False)
+        pg = crocopr.plan(in_postgres=True)
+        assert hdfs.n_operators == pg.n_operators == 22
+        assert any(
+            op.kind_name == "TableSource" for op in pg.operators.values()
+        )
+        assert not any(
+            op.kind_name == "TableSource" for op in hdfs.operators.values()
+        )
+
+    def test_tpch_postgres_variant_runs_on_pg_prefix(self):
+        reg = default_registry(("java", "spark", "flink", "postgres"))
+        plan = tpch.q3(in_postgres=True)
+        from repro.rheem.execution_plan import feasible_platforms
+
+        for src in plan.sources():
+            assert feasible_platforms(plan, reg, src) == ["postgres"]
+
+    def test_invalid_parameters_rejected(self):
+        from repro.exceptions import GenerationError
+
+        with pytest.raises(GenerationError):
+            kmeans.plan(n_centroids=0)
+        with pytest.raises(GenerationError):
+            sgd.plan(iterations=0)
+        with pytest.raises(GenerationError):
+            crocopr.plan(iterations=0)
+        with pytest.raises(ValueError):
+            tpch.plan(variant="q9")
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("n", [3, 5, 20, 80])
+    def test_pipeline_plan_exact_size(self, n):
+        plan = synthetic.pipeline_plan(n)
+        plan.validate()
+        assert plan.n_operators == n
+
+    def test_pipeline_plan_seeded_variation(self):
+        a = synthetic.pipeline_plan(10, seed=1)
+        b = synthetic.pipeline_plan(10, seed=2)
+        kinds_a = [op.kind_name for op in a.operators.values()]
+        kinds_b = [op.kind_name for op in b.operators.values()]
+        assert kinds_a != kinds_b
+
+    @pytest.mark.parametrize("j", [1, 2, 3, 5])
+    def test_join_plan_join_count(self, j):
+        plan = synthetic.join_plan(j)
+        plan.validate()
+        joins = [op for op in plan.operators.values() if op.kind_name == "Join"]
+        assert len(joins) == j
+
+    def test_dataflow_plan_forty_operators(self):
+        plan = synthetic.dataflow_plan(40)
+        plan.validate()
+        assert plan.n_operators == 40
+        assert plan.topology_counts().juncture >= 1
+
+    def test_generation_errors(self):
+        from repro.exceptions import GenerationError
+
+        with pytest.raises(GenerationError):
+            synthetic.pipeline_plan(2)
+        with pytest.raises(GenerationError):
+            synthetic.join_plan(0)
+        with pytest.raises(GenerationError):
+            synthetic.dataflow_plan(5)
