@@ -16,6 +16,7 @@ import pytest
 
 from repro.bench.context import artifacts_dir, get_context
 from repro.bench.tables import format_table
+from repro.bench.trajectory import record as record_trajectory
 
 
 def _emit(text: str, name: str) -> None:
@@ -31,6 +32,27 @@ def _emit(text: str, name: str) -> None:
     out_dir.mkdir(parents=True, exist_ok=True)
     with (out_dir / f"{name}.txt").open("a") as f:
         f.write(text + "\n")
+
+
+def pytest_runtest_logreport(report):
+    """Append every passing benchmark's wall-clock to the perf trajectory.
+
+    Writes ``BENCH_<yyyymmdd>.json`` at the repo root (see
+    :mod:`repro.bench.trajectory`); disable with ``REPRO_BENCH_FILE=""``.
+    """
+    if report.when != "call" or not report.passed:
+        return
+    record_trajectory(report.nodeid, {"duration_s": report.duration})
+
+
+@pytest.fixture
+def trajectory(request):
+    """``trajectory(metrics, meta=...)`` — record richer benchmark metrics."""
+
+    def _record(metrics, meta=None):
+        record_trajectory(request.node.nodeid, metrics, meta=meta)
+
+    return _record
 
 
 @pytest.fixture

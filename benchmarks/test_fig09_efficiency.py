@@ -24,7 +24,7 @@ def _latency(optimizer, plan) -> float:
     return optimizer.optimize(plan).stats.latency_s
 
 
-def test_fig09a_latency_vs_operators(benchmark, report):
+def test_fig09a_latency_vs_operators(benchmark, report, trajectory):
     """Fig. 9(a): 2 platforms, 5–80 operators, all four systems."""
     registry, schema, model, cost_model = latency_setup(2)
     robopt = Robopt(registry, model, schema=schema)
@@ -45,6 +45,10 @@ def test_fig09a_latency_vs_operators(benchmark, report):
             [n_ops, t_ex * 1e3, t_rx * 1e3, t_rml * 1e3, t_rob * 1e3, gaps[n_ops]]
         )
     benchmark(lambda: robopt.optimize(synthetic.pipeline_plan(20)))
+    trajectory(
+        {f"robopt_{n}ops_s": row[4] / 1e3 for n, row in zip((5, 20, 40, 80), rows)},
+        meta={"platforms": 2, "figure": "9a"},
+    )
     report(
         "Fig. 9(a) — optimization latency vs. #operators (2 platforms, ms)",
         ["#ops", "Exhaustive", "RHEEMix", "Rheem-ML", "Robopt", "RML/Robopt"],

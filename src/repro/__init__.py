@@ -14,7 +14,14 @@ Cross-Platform Query Optimization"* (Kaoudi et al., ICDE 2020):
 * :mod:`repro.cost` — the RHEEMix-style cost-based optimizer baseline;
 * :mod:`repro.baselines` — Rheem-ML and exhaustive enumeration baselines;
 * :mod:`repro.tdgen` — the scalable training data generator;
+* :mod:`repro.obs` — observability (tracer, spans, counters, JSONL);
 * :mod:`repro.workloads` — the queries of Table II plus synthetic plans.
+
+Every optimizer (:class:`Robopt`, :class:`RheemixOptimizer`,
+:class:`RheemMLOptimizer`, :class:`ExhaustiveOptimizer`) implements the
+:class:`Optimizer` protocol and returns the same
+:class:`OptimizationResult` with :class:`RunStats` — see
+:mod:`repro.api`.
 
 Quickstart::
 
@@ -49,13 +56,38 @@ from repro.rheem import (
     synthetic_registry,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Lazy exports: public names resolved on first attribute access so that
+#: ``import repro`` stays light. This map — together with the eager
+#: imports above — is the single source of truth behind ``__all__``.
+_LAZY = {
+    "Optimizer": ("repro.api", "Optimizer"),
+    "RunStats": ("repro.api", "RunStats"),
+    "RheemixOptimizer": ("repro.cost", "RheemixOptimizer"),
+    "RheemMLOptimizer": ("repro.baselines", "RheemMLOptimizer"),
+    "ExhaustiveOptimizer": ("repro.baselines", "ExhaustiveOptimizer"),
+    "SimulatedExecutor": ("repro.simulator", "SimulatedExecutor"),
+    "RuntimeModel": ("repro.ml", "RuntimeModel"),
+    "TrainingDataGenerator": ("repro.tdgen", "TrainingDataGenerator"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "current_tracer": ("repro.obs", "current_tracer"),
+    "use_tracer": ("repro.obs", "use_tracer"),
+}
 
 __all__ = [
-    "FeatureSchema",
+    # core optimizer + unified API
     "Robopt",
+    "Optimizer",
     "OptimizationResult",
+    "RunStats",
     "PriorityEnumerator",
+    "FeatureSchema",
+    # baselines
+    "RheemixOptimizer",
+    "RheemMLOptimizer",
+    "ExhaustiveOptimizer",
+    # substrate
     "LogicalPlan",
     "ExecutionPlan",
     "DatasetProfile",
@@ -63,22 +95,30 @@ __all__ = [
     "default_registry",
     "synthetic_registry",
     "operator",
+    # execution / training / models
+    "SimulatedExecutor",
+    "TrainingDataGenerator",
+    "RuntimeModel",
+    # observability
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
     "__version__",
 ]
 
 
 def __getattr__(name):
-    """Lazy exports that pull in heavier subsystems on first use."""
-    if name == "SimulatedExecutor":
-        from repro.simulator import SimulatedExecutor
+    """Resolve the lazy exports declared in ``_LAZY``."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
 
-        return SimulatedExecutor
-    if name == "RuntimeModel":
-        from repro.ml import RuntimeModel
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
 
-        return RuntimeModel
-    if name == "TrainingDataGenerator":
-        from repro.tdgen import TrainingDataGenerator
 
-        return TrainingDataGenerator
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.enumerator import EnumerationResult, PriorityEnumerator
+from repro.api import OptimizationResult
+from repro.core.enumerator import PriorityEnumerator
 from repro.core.features import FeatureSchema
 from repro.core.pruning import ml_cost
 from repro.rheem.logical_plan import LogicalPlan
@@ -37,7 +38,14 @@ class ExhaustiveOptimizer:
             max_vectors=max_vectors,
         )
 
-    def optimize(self, plan: LogicalPlan) -> EnumerationResult:
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
         """Enumerate everything; raises EnumerationError beyond the limit."""
         plan.validate()
-        return self._enumerator.enumerate_plan(plan)
+        result = self._enumerator.enumerate_plan(plan)
+        return OptimizationResult(
+            execution_plan=result.execution_plan,
+            predicted_runtime=result.predicted_cost,
+            stats=result.stats,
+            optimizer="exhaustive",
+            final_enumeration=result.final_enumeration,
+        )

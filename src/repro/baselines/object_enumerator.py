@@ -21,7 +21,9 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api import OptimizationResult, RunStats
 from repro.exceptions import EnumerationError
+from repro.obs import current_tracer
 from repro.rheem.execution_plan import ExecutionPlan, feasible_platforms
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
@@ -47,32 +49,21 @@ class ObjectEnumeration:
         return len(self.plans)
 
 
-@dataclass
-class ObjectStats:
-    """Instrumentation mirroring :class:`EnumerationStats`, plus the time
-    breakdown the paper reports for Rheem-ML (47% vectorization / ~10%
-    model invocation, §VII-B)."""
+#: Instrumentation of one object-based run: the shared
+#: :class:`repro.api.RunStats` ("subplan" counts land in the canonical
+#: ``*_vectors`` fields; the old ``subplans_*`` names remain as deprecated
+#: aliases). The §VII-B time breakdown lives in ``time_vectorize_s`` /
+#: ``time_predict_s`` / ``time_cost_s``.
+ObjectStats = RunStats
 
-    singleton_subplans: int = 0
-    subplans_created: int = 0
-    subplans_pruned: int = 0
-    merges: int = 0
-    cost_evaluations: int = 0
-    time_cost_s: float = 0.0
-    time_vectorize_s: float = 0.0
-    time_predict_s: float = 0.0
-    latency_s: float = 0.0
-
-
-@dataclass
-class ObjectEnumerationResult:
-    execution_plan: ExecutionPlan
-    cost: float
-    stats: ObjectStats
+#: Deprecated alias: the object enumerator now returns the unified
+#: :class:`repro.api.OptimizationResult` (``.cost`` still works as a
+#: deprecated property).
+ObjectEnumerationResult = OptimizationResult
 
 
 #: Scores a batch of subplans; may record vectorize/predict split in stats.
-BatchCostFn = Callable[[LogicalPlan, Sequence[ObjectSubplan], ObjectStats], np.ndarray]
+BatchCostFn = Callable[[LogicalPlan, Sequence[ObjectSubplan], RunStats], np.ndarray]
 
 
 class ObjectEnumerator:
@@ -110,9 +101,25 @@ class ObjectEnumerator:
         self.max_subplans = max_subplans
 
     # ------------------------------------------------------------------
-    def enumerate_plan(self, plan: LogicalPlan) -> ObjectEnumerationResult:
+    def enumerate_plan(self, plan: LogicalPlan) -> OptimizationResult:
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "enumerate",
+                engine="object",
+                plan=plan.name,
+                n_operators=plan.n_operators,
+                priority=self.priority_name,
+                pruning=self.pruning,
+            ) as root:
+                result = self._enumerate_traced(plan, tracer)
+                root.set(**result.stats.as_dict())
+            return result
+        return self._enumerate_traced(plan, tracer)
+
+    def _enumerate_traced(self, plan: LogicalPlan, tracer) -> OptimizationResult:
         started = time.perf_counter()
-        stats = ObjectStats()
+        stats = RunStats()
         children_map = {i: tuple(plan.children(i)) for i in plan.operators}
         parents_map = {i: tuple(plan.parents(i)) for i in plan.operators}
 
@@ -142,7 +149,9 @@ class ObjectEnumerator:
             eid = next(ids)
             enums[eid] = ObjectEnumeration(frozenset((op_id,)), subplans)
             op_to_enum[op_id] = eid
-            stats.singleton_subplans += len(subplans)
+            stats.singleton_vectors += len(subplans)
+        if tracer.enabled:
+            tracer.count("enumerate.singleton_vectors", stats.singleton_vectors)
 
         def children_of(eid: int) -> List[int]:
             found, seen = [], set()
@@ -212,7 +221,7 @@ class ObjectEnumerator:
                 if partner not in enums or current not in enums:
                     continue
                 current = self._concatenate(
-                    plan, enums, op_to_enum, current, partner, stats
+                    plan, enums, op_to_enum, current, partner, stats, tracer
                 )
             push(current)
             for parent in parents_of(current):
@@ -220,16 +229,27 @@ class ObjectEnumerator:
 
         (final_eid,) = enums
         final = enums[final_eid]
+        stats.final_vectors = len(final.plans)
         t0 = time.perf_counter()
-        costs = np.asarray(self.batch_cost(plan, final.plans, stats))
+        if tracer.enabled:
+            with tracer.span("enumerate.select", rows=len(final.plans)):
+                costs = np.asarray(self.batch_cost(plan, final.plans, stats))
+        else:
+            costs = np.asarray(self.batch_cost(plan, final.plans, stats))
         stats.time_cost_s += time.perf_counter() - t0
-        stats.cost_evaluations += len(final.plans)
+        stats.rows_predicted += len(final.plans)
         best_idx = int(np.argmin(costs))
         best = final.plans[best_idx]
         xplan = ExecutionPlan(plan, best.assignment, self.registry)
         stats.latency_s = time.perf_counter() - started
-        return ObjectEnumerationResult(
-            execution_plan=xplan, cost=float(costs[best_idx]), stats=stats
+        if tracer.enabled:
+            tracer.count("enumerate.rows_predicted", len(final.plans))
+            tracer.count("enumerate.final_vectors", len(final.plans))
+        return OptimizationResult(
+            execution_plan=xplan,
+            predicted_runtime=float(costs[best_idx]),
+            stats=stats,
+            optimizer="object",
         )
 
     # ------------------------------------------------------------------
@@ -240,7 +260,8 @@ class ObjectEnumerator:
         op_to_enum: Dict[int, str],
         left_id: int,
         right_id: int,
-        stats: ObjectStats,
+        stats: RunStats,
+        tracer,
     ) -> int:
         left, right = enums[left_id], enums[right_id]
         produced = len(left) * len(right)
@@ -249,6 +270,7 @@ class ObjectEnumerator:
                 f"concatenation would create {produced} subplans "
                 f"(limit {self.max_subplans})"
             )
+        t0 = time.perf_counter()
         scope = left.scope | right.scope
         merged: List[ObjectSubplan] = []
         for a in left.plans:
@@ -256,14 +278,32 @@ class ObjectEnumerator:
                 assignment = dict(a.assignment)
                 assignment.update(b.assignment)
                 merged.append(ObjectSubplan(scope, assignment))
+        stats.time_merge_s += time.perf_counter() - t0
         stats.merges += 1
-        stats.subplans_created += len(merged)
+        stats.vectors_created += len(merged)
+        stats.peak_enumeration = max(stats.peak_enumeration, len(merged))
+        if tracer.enabled:
+            tracer.count("enumerate.merges")
+            tracer.count("enumerate.vectors_created", len(merged))
+            tracer.event(
+                "enumerate.merge",
+                left=len(left.plans),
+                right=len(right.plans),
+                produced=produced,
+            )
 
         if self.pruning:
             t0 = time.perf_counter()
-            costs = np.asarray(self.batch_cost(plan, merged, stats))
+            if tracer.enabled:
+                with tracer.span("enumerate.prune", rows=len(merged)):
+                    costs = np.asarray(self.batch_cost(plan, merged, stats))
+            else:
+                costs = np.asarray(self.batch_cost(plan, merged, stats))
             stats.time_cost_s += time.perf_counter() - t0
-            stats.cost_evaluations += len(merged)
+            stats.rows_predicted += len(merged)
+            if tracer.enabled:
+                tracer.count("enumerate.prune_calls")
+                tracer.count("enumerate.rows_predicted", len(merged))
             children_map = {i: tuple(plan.children(i)) for i in scope}
             boundary = tuple(
                 sorted(
@@ -280,7 +320,12 @@ class ObjectEnumerator:
                 if incumbent is None or cost < incumbent[0]:
                     best[footprint] = (float(cost), subplan)
             survivors = [entry[1] for entry in best.values()]
-            stats.subplans_pruned += len(merged) - len(survivors)
+            stats.prune_calls += 1
+            stats.vectors_pruned += len(merged) - len(survivors)
+            if tracer.enabled:
+                tracer.count(
+                    "enumerate.vectors_pruned", len(merged) - len(survivors)
+                )
             merged = survivors
 
         del enums[left_id], enums[right_id]

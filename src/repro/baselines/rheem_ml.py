@@ -16,12 +16,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.object_enumerator import (
-    ObjectEnumerationResult,
-    ObjectEnumerator,
-    ObjectStats,
-    ObjectSubplan,
-)
+from repro.api import OptimizationResult, RunStats
+from repro.baselines.object_enumerator import ObjectEnumerator, ObjectSubplan
 from repro.core.features import FeatureSchema
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
@@ -53,7 +49,7 @@ class RheemMLOptimizer:
         self.schema = schema if schema is not None else FeatureSchema(registry)
 
         def batch_cost(
-            plan: LogicalPlan, subplans: Sequence[ObjectSubplan], stats: ObjectStats
+            plan: LogicalPlan, subplans: Sequence[ObjectSubplan], stats: RunStats
         ) -> np.ndarray:
             # The expensive part: one plan→vector transformation per subplan.
             t0 = time.perf_counter()
@@ -73,7 +69,9 @@ class RheemMLOptimizer:
             registry, batch_cost, priority=priority, pruning=pruning
         )
 
-    def optimize(self, plan: LogicalPlan) -> ObjectEnumerationResult:
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
         """Find the plan with the lowest predicted runtime (object-style)."""
         plan.validate()
-        return self._enumerator.enumerate_plan(plan)
+        result = self._enumerator.enumerate_plan(plan)
+        result.optimizer = "rheem-ml"
+        return result

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.exceptions import ReproError
@@ -71,6 +72,31 @@ def _load_plan(args):
     )
 
 
+@contextmanager
+def _maybe_trace(args):
+    """Run the command body under an ambient tracer if ``--trace`` was given.
+
+    The trace is exported (JSONL) after the body finishes, even when it
+    raises — a partial trace of a failed run is exactly when you want one.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield None
+        return
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        try:
+            n = tracer.export(path)
+        except OSError as exc:
+            raise ReproError(f"cannot write trace to {path}: {exc}") from exc
+        print(f"wrote {n} trace records to {path}")
+
+
 # ---------------------------------------------------------------------------
 # Commands
 # ---------------------------------------------------------------------------
@@ -117,7 +143,8 @@ def cmd_optimize(args) -> int:
     model = RuntimeModel.load(args.model)
     plan = _load_plan(args)
     robopt = Robopt(registry, model, priority=args.priority)
-    result = robopt.optimize(plan)
+    with _maybe_trace(args):
+        result = robopt.optimize(plan)
     print(result.execution_plan.describe())
     print(
         f"predicted runtime: {result.predicted_runtime:.2f}s  "
@@ -138,7 +165,8 @@ def cmd_explain(args) -> int:
     registry = _registry(args.platforms)
     model = RuntimeModel.load(args.model)
     plan = _load_plan(args)
-    report = Robopt(registry, model).explain(plan, k=args.top_k)
+    with _maybe_trace(args):
+        report = Robopt(registry, model).explain(plan, k=args.top_k)
     print(report.render())
     return 0
 
@@ -153,15 +181,16 @@ def cmd_simulate(args) -> int:
     targets = (
         [args.platform] if args.platform else [p.name for p in registry]
     )
-    for name in targets:
-        try:
-            xplan = single_platform_plan(plan, name, registry)
-        except ReproError as exc:
-            print(f"{name:>10}: not runnable ({exc})")
-            continue
-        report = executor.execute(xplan)
-        shown = f"{report.runtime_s:.1f}s" if report.ok else report.status
-        print(f"{name:>10}: {shown}")
+    with _maybe_trace(args):
+        for name in targets:
+            try:
+                xplan = single_platform_plan(plan, name, registry)
+            except ReproError as exc:
+                print(f"{name:>10}: not runnable ({exc})")
+                continue
+            report = executor.execute(xplan)
+            shown = f"{report.runtime_s:.1f}s" if report.ok else report.status
+            print(f"{name:>10}: {shown}")
     return 0
 
 
@@ -192,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--size", default=None, help="e.g. 30MB, 6GB, 1TB")
         p.add_argument("--plan-json", default=None, help="optimize a serialized plan")
         p.add_argument("--platforms", default="java,spark,flink")
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write a JSONL trace of the run (spans + counters)",
+        )
 
     optimize = sub.add_parser("optimize", help="optimize a workload with a model")
     add_plan_args(optimize)

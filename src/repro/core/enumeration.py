@@ -69,12 +69,23 @@ class EnumerationContext:
             )
             for op_id in plan.operators
         }
+        # Cardinalities are per-plan, not per-edge: estimate them once here
+        # instead of re-deriving the full map inside every _edge_info call.
+        self._cards = plan.cardinalities()
         self.edges: List[EdgeInfo] = [
             self._edge_info(u, v) for u, v in plan.edges
         ]
         self._edges_by_pair: Dict[Tuple[int, int], EdgeInfo] = {
             (e.src, e.dst): e for e in self.edges
         }
+        # Per-operator edge index so crossing_edges can walk one scope's
+        # incident edges instead of scanning every plan edge per merge.
+        self._edges_by_op: Dict[int, List[EdgeInfo]] = {
+            op_id: [] for op_id in plan.operators
+        }
+        for e in self.edges:
+            self._edges_by_op[e.src].append(e)
+            self._edges_by_op[e.dst].append(e)
         self._static_cache: Dict[FrozenSet[int], np.ndarray] = {}
         # Adjacency over operator ids (forward edges), used for boundaries.
         self.op_children: Dict[int, Tuple[int, ...]] = {
@@ -86,8 +97,7 @@ class EnumerationContext:
 
     def _edge_info(self, u: int, v: int) -> EdgeInfo:
         plan, schema, registry = self.plan, self.schema, self.registry
-        cards = plan.cardinalities()
-        card = cards[u][1]
+        card = self._cards[u][1]
         in_loop = plan.in_loop(u) and plan.in_loop(v)
         iterations = min(plan.loop_iterations(u), plan.loop_iterations(v))
         deltas: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
@@ -133,13 +143,20 @@ class EnumerationContext:
     def crossing_edges(
         self, scope_a: FrozenSet[int], scope_b: FrozenSet[int]
     ) -> List[EdgeInfo]:
-        """Plan edges with one endpoint in each scope (either direction)."""
+        """Plan edges with one endpoint in each scope (either direction).
+
+        Walks the per-operator edge index of the smaller scope — crossing
+        edges have exactly one endpoint there (scopes are disjoint during
+        enumeration), so each qualifying edge is reported once.
+        """
+        if len(scope_b) < len(scope_a):
+            scope_a, scope_b = scope_b, scope_a
         out = []
-        for e in self.edges:
-            if (e.src in scope_a and e.dst in scope_b) or (
-                e.src in scope_b and e.dst in scope_a
-            ):
-                out.append(e)
+        for op_id in scope_a:
+            for e in self._edges_by_op[op_id]:
+                other = e.dst if e.src == op_id else e.src
+                if other in scope_b:
+                    out.append(e)
         return out
 
 

@@ -16,11 +16,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.api import RunStats
 from repro.exceptions import EnumerationError
 from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
 from repro.core.features import FeatureSchema
@@ -33,36 +34,17 @@ from repro.core.operations import (
 )
 from repro.core.priority import make_priority
 from repro.core.pruning import CostFn, ml_cost, prune
+from repro.obs import current_tracer
 from repro.rheem.execution_plan import ExecutionPlan
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
 
-
-@dataclass
-class EnumerationStats:
-    """Instrumentation of one enumeration run.
-
-    ``vectors_created`` counts the plan vectors materialized by
-    concatenations (pre-pruning) — the paper's "number of enumerated
-    subplans" (Table I). ``rows_predicted`` counts ML-model rows, i.e. how
-    many plan vectors the cost oracle scored.
-    """
-
-    singleton_vectors: int = 0
-    vectors_created: int = 0
-    vectors_pruned: int = 0
-    merges: int = 0
-    prune_calls: int = 0
-    rows_predicted: int = 0
-    peak_enumeration: int = 0
-    final_vectors: int = 0
-    time_merge_s: float = 0.0
-    time_prune_s: float = 0.0
-    latency_s: float = 0.0
-
-    @property
-    def total_vectors(self) -> int:
-        return self.singleton_vectors + self.vectors_created
+#: Instrumentation of one enumeration run. ``vectors_created`` counts the
+#: plan vectors materialized by concatenations (pre-pruning) — the paper's
+#: "number of enumerated subplans" (Table I); ``rows_predicted`` counts
+#: cost-oracle rows. Kept under its historical name; the shared type that
+#: all optimizers now populate is :class:`repro.api.RunStats`.
+EnumerationStats = RunStats
 
 
 @dataclass
@@ -72,7 +54,7 @@ class EnumerationResult:
     execution_plan: ExecutionPlan
     predicted_cost: float
     final_enumeration: PlanVectorEnumeration
-    stats: EnumerationStats
+    stats: RunStats
 
 
 class PriorityEnumerator:
@@ -119,10 +101,25 @@ class PriorityEnumerator:
     # ------------------------------------------------------------------
     def enumerate_plan(self, plan: LogicalPlan) -> EnumerationResult:
         """Run Algorithm 1 on a logical plan and return the best plan."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "enumerate",
+                plan=plan.name,
+                n_operators=plan.n_operators,
+                priority=self.priority_name,
+                pruning=self.pruning,
+            ) as root:
+                result = self._enumerate_traced(plan, tracer)
+                root.set(**result.stats.as_dict())
+            return result
+        return self._enumerate_traced(plan, tracer)
+
+    def _enumerate_traced(self, plan: LogicalPlan, tracer) -> EnumerationResult:
         started = time.perf_counter()
         ctx = EnumerationContext(plan, self.registry, self.schema)
         priority_fn = make_priority(self.priority_name, ctx)
-        stats = EnumerationStats()
+        stats = RunStats()
 
         # Lines 2-5: vectorize, split, enumerate singletons, set priorities.
         enums: Dict[int, PlanVectorEnumeration] = {}
@@ -135,6 +132,8 @@ class PriorityEnumerator:
             stats.singleton_vectors += enumeration.n_vectors
             (op_id,) = abstract.scope
             op_to_enum[op_id] = eid
+        if tracer.enabled:
+            tracer.count("enumerate.singleton_vectors", stats.singleton_vectors)
 
         def children_of(eid: int) -> List[int]:
             scope = enums[eid].scope
@@ -189,7 +188,9 @@ class PriorityEnumerator:
             for partner in partners:
                 if partner not in enums or current not in enums:
                     continue
-                current = self._concatenate(ctx, enums, op_to_enum, current, partner, stats)
+                current = self._concatenate(
+                    ctx, enums, op_to_enum, current, partner, stats, tracer
+                )
             push(current)
             for parent in parents_of(current):
                 push(parent)  # Line 17: refresh parents' priorities.
@@ -200,12 +201,19 @@ class PriorityEnumerator:
 
         # Line 18: pick the plan with the minimum estimated runtime.
         t0 = time.perf_counter()
-        costs = np.asarray(self.cost_fn(final), dtype=np.float64)
+        if tracer.enabled:
+            with tracer.span("enumerate.select", rows=final.n_vectors):
+                costs = np.asarray(self.cost_fn(final), dtype=np.float64)
+        else:
+            costs = np.asarray(self.cost_fn(final), dtype=np.float64)
         stats.time_prune_s += time.perf_counter() - t0
         stats.rows_predicted += final.n_vectors
         best_row = int(np.argmin(costs))
         xplan = unvectorize(final, best_row)
         stats.latency_s = time.perf_counter() - started
+        if tracer.enabled:
+            tracer.count("enumerate.rows_predicted", final.n_vectors)
+            tracer.count("enumerate.final_vectors", final.n_vectors)
         return EnumerationResult(
             execution_plan=xplan,
             predicted_cost=float(costs[best_row]),
@@ -221,7 +229,8 @@ class PriorityEnumerator:
         op_to_enum: Dict[int, int],
         left_id: int,
         right_id: int,
-        stats: EnumerationStats,
+        stats: RunStats,
+        tracer,
     ) -> int:
         """Merge two live enumerations (Lines 9-14) and register the result."""
         left, right = enums[left_id], enums[right_id]
@@ -232,19 +241,42 @@ class PriorityEnumerator:
                 f"(limit {self.max_vectors}); enable pruning or raise the limit"
             )
         t0 = time.perf_counter()
-        merged = merge_enumerations(left, right)
+        if tracer.enabled:
+            with tracer.span(
+                "enumerate.merge",
+                left=left.n_vectors,
+                right=right.n_vectors,
+                produced=produced,
+            ):
+                merged = merge_enumerations(left, right)
+        else:
+            merged = merge_enumerations(left, right)
         stats.time_merge_s += time.perf_counter() - t0
         stats.merges += 1
         stats.vectors_created += merged.n_vectors
         stats.peak_enumeration = max(stats.peak_enumeration, merged.n_vectors)
+        if tracer.enabled:
+            tracer.count("enumerate.merges")
+            tracer.count("enumerate.vectors_created", merged.n_vectors)
 
         if self.pruning:
             t0 = time.perf_counter()
-            pruned, _costs = prune(merged, self.cost_fn)
+            if tracer.enabled:
+                with tracer.span("enumerate.prune", rows=merged.n_vectors) as ps:
+                    pruned, _costs = prune(merged, self.cost_fn)
+                    ps.set(survivors=pruned.n_vectors)
+            else:
+                pruned, _costs = prune(merged, self.cost_fn)
             stats.time_prune_s += time.perf_counter() - t0
             stats.prune_calls += 1
             stats.rows_predicted += merged.n_vectors
             stats.vectors_pruned += merged.n_vectors - pruned.n_vectors
+            if tracer.enabled:
+                tracer.count("enumerate.prune_calls")
+                tracer.count("enumerate.rows_predicted", merged.n_vectors)
+                tracer.count(
+                    "enumerate.vectors_pruned", merged.n_vectors - pruned.n_vectors
+                )
             merged = pruned
 
         del enums[left_id], enums[right_id]

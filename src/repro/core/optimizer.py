@@ -12,11 +12,12 @@ downstream user instantiates::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api import OptimizationResult, RunStats
 from repro.core.enumerator import (
     EnumerationResult,
     EnumerationStats,
@@ -30,19 +31,7 @@ from repro.rheem.execution_plan import ExecutionPlan, single_platform_plan
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
 
-
-@dataclass
-class OptimizationResult:
-    """The optimizer's answer for one logical plan."""
-
-    execution_plan: ExecutionPlan
-    predicted_runtime: float
-    stats: EnumerationStats
-
-    @property
-    def latency_s(self) -> float:
-        """End-to-end optimization latency (logical plan → execution plan)."""
-        return self.stats.latency_s
+__all__ = ["Robopt", "OptimizationResult", "ExplainReport"]
 
 
 @dataclass
@@ -59,7 +48,7 @@ class ExplainReport:
     predicted_runtime: float
     alternatives: List[Tuple[ExecutionPlan, float]]
     single_platform_predictions: Dict[str, float]
-    stats: EnumerationStats
+    stats: RunStats
 
     def render(self) -> str:
         lines = [
@@ -135,11 +124,13 @@ class Robopt:
             execution_plan=result.execution_plan,
             predicted_runtime=result.predicted_cost,
             stats=result.stats,
+            optimizer="robopt",
+            final_enumeration=result.final_enumeration,
         )
 
     def _ranked(
         self, plan: LogicalPlan, k: int
-    ) -> Tuple[List[Tuple[ExecutionPlan, float]], EnumerationStats]:
+    ) -> Tuple[List[Tuple[ExecutionPlan, float]], RunStats]:
         if k < 1:
             raise EnumerationError(f"k must be >= 1, got {k}")
         plan.validate()

@@ -13,12 +13,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.object_enumerator import (
-    ObjectEnumerationResult,
-    ObjectEnumerator,
-    ObjectStats,
-    ObjectSubplan,
-)
+from repro.api import OptimizationResult, RunStats
+from repro.baselines.object_enumerator import ObjectEnumerator, ObjectSubplan
 from repro.cost.cost_model import CostModel
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
@@ -48,7 +44,7 @@ class RheemixOptimizer:
         self.cost_model = cost_model
 
         def batch_cost(
-            plan: LogicalPlan, subplans: Sequence[ObjectSubplan], stats: ObjectStats
+            plan: LogicalPlan, subplans: Sequence[ObjectSubplan], stats: RunStats
         ) -> np.ndarray:
             return np.asarray(
                 [
@@ -64,7 +60,15 @@ class RheemixOptimizer:
             registry, batch_cost, priority=priority, pruning=pruning
         )
 
-    def optimize(self, plan: LogicalPlan) -> ObjectEnumerationResult:
-        """Find the cheapest plan w.r.t. the cost model."""
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+        """Find the cheapest plan w.r.t. the cost model.
+
+        Returns the unified :class:`repro.api.OptimizationResult`;
+        ``predicted_runtime`` carries the calibrated cost estimate (the
+        cost model is fitted against measured runtimes, so the units are
+        seconds here too).
+        """
         plan.validate()
-        return self._enumerator.enumerate_plan(plan)
+        result = self._enumerator.enumerate_plan(plan)
+        result.optimizer = "rheemix"
+        return result

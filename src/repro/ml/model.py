@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ModelError, NotFittedError
+from repro.obs import current_tracer
 from repro.ml.boosting import GradientBoostingRegressor
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.linear import RidgeRegression
@@ -189,7 +190,16 @@ class RuntimeModel:
             raise ModelError(
                 f"expected {self.n_features} features, got {X.shape[1]}"
             )
-        log_pred = self._regressor.predict(X)
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "model.predict", rows=X.shape[0], algorithm=self.algorithm
+            ):
+                log_pred = self._regressor.predict(X)
+            tracer.count("model.rows_predicted", X.shape[0])
+            tracer.count("model.calls")
+        else:
+            log_pred = self._regressor.predict(X)
         return np.maximum(np.expm1(log_pred), 0.0)
 
     def predict_one(self, x: np.ndarray) -> float:

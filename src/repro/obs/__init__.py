@@ -1,0 +1,41 @@
+"""Observability for the optimizer: spans, counters, JSONL traces.
+
+The paper's claims are measurements; ``repro.obs`` is the subsystem that
+produces them. Instrumented components (the priority enumerator, the
+object enumerator, the runtime model, the simulated executor, TDGEN)
+emit nested spans and counters through the *ambient* tracer, which is a
+no-op by default — tracing costs nothing unless a run opts in:
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = robopt.optimize(plan)
+    tracer.export("trace.jsonl")
+
+The CLI exposes the same via ``repro optimize --trace trace.jsonl``.
+See ``docs/observability.md`` for the span taxonomy and trace format.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+from repro.obs.export import counters, read_trace, spans_named, write_trace
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "write_trace",
+    "read_trace",
+    "counters",
+    "spans_named",
+]

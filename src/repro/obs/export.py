@@ -1,0 +1,77 @@
+"""JSONL trace export and re-import.
+
+The on-disk format is one JSON object per line. Two record types:
+
+* ``{"type": "span", "id", "parent", "name", "start_s", "duration_s",
+  "attrs"?}`` — a finished span; ``parent`` is the id of the enclosing
+  span or ``null`` at the root; times are seconds relative to tracer
+  creation;
+* ``{"type": "counter", "name", "value"}`` — a final counter total.
+
+Counters come last, so a streamed reader sees the spans in completion
+order first. :func:`read_trace` round-trips a file written by
+:func:`write_trace`; :func:`counters` and :func:`spans_named` are small
+conveniences for assertions and trace analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a value JSON-safe (numpy scalars, non-finite floats, tuples)."""
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # "inf" / "nan" — JSON has no literal for these
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return _sanitize(value.item())  # numpy scalar
+        except Exception:
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_trace(tracer, path) -> int:
+    """Write a tracer's records as JSONL; returns the record count."""
+    records = tracer.records()
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as f:
+        for record in records:
+            f.write(json.dumps(_sanitize(record)) + "\n")
+    return len(records)
+
+
+def read_trace(path) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into a list of record dicts."""
+    records = []
+    with Path(path).open() as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def counters(records: List[Dict[str, Any]]) -> Dict[str, float]:
+    """The counter records of a parsed trace as a name → value dict."""
+    return {
+        r["name"]: r["value"] for r in records if r.get("type") == "counter"
+    }
+
+
+def spans_named(records: List[Dict[str, Any]], name: str) -> List[Dict[str, Any]]:
+    """All span records with the given name."""
+    return [
+        r for r in records if r.get("type") == "span" and r.get("name") == name
+    ]

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.exceptions import ExecutionFailure, SimulationError
+from repro.obs import current_tracer
 from repro.rheem.execution_plan import ExecutionPlan
 from repro.rheem.platforms import CATEGORY_DISTRIBUTED, PlatformRegistry
 from repro.simulator.profiles import (
@@ -298,6 +299,27 @@ class SimulatedExecutor:
         iterations included) — the executor-side analogue of EXPLAIN
         ANALYZE.
         """
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "simulate.execute",
+                platforms=sorted(xplan.platforms_used()),
+                n_operators=xplan.plan.n_operators,
+            ) as span:
+                report = self._execute(xplan, timeout_s, detailed)
+                span.set(status=report.status, runtime_s=report.runtime_s)
+                for stage in ("startup", "operators", "conversions", "loops"):
+                    if stage in report.breakdown:
+                        span.set(**{f"sim_{stage}_s": report.breakdown[stage]})
+            tracer.count("simulate.executions")
+            if report.status != STATUS_OK:
+                tracer.count(f"simulate.{report.status}")
+            return report
+        return self._execute(xplan, timeout_s, detailed)
+
+    def _execute(
+        self, xplan: ExecutionPlan, timeout_s: float, detailed: bool
+    ) -> ExecutionReport:
         self.executions += 1
         plan = xplan.plan
         cards = plan.cardinalities()

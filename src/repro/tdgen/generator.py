@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.exceptions import GenerationError, PlatformError
 from repro.core.features import FeatureSchema
+from repro.obs import current_tracer
 from repro.ml.model import TrainingDataset
 from repro.rheem.execution_plan import ExecutionPlan
 from repro.rheem.logical_plan import LogicalPlan
@@ -109,6 +110,52 @@ class TrainingDataGenerator:
         """
         if n_points < 1:
             raise GenerationError(f"n_points must be >= 1, got {n_points}")
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "tdgen.generate", n_points=n_points, shapes=list(shapes)
+            ) as span:
+                dataset = self._generate_traced(
+                    n_points,
+                    shapes,
+                    max_operators,
+                    assignments_per_plan,
+                    profile,
+                    beta,
+                    workload,
+                    include_xplans,
+                    tracer,
+                )
+                span.set(
+                    rows=len(dataset),
+                    executed=self.stats.n_executed,
+                    imputed=self.stats.n_imputed,
+                )
+            return dataset
+        return self._generate_traced(
+            n_points,
+            shapes,
+            max_operators,
+            assignments_per_plan,
+            profile,
+            beta,
+            workload,
+            include_xplans,
+            tracer,
+        )
+
+    def _generate_traced(
+        self,
+        n_points: int,
+        shapes: Sequence[str],
+        max_operators: int,
+        assignments_per_plan: int,
+        profile: Optional[ConfigurationProfile],
+        beta: int,
+        workload: Optional[Sequence[LogicalPlan]],
+        include_xplans: bool,
+        tracer,
+    ) -> TrainingDataset:
         profile = profile if profile is not None else ConfigurationProfile()
         per_assignment = profile.n_jobs_per_assignment
         n_templates = max(
@@ -127,7 +174,14 @@ class TrainingDataGenerator:
         labels: List[float] = []
         meta: List[Dict] = []
 
-        for template in templates:
+        for template_idx, template in enumerate(templates):
+            if tracer.enabled:
+                tracer.event(
+                    "tdgen.progress",
+                    template=template_idx,
+                    n_templates=len(templates),
+                    points_so_far=len(labels),
+                )
             ref_plan = template(ref_card, level=2)
             try:
                 assignments = self.jobgen.assignments_for(
@@ -175,6 +229,11 @@ class TrainingDataGenerator:
         self.stats.n_executed += loggen.n_executed
         self.stats.n_imputed += loggen.n_imputed
         self.stats.n_points += len(labels)
+        if tracer.enabled:
+            tracer.count("tdgen.templates", len(templates))
+            tracer.count("tdgen.executed", loggen.n_executed)
+            tracer.count("tdgen.imputed", loggen.n_imputed)
+            tracer.count("tdgen.points", len(labels))
 
         X = np.vstack(rows)
         y = np.asarray(labels, dtype=np.float64)

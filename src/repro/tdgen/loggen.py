@@ -73,8 +73,20 @@ def interpolate_runtimes(
     x, y = x[order], y[order]
     if np.any(np.diff(x) <= 0):
         raise GenerationError("executed cardinalities must be distinct")
-    k = min(degree, x.size - 1)
-    spline = InterpolatedUnivariateSpline(np.log(x), np.log(y + 1e-9), k=k)
+    # Distinct raw cardinalities can still collide after np.log (e.g.
+    # 1e6 vs 1e6 - 1e-7), and scipy demands strictly increasing knots —
+    # collapse log-space ties, keeping the first point of each run.
+    log_x = np.log(x)
+    _, keep = np.unique(log_x, return_index=True)
+    log_x, y = log_x[keep], y[keep]
+    if log_x.size < 2:
+        # All points collapsed onto one log knot: runtime is constant
+        # over this (degenerate) cardinality range.
+        return np.clip(
+            np.full(len(query_cards), float(y[0])), 0.0, FAILURE_PENALTY_S
+        )
+    k = min(degree, log_x.size - 1)
+    spline = InterpolatedUnivariateSpline(log_x, np.log(y + 1e-9), k=k)
     query = np.log(np.asarray(query_cards, dtype=np.float64))
     predicted = np.exp(spline(query)) - 1e-9
     return np.clip(predicted, 0.0, FAILURE_PENALTY_S)

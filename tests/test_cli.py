@@ -44,6 +44,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "flink" in out and "java" not in out
 
+    def test_simulate_trace(self, tmp_path, capsys):
+        from repro.obs import counters, read_trace, spans_named
+
+        trace_path = tmp_path / "sim.jsonl"
+        rc = main(
+            [
+                "simulate",
+                "--workload", "wordcount",
+                "--size", "100MB",
+                "--platform", "java",
+                "--trace", str(trace_path),
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        records = read_trace(trace_path)
+        assert spans_named(records, "simulate.execute")
+        assert counters(records)["simulate.executions"] == 1
+
     def test_unknown_workload_is_an_error(self, capsys):
         rc = main(["simulate", "--workload", "nosuchquery"])
         assert rc == 2
@@ -64,6 +83,7 @@ class TestCommands:
         capsys.readouterr()
 
         plan_path = tmp_path / "plan.json"
+        trace_path = tmp_path / "trace.jsonl"
         rc = main(
             [
                 "optimize",
@@ -71,6 +91,7 @@ class TestCommands:
                 "--size", "300MB",
                 "--model", str(model_path),
                 "--out", str(plan_path),
+                "--trace", str(trace_path),
             ]
         )
         assert rc == 0
@@ -79,6 +100,17 @@ class TestCommands:
         blob = json.loads(plan_path.read_text())
         assert blob["plan"]["name"] == "wordcount"
         assert len(blob["assignment"]) == 6
+
+        from repro.obs import counters, read_trace, spans_named
+
+        records = read_trace(trace_path)
+        assert spans_named(records, "enumerate")
+        assert spans_named(records, "enumerate.merge")
+        assert spans_named(records, "model.predict")
+        totals = counters(records)
+        assert totals["enumerate.merges"] >= 1
+        assert totals["enumerate.prune_calls"] >= 1
+        assert totals["model.rows_predicted"] > 0
 
         rc = main(
             [

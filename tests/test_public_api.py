@@ -1,0 +1,129 @@
+"""Tests for the package's public surface (`repro.__all__`, repro.api).
+
+`__all__` is the single source of truth for what `repro` exports: every
+listed name must resolve (eagerly or lazily), and the four optimizers
+must all satisfy the shared :class:`repro.api.Optimizer` protocol and
+return the unified :class:`OptimizationResult`.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import build_pipeline, make_linear_cost
+from repro.api import OptimizationResult, Optimizer, RunStats
+
+
+class TestAllExports:
+    def test_every_name_in_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_all_is_sorted_into_dir(self):
+        listing = dir(repro)
+        for name in repro.__all__:
+            assert name in listing
+
+    def test_quickstart_names_are_exported(self):
+        # the module docstring's quickstart must only use exported names
+        for name in (
+            "Robopt",
+            "default_registry",
+            "SimulatedExecutor",
+            "TrainingDataGenerator",
+            "RuntimeModel",
+        ):
+            assert name in repro.__all__
+
+    def test_unified_api_names_are_exported(self):
+        for name in (
+            "Optimizer",
+            "OptimizationResult",
+            "RunStats",
+            "RheemixOptimizer",
+            "RheemMLOptimizer",
+            "ExhaustiveOptimizer",
+            "Tracer",
+            "use_tracer",
+        ):
+            assert name in repro.__all__
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="NoSuchThing"):
+            repro.NoSuchThing
+
+    def test_lazy_names_resolve_to_canonical_classes(self):
+        from repro.cost.optimizer import RheemixOptimizer
+        from repro.simulator.executor import SimulatedExecutor
+
+        assert repro.RheemixOptimizer is RheemixOptimizer
+        assert repro.SimulatedExecutor is SimulatedExecutor
+
+
+@pytest.fixture(scope="module")
+def four_optimizers():
+    """One instance of each optimizer over a shared 2-platform setup."""
+    from repro.baselines.exhaustive import ExhaustiveOptimizer
+    from repro.baselines.rheem_ml import RheemMLOptimizer
+    from repro.bench.synthetic_setup import latency_setup
+    from repro.core.optimizer import Robopt
+    from repro.cost.optimizer import RheemixOptimizer
+
+    registry, schema, model, cost_model = latency_setup(2)
+    return {
+        "robopt": Robopt(registry, model, schema=schema),
+        "rheemix": RheemixOptimizer(registry, cost_model),
+        "rheem-ml": RheemMLOptimizer(registry, model, schema=schema),
+        "exhaustive": ExhaustiveOptimizer(registry, model, schema=schema),
+    }
+
+
+class TestOptimizerProtocol:
+    def test_all_four_satisfy_protocol(self, four_optimizers):
+        for name, optimizer in four_optimizers.items():
+            assert isinstance(optimizer, Optimizer), name
+
+    def test_all_four_return_unified_result(self, four_optimizers):
+        plan = build_pipeline(3)
+        for name, optimizer in four_optimizers.items():
+            result = optimizer.optimize(plan)
+            assert isinstance(result, OptimizationResult), name
+            assert isinstance(result.stats, RunStats), name
+            assert result.optimizer == name
+            assert result.execution_plan is not None
+            assert np.isfinite(result.predicted_runtime)
+            assert result.stats.latency_s > 0.0
+            assert result.stats.final_vectors >= 1
+
+    def test_a_plain_object_is_not_an_optimizer(self):
+        assert not isinstance(object(), Optimizer)
+
+
+class TestDeprecationShims:
+    def test_object_enumeration_result_is_optimization_result(self):
+        from repro.baselines.object_enumerator import (
+            ObjectEnumerationResult,
+            ObjectStats,
+        )
+
+        assert ObjectEnumerationResult is OptimizationResult
+        assert ObjectStats is RunStats
+
+    def test_enumeration_stats_is_run_stats(self):
+        from repro.core.enumerator import EnumerationStats
+
+        assert EnumerationStats is RunStats
+
+    def test_stats_read_aliases(self):
+        stats = RunStats(vectors_created=7, vectors_pruned=2, singleton_vectors=3)
+        with pytest.warns(DeprecationWarning):
+            assert stats.subplans_created == 7
+        with pytest.warns(DeprecationWarning):
+            assert stats.subplans_pruned == 2
+        with pytest.warns(DeprecationWarning):
+            assert stats.singleton_subplans == 3
+
+    def test_stats_as_dict_uses_canonical_names(self):
+        blob = RunStats(vectors_created=4).as_dict()
+        assert blob["vectors_created"] == 4
+        assert "subplans_created" not in blob
