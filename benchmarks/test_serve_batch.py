@@ -1,0 +1,176 @@
+"""Batch-service throughput: the serving-layer benchmark.
+
+Drives a 100-plan TDGEN batch (25 distinct structures, each queried at
+four cardinalities within one fingerprint bucket — the parametric-reuse
+situation the plan cache is built for) through
+:class:`BatchOptimizationService` three ways:
+
+* *naive serial* — one optimization per job, no cache, no singleton
+  memoization; what a caller without ``repro.serve`` would do;
+* *batched serial* — the service with the fingerprint cache and
+  singleton memoization (core-count independent: this is the ISSUE 4
+  ">= 2x faster than serial" demonstration);
+* *pooled* — 4 process-pool workers plus the cache. Pool parallelism
+  only pays off with real cores, so the pooled speedup assertion scales
+  with the CPUs actually available to this process.
+
+Records ``plans_per_sec``, cache hit rate and the speedups to the perf
+trajectory (``BENCH_*.json``); ``scripts/check_bench_regression.py``
+fails CI if ``plans_per_sec`` drops >30% against the previous entry.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.trajectory import record as record_trajectory
+from repro.rheem.platforms import synthetic_registry
+from repro.serve import BatchJob, BatchOptimizationService, PlanCache
+from repro.serve.testing import linear_robopt_factory
+from repro.tdgen.jobgen import JobGenerator
+
+# Seven synthetic platforms: enough operator alternatives that each plan
+# costs real enumeration work (tens of ms), so pool parallelism and the
+# cache have something to amortize.
+N_PLATFORMS = 7
+N_TEMPLATES = 25
+QUERIES_PER_TEMPLATE = 4
+N_JOBS = N_TEMPLATES * QUERIES_PER_TEMPLATE
+WORKERS = 4
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _batch_jobs():
+    """100 TDGEN jobs: 25 distinct structures, each queried at four sizes
+    within one cardinality bucket (the parametric-reuse case)."""
+    registry = synthetic_registry(N_PLATFORMS)
+    gen = JobGenerator(registry, seed=42)
+    templates = gen.templates_for_shapes(
+        ("pipeline", "juncture", "replicate", "loop"),
+        max_operators=10,
+        count=N_TEMPLATES,
+        min_operators=6,
+    )
+    jobs = []
+    for index, template in enumerate(templates):
+        base = 10.0 ** (4 + index % 3)
+        for q in range(QUERIES_PER_TEMPLATE):
+            # Same structure, cardinalities within one power-of-two bucket.
+            jobs.append(BatchJob(f"t{index}q{q}", template(base * (1 + 0.01 * q))))
+    assert len(jobs) == N_JOBS
+    return jobs
+
+
+def test_batch_throughput(report, trajectory):
+    factory = linear_robopt_factory(platforms=N_PLATFORMS, seed=3)
+    registry = synthetic_registry(N_PLATFORMS)
+
+    naive = BatchOptimizationService(
+        factory, registry, workers=0, memoize_singletons=False
+    )
+    naive_report = naive.optimize_batch(_batch_jobs())
+    assert naive_report.n_failed == 0
+
+    batched = BatchOptimizationService(
+        factory, registry, workers=0, cache=PlanCache(max_entries=512)
+    )
+    batched_report = batched.optimize_batch(_batch_jobs())
+    assert batched_report.n_failed == 0
+
+    pooled = BatchOptimizationService(
+        factory, registry, workers=WORKERS, cache=PlanCache(max_entries=512)
+    )
+    pooled_report = pooled.optimize_batch(_batch_jobs())
+    assert pooled_report.n_failed == 0
+    assert pooled_report.mode == "pool"
+
+    # Identical decisions regardless of execution mode.
+    for a, b, c in zip(
+        naive_report.outcomes, batched_report.outcomes, pooled_report.outcomes
+    ):
+        assert a.result.execution_plan.assignment == b.result.execution_plan.assignment
+        assert a.result.execution_plan.assignment == c.result.execution_plan.assignment
+
+    speedup = naive_report.wall_s / max(batched_report.wall_s, 1e-9)
+    pool_speedup = naive_report.wall_s / max(pooled_report.wall_s, 1e-9)
+    cpus = _available_cpus()
+    report(
+        "Batch service throughput (100-plan TDGEN batch)",
+        ["mode", "wall_s", "plans/s", "cache hit rate"],
+        [
+            ["naive serial (no cache/memo)", f"{naive_report.wall_s:.2f}",
+             f"{naive_report.plans_per_sec:.1f}", "-"],
+            ["batched serial + cache", f"{batched_report.wall_s:.2f}",
+             f"{batched_report.plans_per_sec:.1f}",
+             f"{batched_report.cache_hit_rate:.0%}"],
+            [f"pool x{WORKERS} + cache", f"{pooled_report.wall_s:.2f}",
+             f"{pooled_report.plans_per_sec:.1f}",
+             f"{pooled_report.cache_hit_rate:.0%}"],
+        ],
+        note=(
+            f"batched {speedup:.2f}x, pooled {pool_speedup:.2f}x vs naive "
+            f"(ISSUE 4 target: >= 2x; {cpus} CPU(s) available)"
+        ),
+    )
+    metrics = {
+        "plans_per_sec": batched_report.plans_per_sec,
+        "pooled_plans_per_sec": pooled_report.plans_per_sec,
+        "naive_plans_per_sec": naive_report.plans_per_sec,
+        "speedup": speedup,
+        "pool_speedup": pool_speedup,
+        "cache_hit_rate": batched_report.cache_hit_rate,
+        "n_jobs": batched_report.n_jobs,
+        "workers": WORKERS,
+        "cpus": cpus,
+    }
+    trajectory(metrics, meta={"platforms": N_PLATFORMS})
+    # A stable series name for scripts/check_bench_regression.py.
+    record_trajectory(
+        "serve.batch_throughput", metrics, meta={"platforms": N_PLATFORMS}
+    )
+    # The ISSUE 4 acceptance bar: the batch path (cache + memoization)
+    # must be >= 2x faster than naive one-at-a-time optimization.
+    assert speedup >= 2.0
+    # Pool parallelism needs real cores. On a single-core box forking 4
+    # workers is pure overhead (the number is recorded, not asserted);
+    # with >= 4 CPUs the pooled path must clear the bar too.
+    if cpus >= 4:
+        assert pool_speedup >= 2.0
+
+
+def test_batch_cache_amortization(report, trajectory):
+    """Optimizer cost amortizes across repeated batches (Kepler's effect)."""
+    factory = linear_robopt_factory(platforms=N_PLATFORMS, seed=3)
+    registry = synthetic_registry(N_PLATFORMS)
+    cache = PlanCache(max_entries=512)
+    service = BatchOptimizationService(factory, registry, workers=0, cache=cache)
+
+    cold = service.optimize_batch(_batch_jobs())
+    warm = service.optimize_batch(_batch_jobs())
+    assert warm.cache_hit_rate == 1.0
+    speedup = cold.wall_s / max(warm.wall_s, 1e-9)
+    report(
+        "Plan-cache amortization (same batch twice)",
+        ["run", "wall_s", "plans/s", "cache hit rate"],
+        [
+            ["cold", f"{cold.wall_s:.2f}", f"{cold.plans_per_sec:.1f}",
+             f"{cold.cache_hit_rate:.0%}"],
+            ["warm", f"{warm.wall_s:.2f}", f"{warm.plans_per_sec:.1f}",
+             f"{warm.cache_hit_rate:.0%}"],
+        ],
+        note=f"warm batch {speedup:.1f}x faster",
+    )
+    trajectory(
+        {
+            "cold_plans_per_sec": cold.plans_per_sec,
+            "warm_plans_per_sec": warm.plans_per_sec,
+            "warm_speedup": speedup,
+        }
+    )
+    assert warm.wall_s < cold.wall_s

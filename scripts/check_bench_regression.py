@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fail CI when batch throughput regresses vs the previous BENCH entry.
+
+Reads every ``BENCH_*.json`` at the repository root, extracts the entries
+for the batch-throughput benchmark (``serve.batch_throughput``, as
+recorded by ``benchmarks/test_serve_batch.py`` — override with
+``--name``), and compares the latest ``plans_per_sec`` against the
+previous one. A drop of more than ``--tolerance`` (default 30%) exits
+non-zero.
+
+With fewer than two entries the check passes (nothing to compare — the
+first recorded run *establishes* the baseline).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        --name serve.optimize_batch --metric plans_per_sec --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--name", default="serve.batch_throughput")
+    parser.add_argument("--metric", default="plans_per_sec")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum allowed fractional drop vs the previous entry",
+    )
+    parser.add_argument("--root", default=None, help="repo root to scan")
+    args = parser.parse_args(argv)
+
+    from repro.bench.trajectory import series
+
+    entries = series(args.name, metric=args.metric, root=args.root)
+    if len(entries) < 2:
+        print(
+            f"bench-regression: only {len(entries)} entry/ies for "
+            f"{args.name!r} — baseline established, nothing to compare"
+        )
+        return 0
+    previous = entries[-2]["metrics"][args.metric]
+    latest = entries[-1]["metrics"][args.metric]
+    if previous is None or latest is None or previous <= 0:
+        print("bench-regression: non-comparable values, skipping")
+        return 0
+    drop = (previous - latest) / previous
+    verdict = "OK" if drop <= args.tolerance else "REGRESSION"
+    print(
+        f"bench-regression: {args.name}.{args.metric} "
+        f"{previous:.2f} -> {latest:.2f} ({-drop:+.1%}) [{verdict}]"
+    )
+    if drop > args.tolerance:
+        print(
+            f"bench-regression: throughput dropped {drop:.1%} "
+            f"(> {args.tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

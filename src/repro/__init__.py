@@ -15,6 +15,8 @@ Cross-Platform Query Optimization"* (Kaoudi et al., ICDE 2020):
 * :mod:`repro.baselines` — Rheem-ML and exhaustive enumeration baselines;
 * :mod:`repro.tdgen` — the scalable training data generator;
 * :mod:`repro.obs` — observability (tracer, spans, counters, JSONL);
+* :mod:`repro.serve` — the batch optimization service (process-pool
+  parallelism, fingerprint-keyed plan cache, CLI ``optimize-batch``);
 * :mod:`repro.workloads` — the queries of Table II plus synthetic plans.
 
 Every optimizer (:class:`Robopt`, :class:`RheemixOptimizer`,
@@ -73,6 +75,13 @@ _LAZY = {
     "Tracer": ("repro.obs", "Tracer"),
     "current_tracer": ("repro.obs", "current_tracer"),
     "use_tracer": ("repro.obs", "use_tracer"),
+    # serving layer
+    "BatchOptimizationService": ("repro.serve", "BatchOptimizationService"),
+    "BatchJob": ("repro.serve", "BatchJob"),
+    "BatchReport": ("repro.serve", "BatchReport"),
+    "PlanCache": ("repro.serve", "PlanCache"),
+    "plan_fingerprint": ("repro.serve", "plan_fingerprint"),
+    "robopt_factory": ("repro.serve", "robopt_factory"),
 }
 
 __all__ = [
@@ -103,6 +112,13 @@ __all__ = [
     "Tracer",
     "current_tracer",
     "use_tracer",
+    # serving layer
+    "BatchOptimizationService",
+    "BatchJob",
+    "BatchReport",
+    "PlanCache",
+    "plan_fingerprint",
+    "robopt_factory",
     "__version__",
 ]
 

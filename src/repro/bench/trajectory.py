@@ -21,7 +21,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-__all__ = ["trajectory_path", "record", "load"]
+__all__ = ["trajectory_path", "record", "load", "series"]
 
 
 def _repo_root() -> Path:
@@ -80,3 +80,33 @@ def load(path=None) -> List[Dict[str, Any]]:
     if path is None or not path.exists():
         return []
     return json.loads(path.read_text())
+
+
+def series(
+    name: str,
+    metric: Optional[str] = None,
+    root: Optional[Path] = None,
+) -> List[Dict[str, Any]]:
+    """All entries named ``name`` across every ``BENCH_*.json``, in time order.
+
+    Scans the repository root (or ``root``) for trajectory files, sorts
+    their entries by timestamp, and returns those whose ``name`` matches
+    exactly. With ``metric`` set, only entries that carry that metric are
+    returned — the regression gate uses this to compare the last two
+    recorded batch throughputs.
+    """
+    root = Path(root) if root is not None else _repo_root()
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            entries.extend(load(path))
+        except (OSError, json.JSONDecodeError):
+            continue
+    picked = [
+        e
+        for e in entries
+        if e.get("name") == name
+        and (metric is None or metric in e.get("metrics", {}))
+    ]
+    picked.sort(key=lambda e: e.get("timestamp", ""))
+    return picked

@@ -5,6 +5,8 @@ Commands:
 * ``workloads`` — list the built-in Table II workloads;
 * ``train`` — generate TDGEN data and train a runtime model;
 * ``optimize`` — optimize a workload (or a plan JSON) with a model;
+* ``optimize-batch`` — drive a JSONL job file through the batch
+  optimization service (process-pool parallelism + plan cache);
 * ``simulate`` — run a workload on one platform (or all) and report
   simulated runtimes;
 * ``explain`` — optimize and print the decision report (chosen plan,
@@ -97,6 +99,15 @@ def _maybe_trace(args):
         print(f"wrote {n} trace records to {path}")
 
 
+def _load_runtime_model(path):
+    from repro.ml.model import RuntimeModel
+
+    try:
+        return RuntimeModel.load(path)
+    except OSError as exc:
+        raise ReproError(f"cannot read model from {path}: {exc}") from exc
+
+
 # ---------------------------------------------------------------------------
 # Commands
 # ---------------------------------------------------------------------------
@@ -136,11 +147,10 @@ def cmd_train(args) -> int:
 
 def cmd_optimize(args) -> int:
     from repro.core.optimizer import Robopt
-    from repro.ml.model import RuntimeModel
     from repro.rheem.serialization import execution_plan_to_json
 
     registry = _registry(args.platforms)
-    model = RuntimeModel.load(args.model)
+    model = _load_runtime_model(args.model)
     plan = _load_plan(args)
     robopt = Robopt(registry, model, priority=args.priority)
     with _maybe_trace(args):
@@ -158,12 +168,140 @@ def cmd_optimize(args) -> int:
     return 0
 
 
-def cmd_explain(args) -> int:
-    from repro.core.optimizer import Robopt
-    from repro.ml.model import RuntimeModel
+def _load_jobs(path, registry):
+    """Parse a JSONL job file into :class:`repro.serve.BatchJob` rows.
+
+    Each line is a JSON object, either ``{"id", "plan": <plan doc>}``,
+    ``{"id", "workload": <name>, "size": "6GB"}``, or a bare plan
+    document (an object with an ``"operators"`` key).
+    """
+    import json
+
+    from repro.rheem.serialization import plan_from_dict
+    from repro.serve import BatchJob
+
+    jobs = []
+    try:
+        f = open(path)
+    except OSError as exc:
+        raise ReproError(f"cannot read jobs from {path}: {exc}") from exc
+    with f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+            if not isinstance(doc, dict):
+                raise ReproError(f"{path}:{lineno}: expected a JSON object")
+            size = parse_size(doc["size"]) if doc.get("size") else None
+            if "plan" in doc:
+                plan = plan_from_dict(doc["plan"])
+            elif "workload" in doc:
+                plan = _workload_plan(doc["workload"], None, None)
+            elif "operators" in doc:
+                plan = plan_from_dict(doc)
+            else:
+                raise ReproError(
+                    f"{path}:{lineno}: a job needs a 'plan', 'workload' "
+                    f"or bare plan document"
+                )
+            job_id = str(doc.get("id") or plan.name or f"line{lineno}")
+            jobs.append(BatchJob(job_id, plan, size_bytes=size, tags=doc.get("tags", {})))
+    if not jobs:
+        raise ReproError(f"{path} contains no jobs")
+    return jobs
+
+
+def cmd_optimize_batch(args) -> int:
+    import json
+
+    from repro.bench import trajectory
+    from repro.serve import BatchOptimizationService, PlanCache, robopt_factory
+
+    import os
 
     registry = _registry(args.platforms)
-    model = RuntimeModel.load(args.model)
+    jobs = _load_jobs(args.jobs, registry)
+    # The factory loads the model lazily (inside each pool worker), so a
+    # bad path would otherwise surface as N per-job failures.
+    if not os.path.isfile(args.model):
+        raise ReproError(f"cannot read model from {args.model}: no such file")
+    cache = None
+    if args.cache:
+        if os.path.exists(args.cache):
+            cache = PlanCache.load(args.cache, registry, max_entries=args.cache_size)
+        else:
+            cache = PlanCache(max_entries=args.cache_size)
+    factory = robopt_factory(
+        platforms=tuple(n.strip() for n in args.platforms.split(",")),
+        model_path=args.model,
+        priority=args.priority,
+    )
+    service = BatchOptimizationService(
+        factory,
+        registry,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        cache=cache,
+    )
+    with _maybe_trace(args):
+        report = service.optimize_batch(jobs)
+    rows = []
+    for outcome in report.outcomes:
+        row = {
+            "id": outcome.job_id,
+            "ok": outcome.ok,
+            "cached": outcome.cached,
+            "duration_s": outcome.duration_s,
+        }
+        if outcome.ok and outcome.result is not None:
+            result = outcome.result
+            row["predicted_runtime"] = result.predicted_runtime
+            row["platforms"] = sorted(result.execution_plan.platforms_used())
+            row["assignment"] = {
+                str(k): v for k, v in sorted(result.execution_plan.assignment.items())
+            }
+            row["stats"] = result.stats.as_dict()
+        else:
+            row["error"] = outcome.error
+        rows.append(row)
+    if args.out:
+        with open(args.out, "w") as f:
+            for row in rows:
+                f.write(json.dumps(row) + "\n")
+        print(f"wrote {len(rows)} result rows to {args.out}")
+    else:
+        for row in rows:
+            shown = (
+                f"{row['predicted_runtime']:.2f}s"
+                if row["ok"]
+                else f"error: {row['error']}"
+            )
+            cached = " (cached)" if row["cached"] else ""
+            print(f"{row['id']:>24}: {shown}{cached}")
+    metrics = report.metrics()
+    print(
+        f"batch: {report.n_ok}/{report.n_jobs} ok in {report.wall_s:.2f}s "
+        f"({report.plans_per_sec:.1f} plans/s, mode={report.mode}, "
+        f"cache hit rate {report.cache_hit_rate:.0%})"
+    )
+    trajectory.record(
+        "serve.optimize_batch", metrics, meta={"jobs_file": args.jobs, "mode": report.mode}
+    )
+    if cache is not None and args.cache:
+        cache.save(args.cache)
+        print(f"saved plan cache ({len(cache)} entries) to {args.cache}")
+    return 0 if report.n_failed == 0 else 1
+
+
+def cmd_explain(args) -> int:
+    from repro.core.optimizer import Robopt
+
+    registry = _registry(args.platforms)
+    model = _load_runtime_model(args.model)
     plan = _load_plan(args)
     with _maybe_trace(args):
         report = Robopt(registry, model).explain(plan, k=args.top_k)
@@ -232,6 +370,30 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--priority", default="robopt")
     optimize.add_argument("--out", default=None, help="write the plan as JSON")
     optimize.set_defaults(func=cmd_optimize)
+
+    batch = sub.add_parser(
+        "optimize-batch",
+        help="optimize a JSONL job file through the batch service",
+    )
+    batch.add_argument("--jobs", required=True, help="JSONL job file (one job per line)")
+    batch.add_argument("--model", required=True)
+    batch.add_argument("--platforms", default="java,spark,flink")
+    batch.add_argument("--priority", default="robopt")
+    batch.add_argument("--workers", type=int, default=0, help="process count (0 = serial)")
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds (pool mode)"
+    )
+    batch.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="JSON plan-cache file (loaded if present, saved after the run)",
+    )
+    batch.add_argument("--cache-size", type=int, default=256, help="LRU bound")
+    batch.add_argument("--out", default=None, help="write per-job results as JSONL")
+    batch.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL trace of the run (spans + counters)",
+    )
+    batch.set_defaults(func=cmd_optimize_batch)
 
     explain = sub.add_parser("explain", help="optimize and explain the decision")
     add_plan_args(explain)

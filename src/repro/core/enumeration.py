@@ -232,12 +232,25 @@ class PlanVectorEnumeration:
         return self._boundary
 
     def select(self, row_indices: np.ndarray) -> "PlanVectorEnumeration":
-        """A new enumeration keeping only the given vector rows."""
+        """A new enumeration keeping only the given vector rows.
+
+        The result never aliases this enumeration's matrices: fancy
+        (integer-array) indexing copies by construction, and slice/scalar
+        indexing — which would return views — is copied explicitly.
+        Callers may therefore mutate a selection (or cache it) without
+        corrupting the source enumeration, and vice versa.
+        """
+        features = self.features[row_indices]
+        assignments = self.assignments[row_indices]
+        if features.base is not None:
+            features = features.copy()
+        if assignments.base is not None:
+            assignments = assignments.copy()
         return PlanVectorEnumeration(
             self.ctx,
             self.scope,
-            self.features[row_indices],
-            self.assignments[row_indices],
+            features,
+            assignments,
         )
 
     def assignment_dict(self, row: int) -> Dict[int, str]:

@@ -80,6 +80,12 @@ class PriorityEnumerator:
         than this raises :class:`EnumerationError` (the exhaustive baseline
         at 20+ operators would otherwise materialize 10^6+ vectors,
         cf. Table I).
+    singleton_memo:
+        Optional mutable mapping shared across runs: caches singleton
+        feature matrices by content so a batch of plans with shared
+        subplans vectorizes each distinct singleton once (see
+        :func:`repro.core.operations.enumerate_singleton`; the batch
+        service installs one per batch/worker).
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class PriorityEnumerator:
         pruning: bool = True,
         schema: Optional[FeatureSchema] = None,
         max_vectors: int = 4_000_000,
+        singleton_memo: Optional[Dict] = None,
     ):
         self.registry = registry
         self.cost_fn = cost_fn
@@ -97,6 +104,7 @@ class PriorityEnumerator:
         self.pruning = pruning
         self.schema = schema if schema is not None else FeatureSchema(registry)
         self.max_vectors = max_vectors
+        self.singleton_memo = singleton_memo
 
     # ------------------------------------------------------------------
     def enumerate_plan(self, plan: LogicalPlan) -> EnumerationResult:
@@ -127,7 +135,7 @@ class PriorityEnumerator:
         ids = itertools.count()
         for abstract in split(vectorize(ctx)):
             eid = next(ids)
-            enumeration = enumerate_singleton(abstract)
+            enumeration = enumerate_singleton(abstract, memo=self.singleton_memo)
             enums[eid] = enumeration
             stats.singleton_vectors += enumeration.n_vectors
             (op_id,) = abstract.scope

@@ -91,10 +91,19 @@ def split(abstract: AbstractPlanVector) -> List[AbstractPlanVector]:
     ]
 
 
-def enumerate_singleton(abstract: AbstractPlanVector) -> PlanVectorEnumeration:
+def enumerate_singleton(
+    abstract: AbstractPlanVector, memo: Dict = None
+) -> PlanVectorEnumeration:
     """Instantiate a singleton abstract vector (§IV-C op. 2, base case).
 
     Produces one plan vector per feasible platform of the single operator.
+
+    ``memo`` (optional, mutated in place) caches the computed feature
+    matrix under the singleton's *content* — operator kind, feasible
+    platforms, and the exact static feature vector — so a batch of plans
+    sharing subplans vectorizes each distinct singleton once (the batch
+    service shares one memo per batch/worker). The cached matrix is
+    copied on every hit, never aliased.
     """
     if len(abstract.scope) != 1:
         raise EnumerationError(
@@ -106,13 +115,40 @@ def enumerate_singleton(abstract: AbstractPlanVector) -> PlanVectorEnumeration:
     schema = ctx.schema
     static = ctx.static_features(abstract.scope)
     n = len(alts)
+    if memo is not None:
+        # The key must pin everything op_assignment_delta reads: operator
+        # kind, cardinalities, loop membership (all inside the static
+        # vector) plus the plan-level average input tuple size, which the
+        # singleton statics do not encode.
+        key = (
+            ctx.plan.operators[op_id].kind_name,
+            alts.tobytes(),
+            static.tobytes(),
+            ctx.plan.average_input_tuple_size(),
+            # Nested loops: the delta uses the *product* of enclosing
+            # iterations, the statics only their sum — key it explicitly.
+            ctx.plan.loop_iterations(op_id),
+        )
+        hit = memo.get(key)
+        if hit is not None and hit.shape == (n, static.shape[0]):
+            features = hit.copy()
+        else:
+            features = _singleton_features(ctx, op_id, alts, static, n)
+            memo[key] = features.copy()
+    else:
+        features = _singleton_features(ctx, op_id, alts, static, n)
+    assignments = np.full((n, ctx.n_ops), -1, dtype=np.int8)
+    assignments[:, op_id] = alts
+    return PlanVectorEnumeration(ctx, abstract.scope, features, assignments)
+
+
+def _singleton_features(ctx, op_id, alts, static, n) -> np.ndarray:
+    schema = ctx.schema
     features = np.tile(static, (n, 1))
     for row, pi in enumerate(alts):
         cols, vals = schema.op_assignment_delta(ctx.plan, op_id, int(pi))
         features[row, cols] += vals
-    assignments = np.full((n, ctx.n_ops), -1, dtype=np.int8)
-    assignments[:, op_id] = alts
-    return PlanVectorEnumeration(ctx, abstract.scope, features, assignments)
+    return features
 
 
 def enumerate_abstract(abstract: AbstractPlanVector) -> PlanVectorEnumeration:

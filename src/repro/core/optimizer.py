@@ -93,6 +93,10 @@ class Robopt:
     schema:
         Optional pre-built feature schema; must match ``registry`` and the
         schema the model was trained with.
+    singleton_memo:
+        Optional shared singleton-feature memo (see
+        :class:`PriorityEnumerator`); the batch service sets one per
+        batch so plans with shared subplans vectorize them once.
     """
 
     def __init__(
@@ -103,6 +107,7 @@ class Robopt:
         pruning: bool = True,
         schema: Optional[FeatureSchema] = None,
         max_vectors: int = 4_000_000,
+        singleton_memo: Optional[Dict] = None,
     ):
         self.registry = registry
         self.model = model
@@ -114,7 +119,17 @@ class Robopt:
             pruning=pruning,
             schema=self.schema,
             max_vectors=max_vectors,
+            singleton_memo=singleton_memo,
         )
+
+    @property
+    def singleton_memo(self) -> Optional[Dict]:
+        """The shared singleton-feature memo (``None`` when disabled)."""
+        return self._enumerator.singleton_memo
+
+    @singleton_memo.setter
+    def singleton_memo(self, memo: Optional[Dict]) -> None:
+        self._enumerator.singleton_memo = memo
 
     def optimize(self, plan: LogicalPlan) -> OptimizationResult:
         """Find the execution plan with the lowest predicted runtime."""

@@ -1,0 +1,45 @@
+"""Batch optimization service: parallel multi-query driving + plan cache.
+
+The paper optimizes one query at a time; a served deployment faces
+*streams* of queries, many of them repeated or parametric. This
+subpackage provides the batch layer on top of any
+:class:`repro.api.Optimizer`:
+
+* :mod:`repro.serve.fingerprint` — structural plan fingerprints
+  (topology + operator kinds + quantized cardinality buckets), the
+  cache key;
+* :mod:`repro.serve.cache` — the fingerprint-keyed LRU
+  :class:`PlanCache` with hit/miss counters and JSON persistence;
+* :mod:`repro.serve.batch` — :class:`BatchOptimizationService`:
+  process-pool parallelism, per-job timeouts, graceful serial fallback,
+  within-batch deduplication and singleton-enumeration memoization;
+* :mod:`repro.serve.testing` — picklable deterministic doubles for the
+  differential and concurrency suites.
+
+CLI: ``repro optimize-batch --jobs jobs.jsonl --model model.pkl``.
+See ``docs/serving.md`` for the batch API, fingerprint scheme and cache
+semantics.
+"""
+
+from repro.serve.batch import (
+    BatchJob,
+    BatchOptimizationService,
+    BatchReport,
+    JobOutcome,
+    robopt_factory,
+)
+from repro.serve.cache import CacheStats, PlanCache, copy_result
+from repro.serve.fingerprint import cardinality_bucket, plan_fingerprint
+
+__all__ = [
+    "BatchJob",
+    "BatchOptimizationService",
+    "BatchReport",
+    "JobOutcome",
+    "robopt_factory",
+    "PlanCache",
+    "CacheStats",
+    "copy_result",
+    "plan_fingerprint",
+    "cardinality_bucket",
+]

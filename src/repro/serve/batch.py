@@ -1,0 +1,567 @@
+"""The batch optimization engine: many queries through one optimizer.
+
+:class:`BatchOptimizationService` accepts a list of jobs (logical plans,
+optionally with a per-job input-size override — the "stats" of a job)
+and drives them through any :class:`repro.api.Optimizer`:
+
+* **Parallelism** — a :class:`concurrent.futures.ProcessPoolExecutor`
+  with a configurable worker count. Jobs ship to workers as the exact
+  JSON plan documents of :mod:`repro.rheem.serialization` and results
+  return the same way, so batch-mode answers are bit-identical to serial
+  ones (the differential suite asserts this). Per-job timeouts produce a
+  per-job error entry; a worker raising mid-job fails only its job; a
+  broken pool or an unpicklable optimizer factory degrades gracefully to
+  serial execution.
+* **Plan cache** — an optional fingerprint-keyed
+  :class:`~repro.serve.cache.PlanCache`. Within a batch, jobs sharing a
+  fingerprint are optimized once; across batches (and, via JSON
+  persistence, across processes) repeated/parametric queries reuse the
+  cached decision.
+* **Singleton memoization** — within a batch the serial path (and each
+  pool worker) shares one singleton-enumeration memo, so identical
+  subplans are vectorized once (see
+  :func:`repro.core.operations.enumerate_singleton`).
+
+Every stage emits tracer spans/counters (``serve.*``), and
+:meth:`BatchReport.metrics` is shaped for
+:func:`repro.bench.trajectory.record`.
+
+The pool needs a *picklable factory* rather than an optimizer instance
+(cost oracles close over models, and closures do not pickle):
+:func:`robopt_factory` builds one for the standard Robopt stack.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.api import Optimizer, OptimizationResult, RunStats
+from repro.exceptions import ReproError
+from repro.obs import current_tracer
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+from repro.serve.cache import PlanCache, copy_result
+from repro.serve.fingerprint import plan_fingerprint
+
+__all__ = [
+    "BatchJob",
+    "JobOutcome",
+    "BatchReport",
+    "BatchOptimizationService",
+    "robopt_factory",
+]
+
+
+@dataclass
+class BatchJob:
+    """One optimization request: a plan plus per-job statistics.
+
+    ``size_bytes`` rescales the plan's input datasets before optimizing
+    (the parametric-query knob); ``tags`` travel untouched into the
+    outcome for the caller's bookkeeping.
+    """
+
+    job_id: str
+    plan: LogicalPlan
+    size_bytes: Optional[float] = None
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def prepared_plan(self) -> LogicalPlan:
+        """The plan to optimize (cloned + rescaled if sized)."""
+        if self.size_bytes is None:
+            return self.plan
+        plan = self.plan.clone()
+        plan.scale_datasets_to_bytes(self.size_bytes)
+        return plan
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job of a batch."""
+
+    job_id: str
+    ok: bool
+    result: Optional[OptimizationResult] = None
+    error: Optional[str] = None
+    cached: bool = False
+    duration_s: float = 0.0
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BatchReport:
+    """The aggregate outcome of one batch run."""
+
+    outcomes: List[JobOutcome]
+    wall_s: float
+    mode: str  # "serial" or "pool"
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_jobs - self.n_ok
+
+    @property
+    def plans_per_sec(self) -> float:
+        """Completed jobs per wall-clock second."""
+        return self.n_ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def aggregate_stats(self) -> RunStats:
+        """Summed RunStats over the successful, non-cached jobs."""
+        total = RunStats()
+        for outcome in self.outcomes:
+            if outcome.result is None or outcome.cached:
+                continue
+            for key, value in outcome.result.stats.as_dict().items():
+                setattr(total, key, getattr(total, key) + value)
+        return total
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat metric dict for :func:`repro.bench.trajectory.record`."""
+        return {
+            "n_jobs": self.n_jobs,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "wall_s": self.wall_s,
+            "plans_per_sec": self.plans_per_sec,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "workers": self.workers,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side: one optimizer per process, plans shipped as JSON documents.
+# ---------------------------------------------------------------------------
+
+_WORKER_OPTIMIZER: Optional[Optimizer] = None
+
+
+def _worker_init(factory: Callable[[], Optimizer], memoize: bool) -> None:
+    global _WORKER_OPTIMIZER
+    _WORKER_OPTIMIZER = factory()
+    if memoize:
+        _enable_singleton_memo(_WORKER_OPTIMIZER, {})
+
+
+def _worker_run(job_id: str, plan_json: str) -> Dict[str, Any]:
+    """Optimize one shipped plan; returns a JSON-safe result document."""
+    from repro.rheem.serialization import execution_plan_to_dict, plan_from_json
+
+    assert _WORKER_OPTIMIZER is not None, "worker pool not initialized"
+    plan = plan_from_json(plan_json)
+    result = _WORKER_OPTIMIZER.optimize(plan)
+    return {
+        "job_id": job_id,
+        "execution_plan": execution_plan_to_dict(result.execution_plan),
+        "predicted_runtime": result.predicted_runtime,
+        "optimizer": result.optimizer,
+        "stats": result.stats.as_dict(),
+    }
+
+
+def _build_robopt(
+    platforms: Sequence[str],
+    model: Any,
+    model_path: Optional[str],
+    priority: str,
+    pruning: bool,
+):
+    from repro.core.optimizer import Robopt
+    from repro.ml.model import RuntimeModel
+    from repro.rheem.platforms import default_registry
+
+    if model is None:
+        if model_path is None:
+            raise ReproError("robopt_factory needs a model or a model_path")
+        model = RuntimeModel.load(model_path)
+    registry = default_registry(tuple(platforms))
+    return Robopt(registry, model, priority=priority, pruning=pruning)
+
+
+def robopt_factory(
+    platforms: Sequence[str] = ("java", "spark", "flink"),
+    model: Any = None,
+    model_path: Optional[str] = None,
+    priority: str = "robopt",
+    pruning: bool = True,
+) -> Callable[[], Optimizer]:
+    """A picklable zero-argument factory building a standard Robopt.
+
+    Pass either a (picklable) ``model`` object or a ``model_path`` that
+    each worker loads on initialization — the latter avoids shipping a
+    large forest through the pipe once per pool.
+    """
+    return functools.partial(
+        _build_robopt, tuple(platforms), model, model_path, priority, pruning
+    )
+
+
+def _enable_singleton_memo(optimizer: Optimizer, memo: dict) -> bool:
+    """Share a singleton-enumeration memo with an optimizer, if it can.
+
+    Works for any optimizer exposing a ``singleton_memo`` attribute
+    (directly or on its ``_enumerator``); silently does nothing for
+    optimizers without one — memoization is an optimization, not a
+    contract.
+    """
+    for holder in (optimizer, getattr(optimizer, "_enumerator", None)):
+        if holder is not None and hasattr(holder, "singleton_memo"):
+            holder.singleton_memo = memo
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class BatchOptimizationService:
+    """Drives batches of optimization jobs through one optimizer.
+
+    Parameters
+    ----------
+    optimizer_factory:
+        Zero-argument callable returning an :class:`~repro.api.Optimizer`.
+        Must be picklable for pool mode (:func:`robopt_factory` is); an
+        unpicklable factory degrades to serial execution.
+    registry:
+        The platform registry results are rebuilt against (and the
+        fingerprint context). Defaults to the factory-built optimizer's
+        ``registry`` attribute.
+    workers:
+        Process count; ``0`` or ``1`` means serial in-process execution.
+    timeout_s:
+        Per-job wall-clock budget, measured from the start of result
+        collection (pool mode only — a serial job cannot be preempted).
+        An overrun produces an error outcome for that job; the batch
+        continues.
+    cache:
+        An optional :class:`PlanCache` shared across batches.
+    memoize_singletons:
+        Share one singleton-enumeration memo per batch (serial) or per
+        worker (pool) so identical subplans vectorize once.
+    """
+
+    def __init__(
+        self,
+        optimizer_factory: Callable[[], Optimizer],
+        registry: Optional[PlatformRegistry] = None,
+        *,
+        workers: int = 0,
+        timeout_s: Optional[float] = None,
+        cache: Optional[PlanCache] = None,
+        memoize_singletons: bool = True,
+    ):
+        if workers < 0:
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ReproError(f"timeout_s must be positive, got {timeout_s}")
+        self._factory = optimizer_factory
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.cache = cache
+        self.memoize_singletons = memoize_singletons
+        self._optimizer: Optional[Optimizer] = None
+        self.registry = registry if registry is not None else self._serial_optimizer().registry
+
+    # ------------------------------------------------------------------
+    def _serial_optimizer(self) -> Optimizer:
+        if self._optimizer is None:
+            self._optimizer = self._factory()
+        return self._optimizer
+
+    @staticmethod
+    def as_jobs(
+        jobs: Sequence[Union[BatchJob, LogicalPlan]]
+    ) -> List[BatchJob]:
+        """Normalize a mixed plan/job sequence into jobs with unique ids."""
+        out: List[BatchJob] = []
+        seen: Dict[str, int] = {}
+        for index, item in enumerate(jobs):
+            if isinstance(item, BatchJob):
+                job = item
+            else:
+                job = BatchJob(job_id=item.name or f"job{index}", plan=item)
+            if job.job_id in seen or not job.job_id:
+                job = BatchJob(
+                    f"{job.job_id or 'job'}#{index}", job.plan, job.size_bytes, job.tags
+                )
+            seen[job.job_id] = index
+            out.append(job)
+        return out
+
+    # ------------------------------------------------------------------
+    def optimize_batch(
+        self, jobs: Sequence[Union[BatchJob, LogicalPlan]]
+    ) -> BatchReport:
+        """Run every job; never raises for a single job's failure."""
+        jobs = self.as_jobs(jobs)
+        tracer = current_tracer()
+        started = time.perf_counter()
+        with tracer.span("serve.batch", n_jobs=len(jobs), workers=self.workers):
+            outcomes, hits, misses, mode = self._run(jobs, tracer)
+        wall = time.perf_counter() - started
+        report = BatchReport(
+            outcomes=outcomes,
+            wall_s=wall,
+            mode=mode,
+            workers=self.workers,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+        if tracer.enabled:
+            tracer.count("serve.jobs", report.n_jobs)
+            tracer.count("serve.jobs_ok", report.n_ok)
+            tracer.count("serve.jobs_failed", report.n_failed)
+        return report
+
+    # ------------------------------------------------------------------
+    def _run(self, jobs: List[BatchJob], tracer):
+        """Plan the batch: cache lookups, then dispatch the misses."""
+        outcomes: Dict[str, JobOutcome] = {}
+        hits = 0
+        misses = 0
+        # Fingerprint every job; serve cache hits immediately and collapse
+        # within-batch duplicates onto one representative optimization.
+        prepared: Dict[str, LogicalPlan] = {}
+        fingerprints: Dict[str, str] = {}
+        representatives: Dict[str, BatchJob] = {}
+        followers: Dict[str, List[BatchJob]] = {}
+        with tracer.span("serve.cache.lookup", n_jobs=len(jobs)):
+            for job in jobs:
+                plan = job.prepared_plan()
+                prepared[job.job_id] = plan
+                fp = plan_fingerprint(plan, self.registry)
+                fingerprints[job.job_id] = fp
+                if self.cache is not None:
+                    cached = self.cache.get(fp)
+                    if cached is not None:
+                        hits += 1
+                        outcomes[job.job_id] = JobOutcome(
+                            job.job_id,
+                            ok=True,
+                            result=cached,
+                            cached=True,
+                            tags=job.tags,
+                        )
+                        continue
+                # Collapsing same-fingerprint jobs onto one optimization is
+                # the cache's equivalence semantics; without a cache every
+                # job is optimized individually.
+                key = fp if self.cache is not None else f"job:{job.job_id}"
+                if key in representatives:
+                    followers.setdefault(key, []).append(job)
+                else:
+                    representatives[key] = job
+
+        # Each job counts exactly once: a cache hit, a batch-local hit
+        # (follower of a representative), or a miss (actually optimized).
+        if self.cache is not None:
+            misses = len(representatives)
+        todo = list(representatives.values())
+        mode = "serial"
+        if self.workers > 1 and todo:
+            pool_outcomes = self._run_pool(todo, prepared, tracer)
+            if pool_outcomes is not None:
+                outcomes.update(pool_outcomes)
+                mode = "pool"
+        if mode == "serial":
+            outcomes.update(self._run_serial(todo, prepared, tracer))
+
+        # Fill followers from their representative (a batch-local hit) and
+        # publish fresh results to the cache.
+        for key, job in representatives.items():
+            rep = outcomes[job.job_id]
+            if rep.ok and rep.result is not None and self.cache is not None:
+                self.cache.put(fingerprints[job.job_id], rep.result)
+            for follower in followers.get(key, []):
+                if rep.ok and rep.result is not None:
+                    hits += 1
+                    outcomes[follower.job_id] = JobOutcome(
+                        follower.job_id,
+                        ok=True,
+                        result=copy_result(rep.result),
+                        cached=True,
+                        tags=follower.tags,
+                    )
+                else:
+                    outcomes[follower.job_id] = JobOutcome(
+                        follower.job_id,
+                        ok=False,
+                        error=rep.error,
+                        tags=follower.tags,
+                    )
+        ordered = [outcomes[job.job_id] for job in jobs]
+        return ordered, hits, misses, mode
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, todo: List[BatchJob], prepared: Dict[str, LogicalPlan], tracer
+    ) -> Dict[str, JobOutcome]:
+        optimizer = self._serial_optimizer()
+        if self.memoize_singletons:
+            _enable_singleton_memo(optimizer, {})
+        outcomes: Dict[str, JobOutcome] = {}
+        for job in todo:
+            t0 = time.perf_counter()
+            try:
+                with tracer.span("serve.job", job=job.job_id, mode="serial"):
+                    result = optimizer.optimize(prepared[job.job_id])
+                outcomes[job.job_id] = JobOutcome(
+                    job.job_id,
+                    ok=True,
+                    result=result,
+                    duration_s=time.perf_counter() - t0,
+                    tags=job.tags,
+                )
+            except Exception as exc:  # one job's failure is one error row
+                outcomes[job.job_id] = JobOutcome(
+                    job.job_id,
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    duration_s=time.perf_counter() - t0,
+                    tags=job.tags,
+                )
+                if tracer.enabled:
+                    tracer.count("serve.jobs_errored")
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, todo: List[BatchJob], prepared: Dict[str, LogicalPlan], tracer
+    ) -> Optional[Dict[str, JobOutcome]]:
+        """Run jobs on a process pool; ``None`` means "fall back to serial".
+
+        The fallback triggers only for infrastructure failures (an
+        unpicklable factory, a pool that cannot start). A *broken* pool
+        mid-run fails the unfinished jobs' outcomes instead of retrying:
+        the broken worker already consumed their budget once.
+        """
+        from repro.rheem.serialization import plan_to_json
+
+        try:
+            pickle.dumps(self._factory)
+        except Exception as exc:
+            if tracer.enabled:
+                tracer.event("serve.pool.fallback", reason=f"unpicklable factory: {exc}")
+            return None
+        outcomes: Dict[str, JobOutcome] = {}
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(self._factory, self.memoize_singletons),
+            )
+        except Exception as exc:  # pool cannot start (e.g. no sem support)
+            if tracer.enabled:
+                tracer.event("serve.pool.fallback", reason=str(exc))
+            return None
+        broken: Optional[str] = None
+        with tracer.span("serve.pool", workers=self.workers, n_jobs=len(todo)):
+            try:
+                futures = []
+                submitted = time.perf_counter()
+                for job in todo:
+                    payload = plan_to_json(prepared[job.job_id], indent=0)
+                    futures.append((job, executor.submit(_worker_run, job.job_id, payload)))
+                for job, future in futures:
+                    t0 = time.perf_counter()
+                    if broken is not None:
+                        outcomes[job.job_id] = JobOutcome(
+                            job.job_id, ok=False, error=broken, tags=job.tags
+                        )
+                        continue
+                    try:
+                        # The per-job budget is measured from batch dispatch:
+                        # jobs run concurrently, so each job's deadline is
+                        # submission + timeout, not collection + timeout.
+                        remaining = None
+                        if self.timeout_s is not None:
+                            remaining = max(
+                                0.05,
+                                self.timeout_s - (time.perf_counter() - submitted),
+                            )
+                        doc = future.result(timeout=remaining)
+                        outcomes[job.job_id] = self._outcome_from_doc(
+                            job, doc, time.perf_counter() - t0
+                        )
+                    except FutureTimeout:
+                        future.cancel()
+                        outcomes[job.job_id] = JobOutcome(
+                            job.job_id,
+                            ok=False,
+                            error=f"timeout after {self.timeout_s}s",
+                            duration_s=time.perf_counter() - t0,
+                            tags=job.tags,
+                        )
+                        if tracer.enabled:
+                            tracer.count("serve.jobs_timed_out")
+                    except BrokenProcessPool as exc:
+                        broken = f"BrokenProcessPool: {exc}"
+                        outcomes[job.job_id] = JobOutcome(
+                            job.job_id, ok=False, error=broken, tags=job.tags
+                        )
+                    except Exception as exc:
+                        outcomes[job.job_id] = JobOutcome(
+                            job.job_id,
+                            ok=False,
+                            error=f"{type(exc).__name__}: {exc}",
+                            duration_s=time.perf_counter() - t0,
+                            tags=job.tags,
+                        )
+                        if tracer.enabled:
+                            tracer.count("serve.jobs_errored")
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+        return outcomes
+
+    def _outcome_from_doc(
+        self, job: BatchJob, doc: Dict[str, Any], duration_s: float
+    ) -> JobOutcome:
+        from repro.rheem.serialization import execution_plan_from_dict
+
+        result = OptimizationResult(
+            execution_plan=execution_plan_from_dict(
+                doc["execution_plan"], self.registry
+            ),
+            predicted_runtime=float(doc["predicted_runtime"]),
+            stats=RunStats(**doc["stats"]),
+            optimizer=doc.get("optimizer", ""),
+        )
+        return JobOutcome(
+            job.job_id,
+            ok=True,
+            result=result,
+            duration_s=duration_s,
+            tags=job.tags,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchOptimizationService(workers={self.workers}, "
+            f"timeout_s={self.timeout_s}, cache={self.cache!r})"
+        )

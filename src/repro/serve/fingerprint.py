@@ -1,0 +1,122 @@
+"""Structural plan fingerprints: the plan-cache key (Kepler-style reuse).
+
+A fingerprint identifies *what the optimizer would decide on*: the plan
+topology (edges, loops), the operator kinds and their parameters, the
+platform alphabet, and the input cardinalities **quantized into buckets**.
+Two plans with the same structure whose inputs differ only within one
+cardinality bucket — the typical parametric-query situation — share a
+fingerprint, so a cached optimization decision is reused instead of
+re-enumerating (cf. Kepler, Doshi et al., VLDB 2023: caching decisions
+keyed on query structure amortizes optimizer cost across repeated
+queries).
+
+The bucket is logarithmic (one bucket per factor of ``bucket_base`` in
+cardinality, default 2) because runtimes — and therefore platform
+choices — respond to orders of magnitude, not to a few extra tuples.
+Everything that changes the *shape* of the optimization problem
+(operator kinds, UDF complexities, selectivities, edges, loop
+iterations, feasible platforms) enters the hash exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Optional
+
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.platforms import PlatformRegistry
+
+__all__ = ["cardinality_bucket", "plan_fingerprint", "FINGERPRINT_VERSION"]
+
+#: Bump when the canonical document below changes shape — persisted caches
+#: keyed under an older version then miss instead of returning stale plans.
+FINGERPRINT_VERSION = 1
+
+
+def cardinality_bucket(cardinality: float, base: float = 2.0) -> int:
+    """The quantized cardinality bucket: ``round(log_base(cardinality))``.
+
+    Non-positive and non-finite cardinalities map to ``-1`` (they carry no
+    scale information).
+    """
+    if base <= 1.0:
+        raise ValueError(f"bucket base must be > 1, got {base}")
+    if not math.isfinite(cardinality) or cardinality <= 0.0:
+        return -1
+    return int(round(math.log(cardinality, base)))
+
+
+def _canonical_document(
+    plan: LogicalPlan,
+    registry: Optional[PlatformRegistry],
+    bucket_base: float,
+) -> dict:
+    """The JSON-stable document the fingerprint hashes.
+
+    Operator ids are dense insertion-order integers (see
+    :meth:`LogicalPlan.add`), so including them keeps the encoding
+    positional without admitting spurious differences.
+    """
+    operators = []
+    for op_id, op in sorted(plan.operators.items()):
+        operators.append(
+            [
+                op_id,
+                op.kind_name,
+                int(op.udf_complexity),
+                # Selectivity and fixed output cardinality change the
+                # cardinality *profile* downstream; encode them exactly
+                # (rounded only to kill float-repr noise).
+                None if op.selectivity is None else round(float(op.selectivity), 9),
+                None
+                if op.fixed_output_cardinality is None
+                else cardinality_bucket(float(op.fixed_output_cardinality), bucket_base),
+            ]
+        )
+    datasets = {
+        str(op_id): [
+            cardinality_bucket(profile.cardinality, bucket_base),
+            cardinality_bucket(profile.tuple_size, bucket_base),
+        ]
+        for op_id, profile in sorted(plan.datasets.items())
+    }
+    doc = {
+        "v": FINGERPRINT_VERSION,
+        "base": bucket_base,
+        "operators": operators,
+        "edges": sorted(plan.edges),
+        "loops": sorted(
+            (sorted(spec.body), spec.iterations) for spec in plan.loops
+        ),
+        "datasets": datasets,
+    }
+    if registry is not None:
+        doc["platforms"] = list(registry.names)
+    return doc
+
+
+def plan_fingerprint(
+    plan: LogicalPlan,
+    registry: Optional[PlatformRegistry] = None,
+    bucket_base: float = 2.0,
+) -> str:
+    """The cache key of a logical plan: a hex digest of its structure.
+
+    Parameters
+    ----------
+    plan:
+        The logical plan to fingerprint.
+    registry:
+        The platform registry the optimization runs against. Include it
+        whenever the fingerprint keys optimization *results* — the same
+        plan optimized over ``(java, spark)`` and ``(java, spark, flink)``
+        has different answers.
+    bucket_base:
+        Quantization granularity: cardinalities within one factor of
+        ``bucket_base`` of each other (around a bucket center) coincide.
+    """
+    doc = _canonical_document(plan, registry, bucket_base)
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

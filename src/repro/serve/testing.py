@@ -1,0 +1,195 @@
+"""Picklable test doubles for the batch service.
+
+Process-pool workers rebuild their optimizer from a pickled factory, so
+the differential/concurrency suites need *picklable* cost models and
+optimizer wrappers — closures and test-local classes do not qualify.
+These doubles are deterministic (seeded) and cheap, and double as the
+reference oracles of the differential suite: a linear model is
+merge-decomposable, so boundary pruning is provably lossless against it
+(Def. 2) and the exhaustive baseline must agree with Robopt exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.api import Optimizer, OptimizationResult
+from repro.rheem.logical_plan import LogicalPlan
+
+__all__ = [
+    "LinearRuntimeModel",
+    "FlakyOptimizer",
+    "CrashingOptimizer",
+    "SleepyOptimizer",
+    "linear_robopt_factory",
+    "flaky_robopt_factory",
+    "crashing_robopt_factory",
+    "sleepy_robopt_factory",
+]
+
+
+class LinearRuntimeModel:
+    """A deterministic linear "runtime model": ``predict = X @ w``.
+
+    Weights are drawn uniformly from [0, 1) with a seeded generator —
+    the same construction as the test suite's ``make_linear_cost`` — so
+    costs are non-negative on non-negative features and decompose over
+    merges.
+    """
+
+    def __init__(self, n_features: int, seed: int = 0):
+        self.n_features = n_features
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.weights = rng.uniform(0.0, 1.0, n_features)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        return X @ self.weights
+
+
+class FlakyOptimizer:
+    """Delegates to an inner optimizer; raises for marked plans.
+
+    Any plan whose name contains ``trigger`` (default ``"poison"``)
+    raises ``RuntimeError`` — the fault-injection hook of the
+    worker-failure tests.
+    """
+
+    def __init__(self, inner: Optimizer, trigger: str = "poison"):
+        self.inner = inner
+        self.trigger = trigger
+
+    @property
+    def registry(self):
+        return self.inner.registry
+
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+        if self.trigger in plan.name:
+            raise RuntimeError(f"injected failure for plan {plan.name!r}")
+        return self.inner.optimize(plan)
+
+
+class CrashingOptimizer:
+    """Delegates to an inner optimizer; kills the *process* for marked plans.
+
+    Plans whose name contains ``trigger`` (default ``"crash"``) terminate
+    the worker with ``os._exit`` — the hook of the broken-pool tests (a
+    dead worker, unlike a raised exception, breaks the whole pool).
+    """
+
+    def __init__(self, inner: Optimizer, trigger: str = "crash"):
+        self.inner = inner
+        self.trigger = trigger
+
+    @property
+    def registry(self):
+        return self.inner.registry
+
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+        if self.trigger in plan.name:
+            import os
+
+            os._exit(13)
+        return self.inner.optimize(plan)
+
+
+class SleepyOptimizer:
+    """Delegates to an inner optimizer; sleeps first for marked plans.
+
+    Plans whose name contains ``trigger`` (default ``"sleep"``) block for
+    ``sleep_s`` seconds before optimizing — the hook of the per-job
+    timeout tests.
+    """
+
+    def __init__(
+        self, inner: Optimizer, sleep_s: float = 5.0, trigger: str = "sleep"
+    ):
+        self.inner = inner
+        self.sleep_s = sleep_s
+        self.trigger = trigger
+
+    @property
+    def registry(self):
+        return self.inner.registry
+
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+        if self.trigger in plan.name:
+            time.sleep(self.sleep_s)
+        return self.inner.optimize(plan)
+
+
+# ---------------------------------------------------------------------------
+# Picklable factories (functools.partial over these module-level builders
+# pickles by reference; the pool rebuilds the stack inside each worker).
+# ---------------------------------------------------------------------------
+
+
+def _build_linear_robopt(platforms, seed: int, priority: str):
+    from repro.core.features import FeatureSchema
+    from repro.core.optimizer import Robopt
+    from repro.rheem.platforms import default_registry, synthetic_registry
+
+    if isinstance(platforms, int):
+        registry = synthetic_registry(platforms)
+    else:
+        registry = default_registry(tuple(platforms))
+    schema = FeatureSchema(registry)
+    model = LinearRuntimeModel(schema.n_features, seed=seed)
+    return Robopt(registry, model, priority=priority, schema=schema)
+
+
+def linear_robopt_factory(platforms=("java", "spark", "flink"), seed: int = 0, priority: str = "robopt"):
+    """Factory for a Robopt over a deterministic linear model.
+
+    ``platforms`` is either a name tuple (default registry) or an int
+    (synthetic registry of that many platforms).
+    """
+    import functools
+
+    return functools.partial(_build_linear_robopt, platforms, seed, priority)
+
+
+def _build_flaky(platforms, seed: int, trigger: str):
+    return FlakyOptimizer(_build_linear_robopt(platforms, seed, "robopt"), trigger)
+
+
+def flaky_robopt_factory(platforms=("java", "spark", "flink"), seed: int = 0, trigger: str = "poison"):
+    """Factory for a fault-injecting linear Robopt (see FlakyOptimizer)."""
+    import functools
+
+    return functools.partial(_build_flaky, platforms, seed, trigger)
+
+
+def _build_crashing(platforms, seed: int, trigger: str):
+    return CrashingOptimizer(_build_linear_robopt(platforms, seed, "robopt"), trigger)
+
+
+def crashing_robopt_factory(platforms=("java", "spark", "flink"), seed: int = 0, trigger: str = "crash"):
+    """Factory for a worker-killing linear Robopt (see CrashingOptimizer)."""
+    import functools
+
+    return functools.partial(_build_crashing, platforms, seed, trigger)
+
+
+def _build_sleepy(platforms, seed: int, sleep_s: float, trigger: str):
+    return SleepyOptimizer(
+        _build_linear_robopt(platforms, seed, "robopt"), sleep_s, trigger
+    )
+
+
+def sleepy_robopt_factory(
+    platforms=("java", "spark", "flink"),
+    seed: int = 0,
+    sleep_s: float = 5.0,
+    trigger: str = "sleep",
+):
+    """Factory for a delay-injecting linear Robopt (see SleepyOptimizer)."""
+    import functools
+
+    return functools.partial(_build_sleepy, platforms, seed, sleep_s, trigger)

@@ -1,0 +1,177 @@
+"""Differential correctness: pruned Robopt vs exhaustive, batch vs serial.
+
+Two equivalences the serving layer must never break:
+
+* **Losslessness (Lemma 1).** For a merge-decomposable (linear) cost
+  model, boundary pruning discards only subplans that cannot be part of
+  the optimum — so Robopt's pruned search must land on exactly the same
+  best cost as the pruning-free exhaustive enumeration of all ``k^n``
+  plan vectors. Checked over ~50 seeded random TDGEN plans covering
+  every generator shape.
+
+* **Mode equivalence.** ``BatchOptimizationService`` must return
+  bit-identical results whether it runs serially in-process or through
+  the process pool — parallelism is an execution detail, never a
+  semantic one. (With the fingerprint cache *disabled*; the cache's
+  bucket-level equivalence is deliberately coarser and is exercised in
+  ``test_serve_cache.py``.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveOptimizer
+from repro.core.features import FeatureSchema
+from repro.core.optimizer import Robopt
+from repro.rheem.platforms import synthetic_registry
+from repro.serve import BatchJob, BatchOptimizationService, PlanCache
+from repro.serve.testing import LinearRuntimeModel, linear_robopt_factory
+from repro.tdgen.jobgen import JobGenerator
+
+N_PLATFORMS = 2  # keeps k^n exhaustive enumeration tractable
+SHAPES = ("pipeline", "juncture", "replicate", "loop")
+
+
+def _registry():
+    return synthetic_registry(N_PLATFORMS)
+
+
+def _random_plans(count, seed=1234, max_operators=9, min_operators=6):
+    """Seeded random TDGEN plans, cycling generator shapes and sizes."""
+    registry = _registry()
+    gen = JobGenerator(registry, seed=seed)
+    per_shape = -(-count // len(SHAPES))  # ceil
+    templates = []
+    for shape in SHAPES:
+        templates.extend(
+            gen.templates_for_shapes(
+                (shape,),
+                max_operators=max_operators,
+                count=per_shape,
+                min_operators=min_operators,
+            )
+        )
+    plans = []
+    for index, template in enumerate(templates[:count]):
+        plans.append(template(10.0 ** (3 + index % 4)))
+    assert len(plans) == count
+    return plans
+
+
+class TestPrunedMatchesExhaustive:
+    """Pruned best cost == exhaustive best cost on ~50 random plans."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_lossless_over_random_plans(self, seed):
+        registry = _registry()
+        schema = FeatureSchema(registry)
+        model = LinearRuntimeModel(schema.n_features, seed=seed)
+        pruned = Robopt(registry, model, schema=schema)
+        exhaustive = ExhaustiveOptimizer(registry, model, schema=schema)
+
+        plans = _random_plans(17, seed=1000 + seed)
+        for plan in plans:
+            best = pruned.optimize(plan)
+            truth = exhaustive.optimize(plan)
+            # Pruning explored a subset of the full k^n space ...
+            assert best.stats.total_vectors <= truth.stats.total_vectors
+            # ... yet found exactly the same optimum (Lemma 1).
+            assert np.isclose(
+                best.predicted_runtime, truth.predicted_runtime, rtol=1e-9
+            ), f"pruned optimum diverged from exhaustive on {plan.name!r}"
+
+    def test_pruning_actually_prunes(self):
+        """The comparison is meaningful: pruning must shrink the space
+        on at least some plans (otherwise the lossless check is vacuous)."""
+        registry = _registry()
+        schema = FeatureSchema(registry)
+        model = LinearRuntimeModel(schema.n_features, seed=7)
+        pruned = Robopt(registry, model, schema=schema)
+        exhaustive = ExhaustiveOptimizer(registry, model, schema=schema)
+        shrunk = 0
+        for plan in _random_plans(8, seed=99):
+            a = pruned.optimize(plan).stats.total_vectors
+            b = exhaustive.optimize(plan).stats.total_vectors
+            shrunk += a < b
+        assert shrunk > 0
+
+
+class TestBatchMatchesSerial:
+    """Pool execution is bit-identical to serial execution."""
+
+    def _jobs(self, count=50, seed=4321):
+        return [
+            BatchJob(f"job{i}", plan)
+            for i, plan in enumerate(_random_plans(count, seed=seed))
+        ]
+
+    def test_pool_bit_identical_to_serial(self):
+        registry = _registry()
+        factory = linear_robopt_factory(platforms=N_PLATFORMS, seed=5)
+
+        serial = BatchOptimizationService(factory, registry, workers=0)
+        pooled = BatchOptimizationService(factory, registry, workers=2)
+
+        jobs = self._jobs()
+        serial_report = serial.optimize_batch(jobs)
+        pooled_report = pooled.optimize_batch(self._jobs())
+
+        assert serial_report.n_failed == 0
+        assert pooled_report.n_failed == 0
+        assert pooled_report.mode == "pool"
+        for a, b in zip(serial_report.outcomes, pooled_report.outcomes):
+            assert a.job_id == b.job_id
+            # Bit-identical: same platform decisions AND the exact same
+            # float predicted runtime (results cross the pool as JSON,
+            # whose float round-trip is exact).
+            assert (
+                a.result.execution_plan.assignment
+                == b.result.execution_plan.assignment
+            )
+            assert a.result.predicted_runtime == b.result.predicted_runtime
+            assert a.result.execution_plan.plan.signature() == \
+                b.result.execution_plan.plan.signature()
+
+    def test_memoization_does_not_change_results(self):
+        """The singleton memo is a pure cache: per-job results with it
+        must equal per-job results without it."""
+        registry = _registry()
+        factory = linear_robopt_factory(platforms=N_PLATFORMS, seed=5)
+        plain = BatchOptimizationService(
+            factory, registry, workers=0, memoize_singletons=False
+        )
+        memoized = BatchOptimizationService(
+            factory, registry, workers=0, memoize_singletons=True
+        )
+        a = plain.optimize_batch(self._jobs(24, seed=2024))
+        b = memoized.optimize_batch(self._jobs(24, seed=2024))
+        for x, y in zip(a.outcomes, b.outcomes):
+            assert x.result.predicted_runtime == y.result.predicted_runtime
+            assert (
+                x.result.execution_plan.assignment
+                == y.result.execution_plan.assignment
+            )
+
+    def test_cached_results_equal_fresh_results_for_identical_plans(self):
+        """For *identical* plans (not just same-bucket ones) a cache hit
+        returns the same decisions a fresh optimization would."""
+        registry = _registry()
+        factory = linear_robopt_factory(platforms=N_PLATFORMS, seed=5)
+        jobs = self._jobs(12, seed=777)
+        fresh = BatchOptimizationService(factory, registry, workers=0)
+        cached = BatchOptimizationService(
+            factory, registry, workers=0, cache=PlanCache(max_entries=64)
+        )
+        baseline = fresh.optimize_batch(jobs)
+        cached.optimize_batch(self._jobs(12, seed=777))  # warm the cache
+        warm = cached.optimize_batch(self._jobs(12, seed=777))
+        assert warm.cache_hit_rate == 1.0
+        for x, y in zip(baseline.outcomes, warm.outcomes):
+            assert y.cached
+            assert x.result.predicted_runtime == y.result.predicted_runtime
+            assert (
+                x.result.execution_plan.assignment
+                == y.result.execution_plan.assignment
+            )

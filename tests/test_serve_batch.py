@@ -1,0 +1,273 @@
+"""The batch service: concurrency faults, timeouts, fallback, cache bound.
+
+The concurrency suite of ISSUE 4: a worker raising must fail one job,
+not the batch; a worker *dying* must fail the unfinished jobs but leave
+the service usable; a slow job must time out individually; an
+unpicklable factory must degrade to serial execution; and the LRU cache
+must stay bounded under interleaved access patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs import Tracer, use_tracer
+from repro.rheem.platforms import synthetic_registry
+from repro.serve import BatchJob, BatchOptimizationService, PlanCache
+from repro.serve.testing import (
+    crashing_robopt_factory,
+    flaky_robopt_factory,
+    linear_robopt_factory,
+    sleepy_robopt_factory,
+)
+
+from conftest import build_join_plan, build_pipeline
+
+N_PLATFORMS = 2
+
+
+def _named(plan, name):
+    plan.name = name
+    return plan
+
+
+@pytest.fixture
+def registry():
+    return synthetic_registry(N_PLATFORMS)
+
+
+class TestWorkerFailure:
+    def test_raising_worker_fails_one_job_not_the_pool(self, registry):
+        factory = flaky_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=2)
+        jobs = [
+            BatchJob("ok1", build_pipeline(2)),
+            BatchJob("bad", _named(build_pipeline(3), "poison-pill")),
+            BatchJob("ok2", build_pipeline(4)),
+            BatchJob("ok3", build_join_plan()),
+        ]
+        report = service.optimize_batch(jobs)
+        assert report.mode == "pool"
+        assert report.n_failed == 1
+        by_id = {o.job_id: o for o in report.outcomes}
+        assert not by_id["bad"].ok
+        assert "injected failure" in by_id["bad"].error
+        for job_id in ("ok1", "ok2", "ok3"):
+            assert by_id[job_id].ok, by_id[job_id].error
+            assert by_id[job_id].result is not None
+
+    def test_raising_worker_fails_one_job_serially_too(self, registry):
+        factory = flaky_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=0)
+        report = service.optimize_batch(
+            [
+                BatchJob("bad", _named(build_pipeline(2), "poison")),
+                BatchJob("ok", build_pipeline(3)),
+            ]
+        )
+        assert report.mode == "serial"
+        assert [o.ok for o in report.outcomes] == [False, True]
+
+    def test_dead_worker_breaks_pool_but_not_service(self, registry):
+        """``os._exit`` in a worker breaks the whole pool: the unfinished
+        jobs get error outcomes, the call returns, and the *next* batch
+        (a fresh pool) works normally."""
+        factory = crashing_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=2)
+        report = service.optimize_batch(
+            [
+                BatchJob("boom", _named(build_pipeline(2), "crash-me")),
+                BatchJob("ok1", build_pipeline(3)),
+                BatchJob("ok2", build_pipeline(4)),
+            ]
+        )
+        assert report.mode == "pool"
+        by_id = {o.job_id: o for o in report.outcomes}
+        assert not by_id["boom"].ok
+        assert "BrokenProcessPool" in by_id["boom"].error
+        # The service itself survives: a fresh batch on a fresh pool runs.
+        healthy = service.optimize_batch([BatchJob("after", build_pipeline(2))])
+        assert healthy.n_failed == 0
+
+
+class TestTimeout:
+    def test_slow_job_times_out_individually(self, registry):
+        factory = sleepy_robopt_factory(platforms=N_PLATFORMS, sleep_s=6.0)
+        service = BatchOptimizationService(
+            factory, registry, workers=2, timeout_s=2.0
+        )
+        jobs = [
+            BatchJob("slow", _named(build_pipeline(2), "sleep-forever")),
+            BatchJob("fast1", build_pipeline(3)),
+            BatchJob("fast2", build_pipeline(4)),
+        ]
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = service.optimize_batch(jobs)
+        assert report.mode == "pool"
+        by_id = {o.job_id: o for o in report.outcomes}
+        assert not by_id["slow"].ok
+        assert "timeout" in by_id["slow"].error
+        assert by_id["fast1"].ok and by_id["fast2"].ok
+        assert tracer.counters.get("serve.jobs_timed_out") == 1
+        # The batch returned without waiting out the 6s sleep.
+        assert report.wall_s < 5.0
+
+    def test_timeout_validation(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        with pytest.raises(ReproError):
+            BatchOptimizationService(factory, registry, timeout_s=0.0)
+        with pytest.raises(ReproError):
+            BatchOptimizationService(factory, registry, workers=-1)
+
+
+class TestSerialFallback:
+    def test_unpicklable_factory_degrades_to_serial(self, registry):
+        from repro.core.features import FeatureSchema
+        from repro.core.optimizer import Robopt
+        from repro.serve.testing import LinearRuntimeModel
+
+        schema = FeatureSchema(registry)
+        model = LinearRuntimeModel(schema.n_features, seed=0)
+        # A lambda does not pickle: pool mode is impossible.
+        factory = lambda: Robopt(registry, model, schema=schema)  # noqa: E731
+        service = BatchOptimizationService(factory, registry, workers=4)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = service.optimize_batch(
+                [BatchJob(f"j{i}", build_pipeline(2 + i)) for i in range(3)]
+            )
+        assert report.mode == "serial"
+        assert report.n_failed == 0
+        fallbacks = [s for s in tracer.spans if s.name == "serve.pool.fallback"]
+        assert len(fallbacks) == 1
+        assert "unpicklable" in fallbacks[0].attrs["reason"]
+
+    def test_workers_zero_and_one_run_serially(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        for workers in (0, 1):
+            service = BatchOptimizationService(factory, registry, workers=workers)
+            report = service.optimize_batch([BatchJob("j", build_pipeline(2))])
+            assert report.mode == "serial"
+            assert report.n_failed == 0
+
+
+class TestCacheUnderInterleaving:
+    def test_lru_stays_bounded_under_interleaved_batches(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        cache = PlanCache(max_entries=4)
+        service = BatchOptimizationService(factory, registry, workers=0, cache=cache)
+        # Interleave 8 distinct structures with repeats, across batches.
+        sizes = [2, 3, 4, 5, 6, 7, 8, 9]
+        for round_no in range(3):
+            order = sizes if round_no % 2 == 0 else list(reversed(sizes))
+            jobs = [
+                BatchJob(f"r{round_no}s{n}", build_pipeline(n)) for n in order
+            ]
+            report = service.optimize_batch(jobs)
+            assert report.n_failed == 0
+            assert len(cache) <= 4
+        assert len(cache) == 4
+        stats = cache.stats
+        assert stats.evictions > 0
+        assert stats.lookups == stats.hits + stats.misses
+
+    def test_within_batch_duplicates_hit_the_representative(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        cache = PlanCache(max_entries=16)
+        service = BatchOptimizationService(factory, registry, workers=0, cache=cache)
+        plan = build_pipeline(3)
+        report = service.optimize_batch(
+            [BatchJob(f"dup{i}", plan.clone()) for i in range(5)]
+        )
+        assert report.n_failed == 0
+        assert report.cache_misses == 1  # one representative optimization
+        assert report.cache_hits == 4  # four batch-local hits
+        assert sum(1 for o in report.outcomes if o.cached) == 4
+        runtimes = {o.result.predicted_runtime for o in report.outcomes}
+        assert len(runtimes) == 1
+
+    def test_no_dedup_without_cache(self, registry):
+        """Without a cache, fingerprint equivalence is not opted into:
+        every job is optimized individually."""
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=0)
+        plan = build_pipeline(3)
+        report = service.optimize_batch(
+            [BatchJob(f"dup{i}", plan.clone()) for i in range(3)]
+        )
+        assert report.cache_hits == 0
+        assert all(not o.cached for o in report.outcomes)
+
+
+class TestJobsAndReport:
+    def test_bare_plans_and_duplicate_ids_normalize(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=0)
+        a, b = build_pipeline(2), build_pipeline(3)
+        b.name = a.name  # force an id collision
+        report = service.optimize_batch([a, b])
+        assert report.n_failed == 0
+        ids = [o.job_id for o in report.outcomes]
+        assert len(set(ids)) == 2
+
+    def test_size_bytes_rescales_the_job(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=0)
+        plan = build_pipeline(3)
+        small = BatchJob("small", plan, size_bytes=1e6)
+        large = BatchJob("large", plan, size_bytes=64e9)
+        report = service.optimize_batch([small, large])
+        assert report.n_failed == 0
+        runtimes = {o.job_id: o.result.predicted_runtime for o in report.outcomes}
+        assert runtimes["small"] < runtimes["large"]
+        # The caller's plan object is never mutated by sizing.
+        assert plan.datasets[0].cardinality == pytest.approx(1e6)
+
+    def test_tags_travel_into_outcomes(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=0)
+        report = service.optimize_batch(
+            [BatchJob("j", build_pipeline(2), tags={"tenant": "alice"})]
+        )
+        assert report.outcomes[0].tags == {"tenant": "alice"}
+
+    def test_metrics_and_aggregate_stats(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        cache = PlanCache(max_entries=8)
+        service = BatchOptimizationService(factory, registry, workers=0, cache=cache)
+        plan = build_pipeline(3)
+        report = service.optimize_batch(
+            [BatchJob("a", plan.clone()), BatchJob("b", plan.clone())]
+        )
+        metrics = report.metrics()
+        for key in (
+            "n_jobs",
+            "n_ok",
+            "n_failed",
+            "wall_s",
+            "plans_per_sec",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "workers",
+        ):
+            assert key in metrics
+        assert metrics["cache_hit_rate"] == 0.5
+        # Aggregate stats sum only the actually-optimized jobs.
+        total = report.aggregate_stats()
+        fresh = [o for o in report.outcomes if not o.cached]
+        assert len(fresh) == 1
+        assert total.total_vectors == fresh[0].result.stats.total_vectors
+
+    def test_batch_emits_tracer_spans_and_counters(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=0)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            service.optimize_batch([BatchJob("j", build_pipeline(2))])
+        names = {s.name for s in tracer.spans}
+        assert {"serve.batch", "serve.cache.lookup", "serve.job"} <= names
+        assert tracer.counters["serve.jobs"] == 1
+        assert tracer.counters["serve.jobs_ok"] == 1

@@ -1,0 +1,182 @@
+"""Property-based tests for the plan-cache fingerprint.
+
+The fingerprint is the plan cache's correctness boundary: two plans may
+share a cache entry **iff** they fingerprint equal. These properties pin
+down both directions — equal structures hash equal (else the cache never
+hits), and anything the optimizer's decision depends on (operator kinds,
+selectivities, topology, platform alphabet, cardinality *bucket*) hashes
+different (else the cache returns wrong plans).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rheem.datasets import DatasetProfile
+from repro.rheem.logical_plan import LogicalPlan
+from repro.rheem.operators import operator
+from repro.rheem.platforms import default_registry, synthetic_registry
+from repro.serve import cardinality_bucket, plan_fingerprint
+
+_UNARY = ("Map", "Filter", "FlatMap", "ReduceBy", "Sort", "Distinct")
+
+
+@st.composite
+def pipeline_specs(draw, max_middle=5):
+    """A random pipeline described as data (kinds, selectivities, card)."""
+    kinds = draw(st.lists(st.sampled_from(_UNARY), min_size=1, max_size=max_middle))
+    sels = draw(
+        st.lists(
+            st.floats(0.05, 2.0, allow_nan=False),
+            min_size=len(kinds),
+            max_size=len(kinds),
+        )
+    )
+    cardinality = draw(st.floats(1e3, 1e8, allow_nan=False))
+    return kinds, sels, cardinality
+
+
+def _build(kinds, sels, cardinality, tuple_size=100.0, name="fp"):
+    plan = LogicalPlan(name)
+    ops = [
+        plan.add(
+            operator("TextFileSource"),
+            dataset=DatasetProfile("d", cardinality, tuple_size),
+        )
+    ]
+    for kind, sel in zip(kinds, sels):
+        ops.append(plan.add(operator(kind, selectivity=sel)))
+    ops.append(plan.add(operator("CollectionSink")))
+    plan.chain(*ops)
+    return plan
+
+
+class TestEquality:
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_specs())
+    def test_equal_plans_hash_equal(self, spec):
+        kinds, sels, card = spec
+        a = _build(kinds, sels, card)
+        b = _build(kinds, sels, card, name="other-name")
+        # The plan *name* is presentation, not structure.
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_specs())
+    def test_clone_hashes_equal(self, spec):
+        kinds, sels, card = spec
+        plan = _build(kinds, sels, card)
+        assert plan_fingerprint(plan) == plan_fingerprint(plan.clone())
+
+    @settings(max_examples=25, deadline=None)
+    @given(pipeline_specs(), st.floats(1.0, 1.009))
+    def test_same_bucket_cardinality_hashes_equal(self, spec, factor):
+        """Parametric re-queries: the fingerprint tracks the cardinality
+        *bucket* exactly — a small cardinality change keeps the hash iff
+        it stays inside the bucket (it may legitimately cross right at a
+        boundary, which must then change the hash)."""
+        kinds, sels, card = spec
+        a = _build(kinds, sels, card)
+        b = _build(kinds, sels, card * factor)
+        if cardinality_bucket(card) == cardinality_bucket(card * factor):
+            assert plan_fingerprint(a) == plan_fingerprint(b)
+        else:
+            assert plan_fingerprint(a) != plan_fingerprint(b)
+
+
+class TestDifference:
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_specs(), st.integers(0, 10**6))
+    def test_operator_kind_perturbation_changes_hash(self, spec, pick):
+        kinds, sels, card = spec
+        index = pick % len(kinds)
+        replacement = next(k for k in _UNARY if k != kinds[index])
+        perturbed = list(kinds)
+        perturbed[index] = replacement
+        assert plan_fingerprint(_build(kinds, sels, card)) != plan_fingerprint(
+            _build(perturbed, sels, card)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_specs())
+    def test_topology_perturbation_changes_hash(self, spec):
+        kinds, sels, card = spec
+        base = _build(kinds, sels, card)
+        longer = _build(kinds + ["Map"], sels + [1.0], card)
+        assert plan_fingerprint(base) != plan_fingerprint(longer)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_specs())
+    def test_selectivity_change_changes_hash(self, spec):
+        kinds, sels, card = spec
+        perturbed = list(sels)
+        perturbed[0] = sels[0] + 0.5
+        assert plan_fingerprint(_build(kinds, sels, card)) != plan_fingerprint(
+            _build(kinds, perturbed, card)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(pipeline_specs())
+    def test_platform_relabel_changes_hash(self, spec):
+        """The same plan over a different platform alphabet has different
+        optimization answers, so it must key differently."""
+        kinds, sels, card = spec
+        plan = _build(kinds, sels, card)
+        two = synthetic_registry(2)
+        three = synthetic_registry(3)
+        named = default_registry(("java", "spark"))
+        fps = {
+            plan_fingerprint(plan, registry=reg) for reg in (two, three, named)
+        }
+        assert len(fps) == 3
+        assert plan_fingerprint(plan) not in fps  # registry-free differs too
+
+    @settings(max_examples=25, deadline=None)
+    @given(pipeline_specs())
+    def test_cross_bucket_cardinality_changes_hash(self, spec):
+        kinds, sels, card = spec
+        a = _build(kinds, sels, card)
+        b = _build(kinds, sels, card * 8.0)  # three buckets away
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+
+    def test_loop_iterations_change_hash(self):
+        def looped(iterations):
+            plan = LogicalPlan("loop")
+            src = plan.add(
+                operator("TextFileSource"),
+                dataset=DatasetProfile("d", 1e5, 100.0),
+            )
+            body = plan.add(operator("Map"))
+            sink = plan.add(operator("CollectionSink"))
+            plan.chain(src, body, sink)
+            plan.add_loop([body], iterations)
+            return plan
+
+        assert plan_fingerprint(looped(3)) != plan_fingerprint(looped(7))
+
+
+class TestBuckets:
+    def test_bucket_is_log_scale(self):
+        assert cardinality_bucket(1024.0) == 10
+        assert cardinality_bucket(1.0) == 0
+        assert cardinality_bucket(1e6, base=10.0) == 6
+
+    @given(st.floats(allow_nan=False, max_value=0.0))
+    def test_non_positive_cardinality_buckets_to_minus_one(self, card):
+        assert cardinality_bucket(card) == -1
+
+    def test_nan_and_inf_bucket_to_minus_one(self):
+        assert cardinality_bucket(float("nan")) == -1
+        assert cardinality_bucket(float("inf")) == -1
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            cardinality_bucket(10.0, base=1.0)
+
+    @given(st.floats(1e-3, 1e12, allow_nan=False))
+    def test_nearby_cardinalities_share_or_neighbor_buckets(self, card):
+        a = cardinality_bucket(card)
+        b = cardinality_bucket(card * 1.01)
+        assert b in (a, a + 1)
