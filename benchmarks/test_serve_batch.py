@@ -144,6 +144,77 @@ def test_batch_throughput(report, trajectory):
         assert pool_speedup >= 2.0
 
 
+def test_batch_throughput_resilient(report, trajectory):
+    """The no-fault cost of the resilience armor.
+
+    Runs the same 100-plan batch through the fully-armored stack
+    (fallback chain + circuit breaker, no chaos, no budget) in the same
+    batched-serial configuration as the ``serve.batch_throughput``
+    baseline, and records ``serve.batch_throughput_resilient``.
+    ``scripts/check_bench_regression.py --overhead-against`` gates the
+    two series: with nothing failing, the armor (one ``breaker.allow()``
+    and an output-sanity check per predict) must cost < 5% throughput.
+    """
+    from repro.core.features import FeatureSchema
+    from repro.serve import resilient_robopt_factory
+    from repro.serve.testing import LinearRuntimeModel
+
+    registry = synthetic_registry(N_PLATFORMS)
+    schema = FeatureSchema(registry)
+    model = LinearRuntimeModel(schema.n_features, seed=3)
+
+    plain = BatchOptimizationService(
+        linear_robopt_factory(platforms=N_PLATFORMS, seed=3),
+        registry,
+        workers=0,
+        cache=PlanCache(max_entries=512),
+    )
+    plain_report = plain.optimize_batch(_batch_jobs())
+    assert plain_report.n_failed == 0
+
+    armored = BatchOptimizationService(
+        resilient_robopt_factory(platforms=N_PLATFORMS, model=model),
+        registry,
+        workers=0,
+        cache=PlanCache(max_entries=512),
+    )
+    armored_report = armored.optimize_batch(_batch_jobs())
+    assert armored_report.n_failed == 0
+    assert armored_report.n_degraded == 0  # nothing failed, nothing degraded
+
+    # The healthy primary answers every prediction: same model, same
+    # decisions as the unarmored stack.
+    for a, b in zip(plain_report.outcomes, armored_report.outcomes):
+        assert (
+            a.result.execution_plan.assignment == b.result.execution_plan.assignment
+        )
+
+    overhead = 1.0 - armored_report.plans_per_sec / max(
+        plain_report.plans_per_sec, 1e-9
+    )
+    report(
+        "Resilience armor overhead (no faults, batched serial + cache)",
+        ["stack", "wall_s", "plans/s"],
+        [
+            ["plain", f"{plain_report.wall_s:.2f}",
+             f"{plain_report.plans_per_sec:.1f}"],
+            ["fallback chain + breaker", f"{armored_report.wall_s:.2f}",
+             f"{armored_report.plans_per_sec:.1f}"],
+        ],
+        note=f"overhead {overhead:+.1%} (CI gate: < 5%)",
+    )
+    metrics = {
+        "plans_per_sec": armored_report.plans_per_sec,
+        "plain_plans_per_sec": plain_report.plans_per_sec,
+        "overhead": overhead,
+        "n_jobs": armored_report.n_jobs,
+    }
+    trajectory(metrics, meta={"platforms": N_PLATFORMS})
+    record_trajectory(
+        "serve.batch_throughput_resilient", metrics, meta={"platforms": N_PLATFORMS}
+    )
+
+
 def test_batch_cache_amortization(report, trajectory):
     """Optimizer cost amortizes across repeated batches (Kepler's effect)."""
     factory = linear_robopt_factory(platforms=N_PLATFORMS, seed=3)

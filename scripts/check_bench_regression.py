@@ -11,11 +11,20 @@ non-zero.
 With fewer than two entries the check passes (nothing to compare — the
 first recorded run *establishes* the baseline).
 
+``--max-overhead`` adds a second gate: the latest entry of
+``--overhead-name`` (default ``serve.batch_throughput_resilient``, as
+recorded by the resilient-stack benchmark) carries an ``overhead``
+metric — the same-run fractional throughput cost of the resilience
+armor versus the plain stack under zero faults. An overhead above the
+bound (ISSUE 5: 5%) exits non-zero.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
     PYTHONPATH=src python scripts/check_bench_regression.py \
         --name serve.optimize_batch --metric plans_per_sec --tolerance 0.3
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        --max-overhead 0.05
 """
 
 from __future__ import annotations
@@ -35,9 +44,28 @@ def main(argv=None) -> int:
         help="maximum allowed fractional drop vs the previous entry",
     )
     parser.add_argument("--root", default=None, help="repo root to scan")
+    parser.add_argument(
+        "--overhead-name",
+        default="serve.batch_throughput_resilient",
+        help="series whose latest 'overhead' metric the overhead gate reads",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest no-fault resilience overhead "
+            "exceeds this fraction (e.g. 0.05)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.trajectory import series
+
+    if args.max_overhead is not None:
+        rc = check_overhead(args.overhead_name, args.max_overhead, args.root)
+        if rc != 0:
+            return rc
 
     entries = series(args.name, metric=args.metric, root=args.root)
     if len(entries) < 2:
@@ -61,6 +89,41 @@ def main(argv=None) -> int:
         print(
             f"bench-regression: throughput dropped {drop:.1%} "
             f"(> {args.tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_overhead(name: str, max_overhead: float, root=None) -> int:
+    """Gate the no-fault resilience overhead recorded by the benchmark.
+
+    The overhead is computed *within* one benchmark run (armored vs
+    plain stack over the same batch), so a single entry suffices — no
+    cross-run comparison, no cross-run noise.
+    """
+    from repro.bench.trajectory import series
+
+    entries = series(name, metric="overhead", root=root)
+    if not entries:
+        print(
+            f"bench-regression: no entries for {name!r} — "
+            "overhead gate skipped (benchmark not yet recorded)"
+        )
+        return 0
+    overhead = entries[-1]["metrics"].get("overhead")
+    if overhead is None:
+        print(f"bench-regression: latest {name!r} entry has no overhead metric")
+        return 0
+    verdict = "OK" if overhead <= max_overhead else "TOO SLOW"
+    print(
+        f"bench-regression: {name}.overhead {overhead:+.2%} "
+        f"(bound {max_overhead:.0%}) [{verdict}]"
+    )
+    if overhead > max_overhead:
+        print(
+            f"bench-regression: resilience armor costs {overhead:.1%} "
+            f"throughput under zero faults (> {max_overhead:.0%} bound)",
             file=sys.stderr,
         )
         return 1

@@ -17,6 +17,9 @@ Cross-Platform Query Optimization"* (Kaoudi et al., ICDE 2020):
 * :mod:`repro.obs` — observability (tracer, spans, counters, JSONL);
 * :mod:`repro.serve` — the batch optimization service (process-pool
   parallelism, fingerprint-keyed plan cache, CLI ``optimize-batch``);
+* :mod:`repro.resilience` — deadline-budgeted anytime optimization,
+  the model fallback chain (circuit breaker → cost model → heuristic),
+  retry/quarantine policies and deterministic fault injection;
 * :mod:`repro.workloads` — the queries of Table II plus synthetic plans.
 
 Every optimizer (:class:`Robopt`, :class:`RheemixOptimizer`,
@@ -82,6 +85,13 @@ _LAZY = {
     "PlanCache": ("repro.serve", "PlanCache"),
     "plan_fingerprint": ("repro.serve", "plan_fingerprint"),
     "robopt_factory": ("repro.serve", "robopt_factory"),
+    "resilient_robopt_factory": ("repro.serve", "resilient_robopt_factory"),
+    # resilience layer
+    "Budget": ("repro.resilience", "Budget"),
+    "CircuitBreaker": ("repro.resilience", "CircuitBreaker"),
+    "FallbackRuntimeModel": ("repro.resilience", "FallbackRuntimeModel"),
+    "RetryPolicy": ("repro.resilience", "RetryPolicy"),
+    "ChaosProfile": ("repro.resilience", "ChaosProfile"),
 }
 
 __all__ = [
@@ -119,6 +129,13 @@ __all__ = [
     "PlanCache",
     "plan_fingerprint",
     "robopt_factory",
+    "resilient_robopt_factory",
+    # resilience layer
+    "Budget",
+    "CircuitBreaker",
+    "FallbackRuntimeModel",
+    "RetryPolicy",
+    "ChaosProfile",
     "__version__",
 ]
 

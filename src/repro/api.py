@@ -69,6 +69,12 @@ class RunStats:
     time_cost_s: float = 0.0
     time_vectorize_s: float = 0.0
     time_predict_s: float = 0.0
+    # Resilience: set when the run was cut short (deadline/vector budget)
+    # and returned an anytime answer instead of the model-optimal plan.
+    # ``degradation`` names the cause ("deadline", "max_vectors",
+    # "greedy_fallback"); empty when the search ran to completion.
+    degraded: bool = False
+    degradation: str = ""
 
     @property
     def total_vectors(self) -> int:

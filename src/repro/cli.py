@@ -152,7 +152,12 @@ def cmd_optimize(args) -> int:
     registry = _registry(args.platforms)
     model = _load_runtime_model(args.model)
     plan = _load_plan(args)
-    robopt = Robopt(registry, model, priority=args.priority)
+    budget = None
+    if args.deadline_ms is not None:
+        from repro.resilience import Budget
+
+        budget = Budget(deadline_s=args.deadline_ms / 1000.0)
+    robopt = Robopt(registry, model, priority=args.priority, budget=budget)
     with _maybe_trace(args):
         result = robopt.optimize(plan)
     print(result.execution_plan.describe())
@@ -161,6 +166,12 @@ def cmd_optimize(args) -> int:
         f"(optimization took {result.stats.latency_s * 1e3:.1f}ms, "
         f"{result.stats.total_vectors} plan vectors)"
     )
+    if result.stats.degraded:
+        print(
+            f"note: degraded ({result.stats.degradation}) — budget expired "
+            "before the search completed; the plan is the best complete "
+            "one found in time"
+        )
     if args.out:
         with open(args.out, "w") as f:
             f.write(execution_plan_to_json(result.execution_plan))
@@ -174,6 +185,11 @@ def _load_jobs(path, registry):
     Each line is a JSON object, either ``{"id", "plan": <plan doc>}``,
     ``{"id", "workload": <name>, "size": "6GB"}``, or a bare plan
     document (an object with an ``"operators"`` key).
+
+    Returns ``(jobs, error_rows)``: every malformed line — invalid JSON,
+    a non-object, a bad plan document or size — becomes a per-row error
+    entry instead of failing the whole batch. Only an unreadable file or
+    a file with *zero* rows raises.
     """
     import json
 
@@ -181,10 +197,17 @@ def _load_jobs(path, registry):
     from repro.serve import BatchJob
 
     jobs = []
+    error_rows = []
     try:
         f = open(path)
     except OSError as exc:
         raise ReproError(f"cannot read jobs from {path}: {exc}") from exc
+
+    def bad(lineno, detail):
+        error_rows.append(
+            {"id": f"line{lineno}", "ok": False, "error": f"{path}:{lineno}: {detail}"}
+        )
+
     with f:
         for lineno, line in enumerate(f, start=1):
             line = line.strip()
@@ -193,69 +216,156 @@ def _load_jobs(path, registry):
             try:
                 doc = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ReproError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+                bad(lineno, f"invalid JSON ({exc})")
+                continue
             if not isinstance(doc, dict):
-                raise ReproError(f"{path}:{lineno}: expected a JSON object")
-            size = parse_size(doc["size"]) if doc.get("size") else None
-            if "plan" in doc:
-                plan = plan_from_dict(doc["plan"])
-            elif "workload" in doc:
-                plan = _workload_plan(doc["workload"], None, None)
-            elif "operators" in doc:
-                plan = plan_from_dict(doc)
-            else:
-                raise ReproError(
-                    f"{path}:{lineno}: a job needs a 'plan', 'workload' "
-                    f"or bare plan document"
-                )
+                bad(lineno, f"expected a JSON object, got {type(doc).__name__}")
+                continue
+            try:
+                size = parse_size(doc["size"]) if doc.get("size") else None
+            except (TypeError, ValueError) as exc:
+                bad(lineno, f"invalid size {doc.get('size')!r} ({exc})")
+                continue
+            try:
+                if "plan" in doc:
+                    plan = plan_from_dict(doc["plan"])
+                elif "workload" in doc:
+                    plan = _workload_plan(doc["workload"], None, None)
+                elif "operators" in doc:
+                    plan = plan_from_dict(doc)
+                else:
+                    bad(
+                        lineno,
+                        "a job needs a 'plan', 'workload' or bare plan document",
+                    )
+                    continue
+                plan.validate()
+            except ReproError as exc:
+                bad(lineno, f"invalid job ({exc})")
+                continue
+            except Exception as exc:
+                bad(lineno, f"invalid plan document ({type(exc).__name__}: {exc})")
+                continue
             job_id = str(doc.get("id") or plan.name or f"line{lineno}")
-            jobs.append(BatchJob(job_id, plan, size_bytes=size, tags=doc.get("tags", {})))
-    if not jobs:
+            tags = doc.get("tags", {})
+            if not isinstance(tags, dict):
+                bad(lineno, f"tags must be an object, got {type(tags).__name__}")
+                continue
+            jobs.append(BatchJob(job_id, plan, size_bytes=size, tags=tags))
+    if not jobs and not error_rows:
         raise ReproError(f"{path} contains no jobs")
-    return jobs
+    return jobs, error_rows
+
+
+def _chaos_profile(args):
+    """The ``--chaos-profile`` spec as a ChaosProfile (``None`` if unset).
+
+    ``REPRO_CHAOS_SEED`` overrides the seed — the CI chaos matrix sets
+    it to fan one profile out over several deterministic seeds.
+    """
+    import os
+
+    spec = getattr(args, "chaos_profile", None)
+    if not spec:
+        return None
+    from dataclasses import replace
+
+    from repro.resilience import ChaosProfile
+
+    profile = ChaosProfile.parse(spec)
+    env_seed = os.environ.get("REPRO_CHAOS_SEED")
+    if env_seed is not None:
+        try:
+            profile = replace(profile, seed=int(env_seed))
+        except ValueError as exc:
+            raise ReproError(f"bad REPRO_CHAOS_SEED {env_seed!r}: {exc}") from exc
+    return profile
 
 
 def cmd_optimize_batch(args) -> int:
     import json
-
-    from repro.bench import trajectory
-    from repro.serve import BatchOptimizationService, PlanCache, robopt_factory
-
     import os
 
+    from repro.bench import trajectory
+    from repro.resilience import RetryPolicy
+    from repro.serve import (
+        BatchOptimizationService,
+        PlanCache,
+        resilient_robopt_factory,
+        robopt_factory,
+    )
+
     registry = _registry(args.platforms)
-    jobs = _load_jobs(args.jobs, registry)
-    # The factory loads the model lazily (inside each pool worker), so a
-    # bad path would otherwise surface as N per-job failures.
+    jobs, error_rows = _load_jobs(args.jobs, registry)
+    chaos = _chaos_profile(args)
+    resilient = not args.no_resilience
     if not os.path.isfile(args.model):
-        raise ReproError(f"cannot read model from {args.model}: no such file")
+        if resilient:
+            # The fallback chain turns a missing model into degraded plan
+            # quality (cost-model answers) instead of a dead batch.
+            print(
+                f"warning: model {args.model} unreadable; serving from the "
+                "fallback chain",
+                file=sys.stderr,
+            )
+        else:
+            # The factory loads the model lazily (inside each pool worker),
+            # so a bad path would otherwise surface as N per-job failures.
+            raise ReproError(f"cannot read model from {args.model}: no such file")
     cache = None
     if args.cache:
         if os.path.exists(args.cache):
+            if chaos is not None and chaos.cache_corrupt_rate > 0.0:
+                from repro.resilience import FaultInjector, corrupt_cache_file
+
+                if corrupt_cache_file(args.cache, FaultInjector(chaos)):
+                    print(
+                        f"chaos: corrupted plan cache {args.cache}",
+                        file=sys.stderr,
+                    )
             cache = PlanCache.load(args.cache, registry, max_entries=args.cache_size)
         else:
             cache = PlanCache(max_entries=args.cache_size)
-    factory = robopt_factory(
-        platforms=tuple(n.strip() for n in args.platforms.split(",")),
-        model_path=args.model,
-        priority=args.priority,
-    )
+    platforms = tuple(n.strip() for n in args.platforms.split(","))
+    if resilient:
+        factory = resilient_robopt_factory(
+            platforms=platforms,
+            model_path=args.model,
+            priority=args.priority,
+            deadline_s=(
+                args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+            ),
+            chaos=chaos,
+        )
+    else:
+        if chaos is not None:
+            raise ReproError("--chaos-profile requires the resilient stack")
+        factory = robopt_factory(
+            platforms=platforms,
+            model_path=args.model,
+            priority=args.priority,
+        )
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     service = BatchOptimizationService(
         factory,
         registry,
         workers=args.workers,
         timeout_s=args.timeout,
         cache=cache,
+        retry=retry,
+        quarantine_after=args.quarantine_after,
     )
     with _maybe_trace(args):
-        report = service.optimize_batch(jobs)
-    rows = []
-    for outcome in report.outcomes:
+        report = service.optimize_batch(jobs) if jobs else None
+    rows = list(error_rows)
+    outcomes = report.outcomes if report is not None else []
+    for outcome in outcomes:
         row = {
             "id": outcome.job_id,
             "ok": outcome.ok,
             "cached": outcome.cached,
             "duration_s": outcome.duration_s,
+            "attempts": outcome.attempts,
         }
         if outcome.ok and outcome.result is not None:
             result = outcome.result
@@ -265,8 +375,12 @@ def cmd_optimize_batch(args) -> int:
                 str(k): v for k, v in sorted(result.execution_plan.assignment.items())
             }
             row["stats"] = result.stats.as_dict()
+            if result.stats.degraded:
+                row["degraded"] = result.stats.degradation
         else:
             row["error"] = outcome.error
+            if outcome.quarantined:
+                row["quarantined"] = True
         rows.append(row)
     if args.out:
         with open(args.out, "w") as f:
@@ -280,21 +394,37 @@ def cmd_optimize_batch(args) -> int:
                 if row["ok"]
                 else f"error: {row['error']}"
             )
-            cached = " (cached)" if row["cached"] else ""
-            print(f"{row['id']:>24}: {shown}{cached}")
-    metrics = report.metrics()
-    print(
-        f"batch: {report.n_ok}/{report.n_jobs} ok in {report.wall_s:.2f}s "
-        f"({report.plans_per_sec:.1f} plans/s, mode={report.mode}, "
-        f"cache hit rate {report.cache_hit_rate:.0%})"
-    )
-    trajectory.record(
-        "serve.optimize_batch", metrics, meta={"jobs_file": args.jobs, "mode": report.mode}
-    )
+            cached = " (cached)" if row.get("cached") else ""
+            degraded = f" (degraded: {row['degraded']})" if row.get("degraded") else ""
+            print(f"{row['id']:>24}: {shown}{cached}{degraded}")
+    n_bad_rows = len(error_rows)
+    if report is not None:
+        metrics = report.metrics()
+        extras = ""
+        if report.n_degraded or report.n_retried or report.n_quarantined:
+            extras = (
+                f", degraded={report.n_degraded} retried={report.n_retried} "
+                f"quarantined={report.n_quarantined}"
+            )
+        print(
+            f"batch: {report.n_ok}/{report.n_jobs} ok in {report.wall_s:.2f}s "
+            f"({report.plans_per_sec:.1f} plans/s, mode={report.mode}, "
+            f"cache hit rate {report.cache_hit_rate:.0%}{extras})"
+        )
+        if n_bad_rows:
+            print(f"rejected {n_bad_rows} malformed job rows (see result rows)")
+        trajectory.record(
+            "serve.optimize_batch",
+            metrics,
+            meta={"jobs_file": args.jobs, "mode": report.mode},
+        )
+    else:
+        print(f"batch: 0 runnable jobs; rejected {n_bad_rows} malformed rows")
     if cache is not None and args.cache:
         cache.save(args.cache)
         print(f"saved plan cache ({len(cache)} entries) to {args.cache}")
-    return 0 if report.n_failed == 0 else 1
+    failed = n_bad_rows + (report.n_failed if report is not None else 0)
+    return 0 if failed == 0 else 1
 
 
 def cmd_explain(args) -> int:
@@ -369,6 +499,11 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--model", required=True)
     optimize.add_argument("--priority", default="robopt")
     optimize.add_argument("--out", default=None, help="write the plan as JSON")
+    optimize.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="optimization deadline; expiry returns the best complete "
+        "plan found so far (anytime mode)",
+    )
     optimize.set_defaults(func=cmd_optimize)
 
     batch = sub.add_parser(
@@ -392,6 +527,30 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write a JSONL trace of the run (spans + counters)",
+    )
+    batch.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-job optimization deadline; expiry returns the best "
+        "complete plan found so far (anytime mode)",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=2,
+        help="retry failed jobs this many times with backoff (0 = off)",
+    )
+    batch.add_argument(
+        "--quarantine-after", type=int, default=2,
+        help="worker deaths before a plan is quarantined",
+    )
+    batch.add_argument(
+        "--chaos-profile", default=None, metavar="SPEC",
+        help="inject deterministic faults: a preset name (model-outage, "
+        "nan-storm, worker-deaths, cache-corruption, slow-model, "
+        "everything) and/or k=v overrides, e.g. "
+        "'model-flaky,seed=7' or 'model_failure_rate=0.5'",
+    )
+    batch.add_argument(
+        "--no-resilience", action="store_true",
+        help="use the bare optimizer stack (no fallback chain or budget)",
     )
     batch.set_defaults(func=cmd_optimize_batch)
 

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from repro.api import RunStats
-from repro.exceptions import EnumerationError
+from repro.exceptions import BudgetExceededError, EnumerationError
 from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
 from repro.core.features import FeatureSchema
 from repro.core.operations import (
@@ -35,9 +35,18 @@ from repro.core.operations import (
 from repro.core.priority import make_priority
 from repro.core.pruning import CostFn, ml_cost, prune
 from repro.obs import current_tracer
+from repro.resilience.budget import (
+    REASON_DEADLINE,
+    Budget,
+    BudgetClock,
+)
 from repro.rheem.execution_plan import ExecutionPlan
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
+
+#: Degradation reason recorded when even the partial enumerations could
+#: not be assembled and a greedy single-pass assignment was returned.
+REASON_GREEDY = "greedy_fallback"
 
 #: Instrumentation of one enumeration run. ``vectors_created`` counts the
 #: plan vectors materialized by concatenations (pre-pruning) — the paper's
@@ -86,6 +95,12 @@ class PriorityEnumerator:
         subplans vectorizes each distinct singleton once (see
         :func:`repro.core.operations.enumerate_singleton`; the batch
         service installs one per batch/worker).
+    budget:
+        Optional :class:`repro.resilience.budget.Budget` applied to every
+        run (a per-call budget passed to :meth:`enumerate_plan` takes
+        precedence). On expiry the run is *degraded*, not aborted: the
+        best complete plan assemblable from the partial enumerations is
+        returned and ``RunStats.degraded``/``degradation`` record why.
     """
 
     def __init__(
@@ -97,6 +112,7 @@ class PriorityEnumerator:
         schema: Optional[FeatureSchema] = None,
         max_vectors: int = 4_000_000,
         singleton_memo: Optional[Dict] = None,
+        budget: Optional[Budget] = None,
     ):
         self.registry = registry
         self.cost_fn = cost_fn
@@ -105,9 +121,12 @@ class PriorityEnumerator:
         self.schema = schema if schema is not None else FeatureSchema(registry)
         self.max_vectors = max_vectors
         self.singleton_memo = singleton_memo
+        self.budget = budget
 
     # ------------------------------------------------------------------
-    def enumerate_plan(self, plan: LogicalPlan) -> EnumerationResult:
+    def enumerate_plan(
+        self, plan: LogicalPlan, budget: Optional[Budget] = None
+    ) -> EnumerationResult:
         """Run Algorithm 1 on a logical plan and return the best plan."""
         tracer = current_tracer()
         if tracer.enabled:
@@ -118,13 +137,19 @@ class PriorityEnumerator:
                 priority=self.priority_name,
                 pruning=self.pruning,
             ) as root:
-                result = self._enumerate_traced(plan, tracer)
+                result = self._enumerate_traced(plan, tracer, budget)
                 root.set(**result.stats.as_dict())
             return result
-        return self._enumerate_traced(plan, tracer)
+        return self._enumerate_traced(plan, tracer, budget)
 
-    def _enumerate_traced(self, plan: LogicalPlan, tracer) -> EnumerationResult:
+    def _enumerate_traced(
+        self, plan: LogicalPlan, tracer, budget: Optional[Budget] = None
+    ) -> EnumerationResult:
         started = time.perf_counter()
+        budget = budget if budget is not None else self.budget
+        clock: Optional[BudgetClock] = None
+        if budget is not None and not budget.unbounded:
+            clock = budget.start()
         ctx = EnumerationContext(plan, self.registry, self.schema)
         priority_fn = make_priority(self.priority_name, ctx)
         stats = RunStats()
@@ -133,13 +158,23 @@ class PriorityEnumerator:
         enums: Dict[int, PlanVectorEnumeration] = {}
         op_to_enum: Dict[int, int] = {}
         ids = itertools.count()
-        for abstract in split(vectorize(ctx)):
-            eid = next(ids)
-            enumeration = enumerate_singleton(abstract, memo=self.singleton_memo)
-            enums[eid] = enumeration
-            stats.singleton_vectors += enumeration.n_vectors
-            (op_id,) = abstract.scope
-            op_to_enum[op_id] = eid
+        try:
+            for abstract in split(vectorize(ctx)):
+                eid = next(ids)
+                enumeration = enumerate_singleton(
+                    abstract, memo=self.singleton_memo, clock=clock
+                )
+                enums[eid] = enumeration
+                stats.singleton_vectors += enumeration.n_vectors
+                (op_id,) = abstract.scope
+                op_to_enum[op_id] = eid
+        except BudgetExceededError as exc:
+            # Budget gone before the singletons even finished: the partial
+            # enumerations cannot cover the plan, so assembly will fall
+            # through to the greedy path inside _anytime_result.
+            return self._anytime_result(
+                ctx, enums, stats, exc.reason, tracer, started
+            )
         if tracer.enabled:
             tracer.count("enumerate.singleton_vectors", stats.singleton_vectors)
 
@@ -184,6 +219,12 @@ class PriorityEnumerator:
 
         # Lines 6-17: concatenate by priority until one enumeration remains.
         while len(enums) > 1:
+            if clock is not None:
+                reason = clock.check(stats.total_vectors)
+                if reason is not None:
+                    return self._anytime_result(
+                        ctx, enums, stats, reason, tracer, started
+                    )
             entry = heapq.heappop(heap)
             _, _, _, eid, entry_version = entry
             if eid not in enums or version.get(eid) != entry_version:
@@ -295,3 +336,104 @@ class PriorityEnumerator:
         for op_id in merged.scope:
             op_to_enum[op_id] = new_id
         return new_id
+
+    # -- anytime degradation -------------------------------------------
+    def _anytime_result(
+        self,
+        ctx: EnumerationContext,
+        enums: Dict[int, PlanVectorEnumeration],
+        stats: RunStats,
+        reason: str,
+        tracer,
+        started: float,
+    ) -> EnumerationResult:
+        """Assemble the best *complete* plan from partial enumerations.
+
+        Called when the budget expires mid-search. Each live enumeration
+        covers a disjoint operator scope; taking the per-fragment argmin
+        and stitching the assignments together yields a complete,
+        executable plan (conversions materialize in the
+        :class:`ExecutionPlan` constructor). Unlike the normal exit this
+        is *lossy*: boundary pruning's Lemma-1 guarantee only covers
+        finished searches, so cross-fragment conversion costs were never
+        compared — hence ``RunStats.degraded``.
+
+        If the fragments do not cover the plan (budget died during the
+        singleton phase) or the cost oracle itself is failing, fall back
+        to a greedy single-pass assignment that prefers the platform
+        feasible for the most operators — always constructible.
+        """
+        budget_reason = reason
+        assignment: Dict[int, str] = {}
+        try:
+            covered = set()
+            for enumeration in enums.values():
+                costs = np.asarray(self.cost_fn(enumeration), dtype=np.float64)
+                stats.rows_predicted += enumeration.n_vectors
+                row = int(np.argmin(np.nan_to_num(costs, nan=np.inf)))
+                assignment.update(enumeration.assignment_dict(row))
+                covered |= set(enumeration.scope)
+            if covered != set(ctx.plan.operators):
+                raise EnumerationError(
+                    f"partial coverage: {len(covered)}/{ctx.n_ops} operators"
+                )
+            xplan = ExecutionPlan(ctx.plan, assignment, ctx.registry)
+        except Exception:
+            xplan = self._greedy_plan(ctx)
+            assignment = dict(xplan.assignment)
+            reason = REASON_GREEDY
+
+        final = self._single_row_enumeration(ctx, xplan, assignment)
+        try:
+            cost = float(
+                np.asarray(self.cost_fn(final), dtype=np.float64)[0]
+            )
+            stats.rows_predicted += 1
+        except Exception:
+            cost = float("nan")
+        stats.final_vectors = final.n_vectors
+        stats.degraded = True
+        stats.degradation = reason
+        stats.latency_s = time.perf_counter() - started
+        if tracer.enabled:
+            tracer.count("resilience.degraded")
+            if budget_reason == REASON_DEADLINE:
+                tracer.count("resilience.deadline_hit")
+        return EnumerationResult(
+            execution_plan=xplan,
+            predicted_cost=cost,
+            final_enumeration=final,
+            stats=stats,
+        )
+
+    def _single_row_enumeration(
+        self,
+        ctx: EnumerationContext,
+        xplan: ExecutionPlan,
+        assignment: Dict[int, str],
+    ) -> PlanVectorEnumeration:
+        """The one-vector enumeration encoding an assembled plan exactly."""
+        features = self.schema.encode_execution_plan(xplan)[None, :]
+        assignments = np.full((1, ctx.n_ops), -1, dtype=np.int8)
+        names = list(ctx.registry.names)
+        for op_id, name in assignment.items():
+            assignments[0, op_id] = names.index(name)
+        return PlanVectorEnumeration(
+            ctx, frozenset(ctx.plan.operators), features, assignments
+        )
+
+    def _greedy_plan(self, ctx: EnumerationContext) -> ExecutionPlan:
+        """A complete plan with no search: per operator, pick the feasible
+        platform that supports the most operators overall (fewest forced
+        conversions), breaking ties by platform index — deterministic."""
+        support: Dict[int, int] = {}
+        for alts in ctx.alternatives.values():
+            for pi in alts:
+                support[int(pi)] = support.get(int(pi), 0) + 1
+        order = sorted(support, key=lambda pi: (-support[pi], pi))
+        names = list(ctx.registry.names)
+        assignment: Dict[int, str] = {}
+        for op_id in ctx.plan.operators:
+            feasible = {int(a) for a in ctx.alternatives[op_id]}
+            assignment[op_id] = names[next(pi for pi in order if pi in feasible)]
+        return ExecutionPlan(ctx.plan, assignment, ctx.registry)

@@ -92,7 +92,7 @@ def split(abstract: AbstractPlanVector) -> List[AbstractPlanVector]:
 
 
 def enumerate_singleton(
-    abstract: AbstractPlanVector, memo: Dict = None
+    abstract: AbstractPlanVector, memo: Dict = None, clock=None
 ) -> PlanVectorEnumeration:
     """Instantiate a singleton abstract vector (§IV-C op. 2, base case).
 
@@ -104,11 +104,19 @@ def enumerate_singleton(
     sharing subplans vectorizes each distinct singleton once (the batch
     service shares one memo per batch/worker). The cached matrix is
     copied on every hit, never aliased.
+
+    ``clock`` (optional, a :class:`repro.resilience.budget.BudgetClock`)
+    makes the call budget-aware: an expired budget raises
+    :class:`~repro.exceptions.BudgetExceededError` *before* any work.
+    A singleton cannot degrade locally — turning expiry into an anytime
+    answer is the enumerator's job.
     """
     if len(abstract.scope) != 1:
         raise EnumerationError(
             f"enumerate_singleton needs a singleton scope, got {sorted(abstract.scope)}"
         )
+    if clock is not None:
+        clock.ensure()
     ctx = abstract.ctx
     (op_id,) = abstract.scope
     alts = ctx.alternatives[op_id]

@@ -27,6 +27,7 @@ from repro.core.features import FeatureSchema
 from repro.core.operations import unvectorize
 from repro.core.pruning import CostFn, ml_cost
 from repro.exceptions import EnumerationError
+from repro.resilience.budget import Budget
 from repro.rheem.execution_plan import ExecutionPlan, single_platform_plan
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
@@ -97,6 +98,12 @@ class Robopt:
         Optional shared singleton-feature memo (see
         :class:`PriorityEnumerator`); the batch service sets one per
         batch so plans with shared subplans vectorize them once.
+    budget:
+        Optional :class:`repro.resilience.budget.Budget` (deadline and/or
+        vector cap) applied to every run; on expiry ``optimize`` returns
+        an anytime plan with ``RunStats.degraded`` set instead of running
+        the search to completion. A per-call budget passed to
+        :meth:`optimize` overrides it.
     """
 
     def __init__(
@@ -108,6 +115,7 @@ class Robopt:
         schema: Optional[FeatureSchema] = None,
         max_vectors: int = 4_000_000,
         singleton_memo: Optional[Dict] = None,
+        budget: Optional["Budget"] = None,
     ):
         self.registry = registry
         self.model = model
@@ -120,6 +128,7 @@ class Robopt:
             schema=self.schema,
             max_vectors=max_vectors,
             singleton_memo=singleton_memo,
+            budget=budget,
         )
 
     @property
@@ -131,10 +140,21 @@ class Robopt:
     def singleton_memo(self, memo: Optional[Dict]) -> None:
         self._enumerator.singleton_memo = memo
 
-    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+    @property
+    def budget(self) -> Optional["Budget"]:
+        """The standing optimization budget (``None`` = unbounded)."""
+        return self._enumerator.budget
+
+    @budget.setter
+    def budget(self, budget: Optional["Budget"]) -> None:
+        self._enumerator.budget = budget
+
+    def optimize(
+        self, plan: LogicalPlan, budget: Optional["Budget"] = None
+    ) -> OptimizationResult:
         """Find the execution plan with the lowest predicted runtime."""
         plan.validate()
-        result: EnumerationResult = self._enumerator.enumerate_plan(plan)
+        result: EnumerationResult = self._enumerator.enumerate_plan(plan, budget)
         return OptimizationResult(
             execution_plan=result.execution_plan,
             predicted_runtime=result.predicted_cost,

@@ -17,13 +17,14 @@ paper's §II shows a poorly tuned model costs an order of magnitude, and
   systems for fairness).
 """
 
-from repro.cost.cost_model import CostModel, CostParameters
+from repro.cost.cost_model import CostModel, CostParameters, FeatureCostModel
 from repro.cost.calibration import calibrate_simply_tuned, calibrate_well_tuned
 from repro.cost.optimizer import RheemixOptimizer
 
 __all__ = [
     "CostModel",
     "CostParameters",
+    "FeatureCostModel",
     "calibrate_well_tuned",
     "calibrate_simply_tuned",
     "RheemixOptimizer",

@@ -70,6 +70,125 @@ class CostParameters:
         )
 
 
+class FeatureCostModel:
+    """The cost model vectorized over plan-vector matrices.
+
+    A linear surrogate of :class:`CostModel` that evaluates directly on
+    the ML feature layout (:class:`repro.core.features.FeatureSchema`) —
+    ``predict(X) -> costs`` over whole enumerations in one matrix
+    product, exactly like the ML model it stands in for. This is the
+    middle level of the resilience fallback chain
+    (:class:`repro.resilience.FallbackRuntimeModel`): when the learned
+    model trips its circuit breaker, pruning and plan selection continue
+    against this calibrated-cost oracle without leaving vectorized
+    execution.
+
+    The surrogate is faithful to the linear cost structure up to one
+    deliberate coarsening: the per-kind output-cardinality weight cannot
+    be split per platform in the feature layout, so ``w_out`` is averaged
+    over kinds into the per-platform aggregate column. Platform startup
+    costs are applied exactly (a platform is "used" when its operator
+    count cell is positive).
+
+    Construct from calibrated :class:`CostParameters`
+    (:meth:`from_parameters`) or fall back to category-informed defaults
+    (clusters pay startup, everything pays per-tuple work) — crude, but
+    always available and always finite.
+    """
+
+    #: Default coefficients when no calibration is available.
+    DEFAULT_FIXED = 0.02
+    DEFAULT_W_IN = 2e-8
+    DEFAULT_W_OUT = 1e-8
+    DEFAULT_CONV_FIXED = 0.1
+    DEFAULT_CONV_W = 4e-8
+    DEFAULT_STARTUP = {"local": 0.1, "distributed": 3.0}
+
+    def __init__(self, schema, parameters: Optional[CostParameters] = None):
+        self.schema = schema
+        self.n_features = schema.n_features
+        registry = schema.registry
+        weights = np.zeros(schema.n_features, dtype=np.float64)
+        startup = np.zeros(len(registry), dtype=np.float64)
+
+        if parameters is None:
+            for kind in schema.kind_names:
+                for pi in range(schema.k):
+                    weights[schema.op_platform_cell(kind, pi)] += self.DEFAULT_FIXED
+                    weights[
+                        schema.op_platform_in_card_cell(kind, pi)
+                    ] += self.DEFAULT_W_IN
+            for pi in range(schema.k):
+                weights[schema.platform_out_card_cell(pi)] += self.DEFAULT_W_OUT
+            for conv in schema.conversion_kinds:
+                for pi in range(schema.k):
+                    weights[
+                        schema.conv_platform_cell(conv, pi)
+                    ] += self.DEFAULT_CONV_FIXED
+                weights[schema.conv_input_card_cell(conv)] += self.DEFAULT_CONV_W
+            for pi, platform in enumerate(registry):
+                startup[pi] = self.DEFAULT_STARTUP.get(
+                    platform.category, self.DEFAULT_STARTUP["distributed"]
+                )
+        else:
+            wout_sums = np.zeros(len(registry), dtype=np.float64)
+            wout_counts = np.zeros(len(registry), dtype=np.float64)
+            for (kind, pname), (fixed, w_in, w_out) in (
+                parameters.operator_coeffs.items()
+            ):
+                if kind not in schema.kind_names or pname not in registry:
+                    continue
+                pi = registry.index(pname)
+                weights[schema.op_platform_cell(kind, pi)] += fixed
+                weights[schema.op_platform_in_card_cell(kind, pi)] += w_in
+                wout_sums[pi] += w_out
+                wout_counts[pi] += 1.0
+            for pi in range(len(registry)):
+                if wout_counts[pi]:
+                    weights[schema.platform_out_card_cell(pi)] += (
+                        wout_sums[pi] / wout_counts[pi]
+                    )
+            for conv, (cfix, cw) in parameters.conversion_coeffs.items():
+                if conv not in schema.conversion_kinds:
+                    continue
+                for pi in range(schema.k):
+                    weights[schema.conv_platform_cell(conv, pi)] += cfix
+                weights[schema.conv_input_card_cell(conv)] += cw
+            for pname, value in parameters.startup.items():
+                if pname in registry:
+                    startup[registry.index(pname)] = value
+
+        self._weights = weights
+        self._startup = startup
+        self._count_cols = np.array(
+            [schema.platform_count_cell(pi) for pi in range(schema.k)],
+            dtype=np.int64,
+        )
+
+    @classmethod
+    def from_parameters(cls, schema, parameters: CostParameters) -> "FeatureCostModel":
+        """Build the surrogate from calibrated coefficients."""
+        return cls(schema, parameters)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Linear cost per plan vector; finite and non-negative."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.n_features:
+            raise ModelError(
+                f"expected {self.n_features} features, got {X.shape[1]}"
+            )
+        X = np.nan_to_num(X, posinf=0.0, neginf=0.0)
+        costs = X @ self._weights
+        # Startup: paid once per platform whose operator count is > 0.
+        costs += (X[:, self._count_cols] > 0.0) @ self._startup
+        return np.maximum(np.nan_to_num(costs), 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FeatureCostModel(platforms={self.schema.registry.names})"
+
+
 class CostModel:
     """Evaluates the linear cost of (partial) execution plans."""
 

@@ -41,6 +41,19 @@ class EnumerationError(ReproError):
     """The plan enumeration reached an inconsistent state."""
 
 
+class BudgetExceededError(EnumerationError):
+    """An optimization budget (deadline or vector cap) expired mid-run.
+
+    Raised only from budget-aware primitives; the priority enumerator
+    catches it and degrades to the best complete plan found so far
+    instead of surfacing the error (see ``repro.resilience.budget``).
+    """
+
+    def __init__(self, reason: str, message: str = ""):
+        self.reason = reason
+        super().__init__(message or f"optimization budget exceeded ({reason})")
+
+
 class ScopeError(EnumerationError):
     """Two enumerations have incompatible scopes for the requested operation."""
 

@@ -224,12 +224,36 @@ class RuntimeModel:
 
     @classmethod
     def load(cls, path) -> "RuntimeModel":
-        with Path(path).open("rb") as f:
-            blob = pickle.load(f)
-        model = cls(blob["regressor"], blob["algorithm"], blob["n_features"])
+        """Unpickle a saved model.
+
+        Any load failure — missing file, truncated/corrupt pickle, a blob
+        missing required keys — surfaces as :class:`ModelError`, the
+        exception taxonomy the resilience layer treats as "primary model
+        unavailable" (see
+        :class:`repro.resilience.fallback.FallbackRuntimeModel`).
+        """
+        try:
+            with Path(path).open("rb") as f:
+                blob = pickle.load(f)
+            model = cls(blob["regressor"], blob["algorithm"], blob["n_features"])
+        except ModelError:
+            raise
+        except Exception as exc:
+            raise ModelError(f"cannot load runtime model from {path}: {exc}") from exc
         model.metrics = blob.get("metrics", {})
         model._fitted = True
         return model
+
+    @classmethod
+    def loader(cls, path):
+        """A zero-argument lazy loader for the model at ``path``.
+
+        Hand this to :class:`repro.resilience.fallback.FallbackRuntimeModel`
+        as the primary: the file is only opened on first ``predict``, and a
+        missing/corrupt file degrades to the fallback chain instead of
+        failing optimizer construction.
+        """
+        return lambda: cls.load(path)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         spear = self.metrics.get("spearman")

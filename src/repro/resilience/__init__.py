@@ -1,0 +1,48 @@
+"""Resilience subsystem: budgets, fallback chains, retries, chaos.
+
+Four orthogonal pieces, each usable on its own:
+
+* :mod:`repro.resilience.budget` — deadline/vector budgets the
+  enumerator polls to return *anytime* results instead of running
+  unboundedly;
+* :mod:`repro.resilience.fallback` — the runtime-model fallback chain
+  (ML model → calibrated cost model → cardinality heuristic) behind a
+  circuit breaker;
+* :mod:`repro.resilience.retry` — retry policy with jittered
+  exponential backoff and the worker-death quarantine used by the batch
+  service;
+* :mod:`repro.resilience.chaos` — deterministic, seeded fault injection
+  for tests and the ``--chaos-profile`` CLI flag.
+"""
+
+from repro.resilience.budget import Budget, BudgetClock
+from repro.resilience.chaos import (
+    PROFILES,
+    ChaosProfile,
+    ChaoticModel,
+    ChaoticOptimizer,
+    FaultInjector,
+    corrupt_cache_file,
+)
+from repro.resilience.fallback import (
+    CardinalityHeuristicModel,
+    CircuitBreaker,
+    FallbackRuntimeModel,
+)
+from repro.resilience.retry import Quarantine, RetryPolicy
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "CircuitBreaker",
+    "FallbackRuntimeModel",
+    "CardinalityHeuristicModel",
+    "RetryPolicy",
+    "Quarantine",
+    "ChaosProfile",
+    "FaultInjector",
+    "ChaoticModel",
+    "ChaoticOptimizer",
+    "corrupt_cache_file",
+    "PROFILES",
+]

@@ -1,0 +1,319 @@
+"""The model fallback chain: ML model → cost model → cardinality heuristic.
+
+The optimizer's cost oracle is an ML model — which in production can
+fail to load, return NaN/inf, or be handed a feature matrix of the wrong
+width (a schema/model mismatch after a registry change). None of those
+should abort an enumeration: :class:`FallbackRuntimeModel` wraps the
+primary model and, per ``predict`` call, degrades level by level until a
+predictor produces a finite, correctly-shaped cost vector. The terminal
+level is :class:`CardinalityHeuristicModel`, which cannot fail.
+
+Repeated primary failures trip a :class:`CircuitBreaker`: after
+``failure_threshold`` consecutive failures the primary is short-circuited
+(no more exception overhead on the hot path) until ``cooldown_s`` has
+passed, at which point one half-open probe is allowed through; a
+successful probe closes the breaker again. Kepler and Reqo make the same
+argument for serving learned optimizers: robustness machinery belongs
+*around* the model, not inside it.
+
+Counters (ambient tracer): ``resilience.model_failure``,
+``resilience.fallback``, ``resilience.breaker_open``,
+``resilience.breaker_short_circuit``, ``resilience.breaker_close``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError, ReproError
+from repro.obs import current_tracer
+
+__all__ = [
+    "CircuitBreaker",
+    "FallbackRuntimeModel",
+    "CardinalityHeuristicModel",
+]
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """A consecutive-failure circuit breaker with half-open probes.
+
+    State machine: ``closed`` (calls allowed; ``failure_threshold``
+    consecutive failures open it) → ``open`` (calls short-circuited for
+    ``cooldown_s``) → ``half_open`` (one probe allowed; success closes,
+    failure re-opens). The clock is injectable so tests can drive the
+    cooldown deterministically.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ReproError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting ``open`` → ``half_open`` on cooldown."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last success."""
+        return self._failures
+
+    def allow(self) -> bool:
+        """May the guarded call proceed right now?"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        if self._state != CLOSED:
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("resilience.breaker_close")
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        state = self.state
+        if state == HALF_OPEN or (
+            state == CLOSED and self._failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("resilience.breaker_open")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state!r}, failures={self._failures}/"
+            f"{self.failure_threshold}, cooldown_s={self.cooldown_s})"
+        )
+
+
+class CardinalityHeuristicModel:
+    """The terminal fallback: cost ≈ data volume pushed through the plan.
+
+    Ranks plan vectors by the cardinalities each platform processes plus
+    the data moved by conversions — the crudest useful cost signal, and
+    one that cannot fail: the input is sanitized (``nan_to_num``) and the
+    output is a finite non-negative array by construction. With every
+    dynamic-column term positive it still prefers fewer conversions and
+    lighter platform loads, so degraded decisions stay sane.
+    """
+
+    #: Seconds per processed tuple / per moved tuple — only the *ratio*
+    #: matters for ranking; the scale keeps outputs in a plausible range.
+    TUPLE_COST = 1e-8
+    CONVERSION_COST = 5e-8
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.n_features = schema.n_features
+        weights = np.zeros(schema.n_features, dtype=np.float64)
+        for pi in range(schema.k):
+            weights[schema.platform_in_card_cell(pi)] = self.TUPLE_COST
+            weights[schema.platform_out_card_cell(pi)] = self.TUPLE_COST
+            weights[schema.platform_loop_work_cell(pi)] = self.TUPLE_COST
+        for kind in schema.conversion_kinds:
+            weights[schema.conv_input_card_cell(kind)] = self.CONVERSION_COST
+        self._weights = weights
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        width = min(X.shape[1], self._weights.shape[0])
+        # Tolerate a width mismatch: this is the level that must not fail.
+        costs = np.nan_to_num(X[:, :width], posinf=0.0, neginf=0.0) @ self._weights[:width]
+        return np.maximum(np.nan_to_num(costs), 0.0)
+
+
+class FallbackRuntimeModel:
+    """``predict`` with graceful degradation across a chain of predictors.
+
+    Parameters
+    ----------
+    primary:
+        The ML model (anything with ``predict(matrix) -> array``) — or a
+        zero-argument *loader* returning one, resolved lazily on first
+        use so that a missing/corrupt model file degrades instead of
+        failing construction.
+    fallbacks:
+        Ordered lower-fidelity predictors tried after the primary; the
+        last should be infallible (:class:`CardinalityHeuristicModel`).
+    breaker:
+        The breaker guarding the primary (a fresh default one otherwise).
+    expected_features:
+        When given, primary outputs are additionally validated against
+        inputs of this width (shape mismatches count as failures).
+    """
+
+    def __init__(
+        self,
+        primary,
+        fallbacks: Sequence = (),
+        breaker: Optional[CircuitBreaker] = None,
+        expected_features: Optional[int] = None,
+    ):
+        if hasattr(primary, "predict"):
+            self._loader = None
+            self._primary = primary
+        elif callable(primary):
+            self._loader = primary
+            self._primary = None
+        else:
+            raise ModelError(
+                "primary must have .predict or be a zero-arg loader"
+            )
+        self.fallbacks = list(fallbacks)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.expected_features = expected_features
+        self.last_level: Optional[str] = None
+        self.last_error: Optional[str] = None
+        self.level_counts = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_schema(
+        cls,
+        primary,
+        schema,
+        cost_model=None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> "FallbackRuntimeModel":
+        """The standard chain: primary → calibrated cost → cardinality sum.
+
+        ``cost_model`` is a :class:`repro.cost.cost_model.FeatureCostModel`
+        (or anything vectorized over plan-vector matrices); when omitted a
+        default-calibrated one is built for the schema.
+        """
+        from repro.cost.cost_model import FeatureCostModel
+
+        if cost_model is None:
+            cost_model = FeatureCostModel(schema)
+        return cls(
+            primary,
+            fallbacks=[cost_model, CardinalityHeuristicModel(schema)],
+            breaker=breaker,
+            expected_features=schema.n_features,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> List[str]:
+        """Level names, primary first."""
+        return ["primary"] + [type(f).__name__ for f in self.fallbacks]
+
+    @property
+    def n_features(self) -> Optional[int]:
+        if self.expected_features is not None:
+            return self.expected_features
+        return getattr(self._primary, "n_features", None)
+
+    def _resolve_primary(self):
+        if self._primary is None:
+            model = self._loader()
+            if not hasattr(model, "predict"):
+                raise ModelError(
+                    f"model loader returned {type(model).__name__} "
+                    "without a predict method"
+                )
+            self._primary = model
+        return self._primary
+
+    def _validated(self, predicted, n_rows: int) -> np.ndarray:
+        out = np.asarray(predicted, dtype=np.float64).reshape(-1)
+        if out.shape != (n_rows,):
+            raise ModelError(
+                f"predictor returned shape {np.shape(predicted)} "
+                f"for {n_rows} rows"
+            )
+        if not np.all(np.isfinite(out)):
+            bad = int(np.count_nonzero(~np.isfinite(out)))
+            raise ModelError(f"predictor returned {bad} non-finite values")
+        return out
+
+    def _note(self, level: str) -> None:
+        self.last_level = level
+        self.level_counts[level] = self.level_counts.get(level, 0) + 1
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted costs through the first level that answers sanely."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        n = X.shape[0]
+        tracer = current_tracer()
+        if self.breaker.allow():
+            try:
+                if (
+                    self.expected_features is not None
+                    and X.shape[1] != self.expected_features
+                ):
+                    raise ModelError(
+                        f"expected {self.expected_features} features, "
+                        f"got {X.shape[1]}"
+                    )
+                out = self._validated(self._resolve_primary().predict(X), n)
+                self.breaker.record_success()
+                self._note("primary")
+                return out
+            except Exception as exc:
+                self.breaker.record_failure()
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                if tracer.enabled:
+                    tracer.count("resilience.model_failure")
+        elif tracer.enabled:
+            tracer.count("resilience.breaker_short_circuit")
+        for fallback in self.fallbacks:
+            try:
+                out = self._validated(fallback.predict(X), n)
+            except Exception as exc:
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            self._note(type(fallback).__name__)
+            if tracer.enabled:
+                tracer.count("resilience.fallback")
+            return out
+        raise ModelError(
+            f"every level of the fallback chain failed "
+            f"(last error: {self.last_error})"
+        )
+
+    def predict_one(self, x: np.ndarray) -> float:
+        return float(self.predict(np.asarray(x)[None, :])[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FallbackRuntimeModel(levels={self.levels}, "
+            f"breaker={self.breaker.state!r})"
+        )

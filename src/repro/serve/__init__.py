@@ -26,6 +26,7 @@ from repro.serve.batch import (
     BatchOptimizationService,
     BatchReport,
     JobOutcome,
+    resilient_robopt_factory,
     robopt_factory,
 )
 from repro.serve.cache import CacheStats, PlanCache, copy_result
@@ -37,6 +38,7 @@ __all__ = [
     "BatchReport",
     "JobOutcome",
     "robopt_factory",
+    "resilient_robopt_factory",
     "PlanCache",
     "CacheStats",
     "copy_result",

@@ -42,8 +42,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.api import Optimizer, OptimizationResult, RunStats
-from repro.exceptions import ReproError
+from repro.exceptions import ModelError, ReproError
 from repro.obs import current_tracer
+from repro.resilience.retry import Quarantine, RetryPolicy
 from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
 from repro.serve.cache import PlanCache, copy_result
@@ -55,6 +56,7 @@ __all__ = [
     "BatchReport",
     "BatchOptimizationService",
     "robopt_factory",
+    "resilient_robopt_factory",
 ]
 
 
@@ -92,6 +94,14 @@ class JobOutcome:
     cached: bool = False
     duration_s: float = 0.0
     tags: Dict[str, Any] = field(default_factory=dict)
+    #: Dispatch attempts consumed (1 = no retry was needed).
+    attempts: int = 1
+    #: The job timed out; its budget is spent, so it is never retried.
+    timed_out: bool = False
+    #: The job was in flight when the process pool broke.
+    worker_died: bool = False
+    #: The job was refused dispatch (its fingerprint is quarantined).
+    quarantined: bool = False
 
 
 @dataclass
@@ -127,14 +137,40 @@ class BatchReport:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def n_degraded(self) -> int:
+        """Jobs answered with a budget-degraded (anytime) plan."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o.result is not None and o.result.stats.degraded
+        )
+
+    @property
+    def n_retried(self) -> int:
+        """Jobs that needed more than one dispatch attempt."""
+        return sum(1 for o in self.outcomes if o.attempts > 1)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for o in self.outcomes if o.quarantined)
+
     def aggregate_stats(self) -> RunStats:
-        """Summed RunStats over the successful, non-cached jobs."""
+        """Summed RunStats over the successful, non-cached jobs.
+
+        Numeric fields sum, booleans OR (``degraded`` means "any job
+        degraded"), string diagnostics like ``degradation`` stay empty.
+        """
         total = RunStats()
         for outcome in self.outcomes:
             if outcome.result is None or outcome.cached:
                 continue
             for key, value in outcome.result.stats.as_dict().items():
-                setattr(total, key, getattr(total, key) + value)
+                current = getattr(total, key)
+                if isinstance(value, bool):
+                    setattr(total, key, current or value)
+                elif isinstance(value, (int, float)):
+                    setattr(total, key, current + value)
         return total
 
     def metrics(self) -> Dict[str, float]:
@@ -149,6 +185,9 @@ class BatchReport:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "workers": self.workers,
+            "n_degraded": self.n_degraded,
+            "n_retried": self.n_retried,
+            "n_quarantined": self.n_quarantined,
         }
 
 
@@ -219,6 +258,126 @@ def robopt_factory(
     )
 
 
+def _no_primary_model():
+    raise ModelError(
+        "no runtime model configured; the fallback chain serves the "
+        "calibrated cost model instead"
+    )
+
+
+def _build_resilient_robopt(
+    platforms: Sequence[str],
+    model: Any,
+    model_path: Optional[str],
+    priority: str,
+    pruning: bool,
+    deadline_s: Optional[float],
+    budget_vectors: Optional[int],
+    breaker_threshold: int,
+    breaker_cooldown_s: float,
+    chaos: Any,
+):
+    from repro.core.features import FeatureSchema
+    from repro.core.optimizer import Robopt
+    from repro.ml.model import RuntimeModel
+    from repro.resilience import (
+        Budget,
+        ChaoticModel,
+        ChaoticOptimizer,
+        CircuitBreaker,
+        FallbackRuntimeModel,
+        FaultInjector,
+    )
+    from repro.rheem.platforms import default_registry
+
+    if isinstance(platforms, int):
+        from repro.rheem.platforms import synthetic_registry
+
+        registry = synthetic_registry(platforms)
+    else:
+        registry = default_registry(tuple(platforms))
+    schema = FeatureSchema(registry)
+    if model is not None:
+        primary = model
+    elif model_path is not None:
+        # Lazy: a missing/corrupt model file degrades at first predict
+        # instead of killing worker initialization.
+        primary = RuntimeModel.loader(model_path)
+    else:
+        primary = _no_primary_model
+    injector = None
+    if chaos is not None and not chaos.inert:
+        injector = FaultInjector(chaos)
+        if hasattr(primary, "predict"):
+            primary = ChaoticModel(primary, injector)
+        else:
+            loader = primary  # runs worker-side; the closure never pickles
+            primary = lambda: ChaoticModel(loader(), injector)  # noqa: E731
+    fallback = FallbackRuntimeModel.for_schema(
+        primary,
+        schema,
+        breaker=CircuitBreaker(breaker_threshold, breaker_cooldown_s),
+    )
+    budget = None
+    if deadline_s is not None or budget_vectors is not None:
+        budget = Budget(deadline_s=deadline_s, max_vectors=budget_vectors)
+    optimizer: Optimizer = Robopt(
+        registry,
+        fallback,
+        priority=priority,
+        pruning=pruning,
+        schema=schema,
+        budget=budget,
+    )
+    if injector is not None:
+        optimizer = ChaoticOptimizer(optimizer, injector)
+    return optimizer
+
+
+def resilient_robopt_factory(
+    platforms=("java", "spark", "flink"),
+    model: Any = None,
+    model_path: Optional[str] = None,
+    priority: str = "robopt",
+    pruning: bool = True,
+    deadline_s: Optional[float] = None,
+    budget_vectors: Optional[int] = None,
+    breaker_threshold: int = 3,
+    breaker_cooldown_s: float = 30.0,
+    chaos: Any = None,
+) -> Callable[[], Optimizer]:
+    """A picklable factory for the fully-armored Robopt stack.
+
+    ``platforms`` is either a name tuple (default registry) or an int
+    (synthetic registry of that many platforms, as in the test
+    factories). Like :func:`robopt_factory`, plus the resilience
+    subsystem:
+
+    * the model sits behind a :class:`FallbackRuntimeModel` (circuit
+      breaker → calibrated cost model → cardinality heuristic), so model
+      outages degrade plan *quality*, never availability; with neither
+      ``model`` nor ``model_path`` the chain simply starts at the cost
+      model;
+    * ``deadline_s`` / ``budget_vectors`` become a per-run
+      :class:`~repro.resilience.budget.Budget` (anytime optimization);
+    * ``chaos`` (a :class:`~repro.resilience.chaos.ChaosProfile`) wraps
+      the stack in the deterministic fault injector — test/drill only.
+    """
+    return functools.partial(
+        _build_resilient_robopt,
+        platforms if isinstance(platforms, int) else tuple(platforms),
+        model,
+        model_path,
+        priority,
+        pruning,
+        deadline_s,
+        budget_vectors,
+        breaker_threshold,
+        breaker_cooldown_s,
+        chaos,
+    )
+
+
 def _enable_singleton_memo(optimizer: Optimizer, memo: dict) -> bool:
     """Share a singleton-enumeration memo with an optimizer, if it can.
 
@@ -264,6 +423,17 @@ class BatchOptimizationService:
     memoize_singletons:
         Share one singleton-enumeration memo per batch (serial) or per
         worker (pool) so identical subplans vectorize once.
+    retry:
+        An optional :class:`~repro.resilience.retry.RetryPolicy`. Failed
+        jobs (exceptions and pool breakage — not timeouts, whose budget
+        is already spent) are re-dispatched up to ``max_retries`` times
+        with jittered exponential backoff. ``None`` disables retries.
+    quarantine_after:
+        Worker deaths a plan fingerprint survives before it is
+        quarantined (failed immediately, never dispatched again by this
+        service instance). The tally persists across batches and clears
+        on a successful run — see
+        :class:`~repro.resilience.retry.Quarantine`.
     """
 
     def __init__(
@@ -275,6 +445,8 @@ class BatchOptimizationService:
         timeout_s: Optional[float] = None,
         cache: Optional[PlanCache] = None,
         memoize_singletons: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        quarantine_after: int = 2,
     ):
         if workers < 0:
             raise ReproError(f"workers must be >= 0, got {workers}")
@@ -285,6 +457,8 @@ class BatchOptimizationService:
         self.timeout_s = timeout_s
         self.cache = cache
         self.memoize_singletons = memoize_singletons
+        self.retry = retry
+        self.quarantine = Quarantine(threshold=quarantine_after)
         self._optimizer: Optional[Optimizer] = None
         self.registry = registry if registry is not None else self._serial_optimizer().registry
 
@@ -383,14 +557,85 @@ class BatchOptimizationService:
         if self.cache is not None:
             misses = len(representatives)
         todo = list(representatives.values())
+
+        # Quarantined fingerprints (plans that repeatedly broke the pool)
+        # fail up front instead of being handed another worker to kill.
+        pending: List[BatchJob] = []
+        for job in todo:
+            fp = fingerprints[job.job_id]
+            if self.quarantine.is_quarantined(fp):
+                outcomes[job.job_id] = JobOutcome(
+                    job.job_id,
+                    ok=False,
+                    error=(
+                        f"quarantined: implicated in "
+                        f"{self.quarantine.deaths(fp)} worker deaths"
+                    ),
+                    quarantined=True,
+                    tags=job.tags,
+                )
+                if tracer.enabled:
+                    tracer.count("serve.jobs_quarantined")
+            else:
+                pending.append(job)
+
         mode = "serial"
-        if self.workers > 1 and todo:
-            pool_outcomes = self._run_pool(todo, prepared, tracer)
-            if pool_outcomes is not None:
-                outcomes.update(pool_outcomes)
-                mode = "pool"
-        if mode == "serial":
-            outcomes.update(self._run_serial(todo, prepared, tracer))
+        attempt = 0
+        while pending:
+            # Jobs already implicated in a worker death are dispatched in
+            # isolation (their own pool) so a repeat offender only breaks
+            # itself: innocents that merely shared the broken pool get a
+            # clean round, succeed, and clear their tally instead of
+            # riding every crash to the quarantine threshold.
+            suspect_ids = {
+                job.job_id
+                for job in pending
+                if self.quarantine.deaths(fingerprints[job.job_id]) > 0
+            }
+            clean = [job for job in pending if job.job_id not in suspect_ids]
+            groups = ([clean] if clean else []) + [
+                [job] for job in pending if job.job_id in suspect_ids
+            ]
+            dispatched: Dict[str, JobOutcome] = {}
+            for group in groups:
+                got, used_mode = self._dispatch(group, prepared, tracer)
+                dispatched.update(got)
+                if used_mode == "pool":
+                    mode = "pool"
+            for job in pending:
+                outcome = dispatched[job.job_id]
+                outcome.attempts = attempt + 1
+                outcomes[job.job_id] = outcome
+                fp = fingerprints[job.job_id]
+                if outcome.worker_died:
+                    self.quarantine.record_worker_death(fp)
+                    if tracer.enabled:
+                        tracer.count("serve.worker_deaths")
+                elif outcome.ok:
+                    self.quarantine.record_success(fp)
+            if self.retry is None or attempt >= self.retry.max_retries:
+                break
+            retryable: List[BatchJob] = []
+            for job in pending:
+                outcome = outcomes[job.job_id]
+                if outcome.ok or outcome.timed_out:
+                    continue  # a timeout already consumed the job's budget
+                if self.quarantine.is_quarantined(fingerprints[job.job_id]):
+                    outcome.quarantined = True
+                    outcome.error = f"{outcome.error}; quarantined"
+                    if tracer.enabled:
+                        tracer.count("serve.jobs_quarantined")
+                    continue
+                retryable.append(job)
+            if not retryable:
+                break
+            attempt += 1
+            if tracer.enabled:
+                tracer.count("serve.jobs_retried", len(retryable))
+            delay = self.retry.delay_s(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            pending = retryable
 
         # Fill followers from their representative (a batch-local hit) and
         # publish fresh results to the cache.
@@ -417,6 +662,17 @@ class BatchOptimizationService:
                     )
         ordered = [outcomes[job.job_id] for job in jobs]
         return ordered, hits, misses, mode
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, todo: List[BatchJob], prepared: Dict[str, LogicalPlan], tracer
+    ):
+        """One dispatch round: the pool when configured, serial otherwise."""
+        if self.workers > 1 and todo:
+            pool_outcomes = self._run_pool(todo, prepared, tracer)
+            if pool_outcomes is not None:
+                return pool_outcomes, "pool"
+        return self._run_serial(todo, prepared, tracer), "serial"
 
     # ------------------------------------------------------------------
     def _run_serial(
@@ -458,8 +714,9 @@ class BatchOptimizationService:
 
         The fallback triggers only for infrastructure failures (an
         unpicklable factory, a pool that cannot start). A *broken* pool
-        mid-run fails the unfinished jobs' outcomes instead of retrying:
-        the broken worker already consumed their budget once.
+        mid-run fails the unfinished jobs' outcomes with
+        ``worker_died=True`` — the service's retry/quarantine layer
+        decides whether they get a fresh pool.
         """
         from repro.rheem.serialization import plan_to_json
 
@@ -470,6 +727,11 @@ class BatchOptimizationService:
                 tracer.event("serve.pool.fallback", reason=f"unpicklable factory: {exc}")
             return None
         outcomes: Dict[str, JobOutcome] = {}
+        # The per-job budget starts *here*, before the executor exists:
+        # pool spawn and worker initialization (the optimizer factory,
+        # which may load a model from disk) count against the timeout, so
+        # a hanging construction cannot stall the batch unboundedly.
+        submitted = time.perf_counter()
         try:
             executor = ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -484,15 +746,21 @@ class BatchOptimizationService:
         with tracer.span("serve.pool", workers=self.workers, n_jobs=len(todo)):
             try:
                 futures = []
-                submitted = time.perf_counter()
                 for job in todo:
                     payload = plan_to_json(prepared[job.job_id], indent=0)
                     futures.append((job, executor.submit(_worker_run, job.job_id, payload)))
                 for job, future in futures:
                     t0 = time.perf_counter()
                     if broken is not None:
+                        # In flight when the pool broke: implicated in the
+                        # worker death (the quarantine sorts out who is
+                        # actually poisonous across retries).
                         outcomes[job.job_id] = JobOutcome(
-                            job.job_id, ok=False, error=broken, tags=job.tags
+                            job.job_id,
+                            ok=False,
+                            error=broken,
+                            worker_died=True,
+                            tags=job.tags,
                         )
                         continue
                     try:
@@ -516,6 +784,7 @@ class BatchOptimizationService:
                             ok=False,
                             error=f"timeout after {self.timeout_s}s",
                             duration_s=time.perf_counter() - t0,
+                            timed_out=True,
                             tags=job.tags,
                         )
                         if tracer.enabled:
@@ -523,7 +792,11 @@ class BatchOptimizationService:
                     except BrokenProcessPool as exc:
                         broken = f"BrokenProcessPool: {exc}"
                         outcomes[job.job_id] = JobOutcome(
-                            job.job_id, ok=False, error=broken, tags=job.tags
+                            job.job_id,
+                            ok=False,
+                            error=broken,
+                            worker_died=True,
+                            tags=job.tags,
                         )
                     except Exception as exc:
                         outcomes[job.job_id] = JobOutcome(

@@ -185,35 +185,78 @@ class PlanCache:
 
         Entries persisted under a different fingerprint scheme version are
         dropped (they would never match a freshly computed key anyway).
+
+        A cache file is an *optimization*, never a point of failure: an
+        unreadable, truncated or otherwise corrupt document (the classic
+        crash-during-write artifact) yields an **empty** cache and bumps
+        the ``serve.cache.load_corrupt`` counter; individually malformed
+        entries are skipped the same way while the rest load. Only an
+        explicit, well-formed version field we do not support still
+        raises — silently discarding a future format would hide a real
+        deployment error.
         """
         from repro.rheem.serialization import execution_plan_from_dict
 
-        doc = json.loads(Path(path).read_text())
-        if doc.get("version") != CACHE_FORMAT_VERSION:
+        tracer = current_tracer()
+
+        def corrupt(detail: str) -> "PlanCache":
+            if tracer.enabled:
+                tracer.count("serve.cache.load_corrupt")
+                tracer.event("serve.cache.corrupt", path=str(path), detail=detail)
+            return cls(
+                max_entries=max_entries if max_entries is not None else 256,
+                copy_results=copy_results,
+            )
+
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            return corrupt(f"{type(exc).__name__}: {exc}")
+        if not isinstance(doc, dict):
+            return corrupt(f"expected a JSON object, got {type(doc).__name__}")
+        if "version" in doc and doc["version"] != CACHE_FORMAT_VERSION:
             raise ReproError(
                 f"unsupported cache format version {doc.get('version')!r} "
                 f"(expected {CACHE_FORMAT_VERSION})"
             )
+        if "version" not in doc:
+            return corrupt("missing version field")
+        try:
+            declared_max = int(doc.get("max_entries", 256))
+        except (TypeError, ValueError):
+            declared_max = 256
         cache = cls(
-            max_entries=max_entries
-            if max_entries is not None
-            else int(doc.get("max_entries", 256)),
+            max_entries=max_entries if max_entries is not None else declared_max,
             copy_results=copy_results,
         )
         if doc.get("fingerprint_version") != FINGERPRINT_VERSION:
             return cache
-        for entry in doc.get("entries", []):
-            result = OptimizationResult(
-                execution_plan=execution_plan_from_dict(
-                    entry["execution_plan"], registry
-                ),
-                predicted_runtime=float(entry["predicted_runtime"]),
-                stats=RunStats(),
-                optimizer=entry.get("optimizer", ""),
-            )
+        entries = doc.get("entries", [])
+        if not isinstance(entries, list):
+            return corrupt(f"entries is {type(entries).__name__}, not a list")
+        for entry in entries:
+            try:
+                fingerprint = entry["fingerprint"]
+                result = OptimizationResult(
+                    execution_plan=execution_plan_from_dict(
+                        entry["execution_plan"], registry
+                    ),
+                    predicted_runtime=float(entry["predicted_runtime"]),
+                    stats=RunStats(),
+                    optimizer=entry.get("optimizer", ""),
+                )
+            except Exception as exc:
+                if tracer.enabled:
+                    tracer.count("serve.cache.load_corrupt")
+                    tracer.event(
+                        "serve.cache.corrupt",
+                        path=str(path),
+                        detail=f"entry: {type(exc).__name__}: {exc}",
+                    )
+                continue
             # Bypass put(): loading must not inflate the put/eviction
             # stats of the new cache's lifetime.
-            cache._entries[entry["fingerprint"]] = result
+            cache._entries[fingerprint] = result
             while len(cache._entries) > cache.max_entries:
                 cache._entries.popitem(last=False)
         return cache

@@ -24,10 +24,13 @@ __all__ = [
     "FlakyOptimizer",
     "CrashingOptimizer",
     "SleepyOptimizer",
+    "TransientOptimizer",
     "linear_robopt_factory",
     "flaky_robopt_factory",
     "crashing_robopt_factory",
     "sleepy_robopt_factory",
+    "transient_robopt_factory",
+    "slow_init_robopt_factory",
 ]
 
 
@@ -124,6 +127,53 @@ class SleepyOptimizer:
         return self.inner.optimize(plan)
 
 
+class TransientOptimizer:
+    """Delegates to an inner optimizer; fails each marked plan N times.
+
+    Plans whose name contains ``trigger`` (default ``"transient"``) raise
+    ``RuntimeError`` on their first ``fail_times`` attempts, then succeed
+    — the hook of the retry-with-backoff tests. Attempt counts are kept
+    as marker files under ``state_dir`` so they survive worker restarts
+    and are shared across pool processes.
+    """
+
+    def __init__(
+        self,
+        inner: Optimizer,
+        state_dir: str,
+        fail_times: int = 1,
+        trigger: str = "transient",
+    ):
+        self.inner = inner
+        self.state_dir = state_dir
+        self.fail_times = fail_times
+        self.trigger = trigger
+
+    @property
+    def registry(self):
+        return self.inner.registry
+
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+        if self.trigger in plan.name:
+            import os
+
+            os.makedirs(self.state_dir, exist_ok=True)
+            safe = "".join(c if c.isalnum() else "_" for c in plan.name)
+            attempts = len(
+                [f for f in os.listdir(self.state_dir) if f.startswith(safe + ".")]
+            )
+            if attempts < self.fail_times:
+                with open(
+                    os.path.join(self.state_dir, f"{safe}.{attempts}"), "w"
+                ):
+                    pass
+                raise RuntimeError(
+                    f"transient failure {attempts + 1}/{self.fail_times} "
+                    f"for plan {plan.name!r}"
+                )
+        return self.inner.optimize(plan)
+
+
 # ---------------------------------------------------------------------------
 # Picklable factories (functools.partial over these module-level builders
 # pickles by reference; the pool rebuilds the stack inside each worker).
@@ -193,3 +243,43 @@ def sleepy_robopt_factory(
     import functools
 
     return functools.partial(_build_sleepy, platforms, seed, sleep_s, trigger)
+
+
+def _build_transient(platforms, seed: int, state_dir: str, fail_times: int, trigger: str):
+    return TransientOptimizer(
+        _build_linear_robopt(platforms, seed, "robopt"), state_dir, fail_times, trigger
+    )
+
+
+def transient_robopt_factory(
+    platforms=("java", "spark", "flink"),
+    seed: int = 0,
+    state_dir: str = ".",
+    fail_times: int = 1,
+    trigger: str = "transient",
+):
+    """Factory for a transiently-failing linear Robopt (see TransientOptimizer)."""
+    import functools
+
+    return functools.partial(
+        _build_transient, platforms, seed, state_dir, fail_times, trigger
+    )
+
+
+def _build_slow_init(platforms, seed: int, init_sleep_s: float):
+    time.sleep(init_sleep_s)
+    return _build_linear_robopt(platforms, seed, "robopt")
+
+
+def slow_init_robopt_factory(
+    platforms=("java", "spark", "flink"), seed: int = 0, init_sleep_s: float = 5.0
+):
+    """Factory whose *construction* blocks for ``init_sleep_s`` seconds.
+
+    The hook of the timeout-covers-construction tests: worker
+    initialization runs the factory, so a per-job timeout must start
+    ticking before the pool (and this sleep) exists.
+    """
+    import functools
+
+    return functools.partial(_build_slow_init, platforms, seed, init_sleep_s)

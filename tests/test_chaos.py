@@ -1,0 +1,437 @@
+"""The fault-injection harness and the service's behaviour under it.
+
+Chaos is only useful if it is *deterministic*: every injected fault is a
+pure function of ``(profile seed, decision token)``, so a failing chaos
+run replays exactly. This suite checks the injector's determinism, each
+wrapper's fault taxonomy, and the end-to-end contracts the harness
+exists to demonstrate:
+
+* a 100% model outage costs plan *fidelity*, never batch availability
+  (zero failed jobs — the fallback chain absorbs every prediction);
+* transient faults are retried with backoff and succeed;
+* poisoned plans that keep killing workers are quarantined while
+  innocent bystanders of the broken pool are exonerated and complete;
+* a hanging optimizer *construction* is bounded by the per-job timeout;
+* corrupt caches and malformed job rows degrade per-row, not per-batch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience import (
+    ChaosProfile,
+    ChaoticModel,
+    ChaoticOptimizer,
+    FaultInjector,
+    PROFILES,
+    RetryPolicy,
+    corrupt_cache_file,
+)
+from repro.resilience.chaos import InjectedFault
+from repro.rheem.platforms import synthetic_registry
+from repro.serve import BatchJob, BatchOptimizationService, resilient_robopt_factory
+from repro.serve.testing import (
+    crashing_robopt_factory,
+    slow_init_robopt_factory,
+    transient_robopt_factory,
+)
+
+from conftest import build_join_plan, build_pipeline
+
+N_PLATFORMS = 2
+
+
+def _named(plan, name):
+    plan.name = name
+    return plan
+
+
+@pytest.fixture
+def registry():
+    return synthetic_registry(N_PLATFORMS)
+
+
+# ---------------------------------------------------------------------------
+# Profiles and the injector
+# ---------------------------------------------------------------------------
+
+
+class TestChaosProfile:
+    def test_presets_parse(self):
+        for name in PROFILES:
+            assert ChaosProfile.parse(name) == PROFILES[name]
+
+    def test_preset_with_overrides(self):
+        profile = ChaosProfile.parse("model-outage,seed=7,latency_ms=5")
+        assert profile.model_failure_rate == 1.0
+        assert profile.seed == 7
+        assert profile.latency_ms == 5.0
+
+    def test_bare_spec(self):
+        profile = ChaosProfile.parse("model_failure_rate=0.5,seed=3")
+        assert profile.model_failure_rate == 0.5
+        assert profile.seed == 3
+
+    def test_unknown_preset_and_field_rejected(self):
+        with pytest.raises(ReproError):
+            ChaosProfile.parse("tornado")
+        with pytest.raises(ReproError):
+            ChaosProfile.parse("gremlin_rate=1.0")
+
+    def test_rate_validation(self):
+        with pytest.raises(ReproError):
+            ChaosProfile(model_failure_rate=1.5)
+        with pytest.raises(ReproError):
+            ChaosProfile(latency_ms=-1.0)
+
+    def test_inert(self):
+        assert ChaosProfile().inert
+        assert not PROFILES["model-outage"].inert
+        assert not PROFILES["slow-model"].inert
+
+
+class TestFaultInjector:
+    def test_deterministic_across_instances(self):
+        a = FaultInjector(ChaosProfile(seed=5, model_failure_rate=0.4))
+        b = FaultInjector(ChaosProfile(seed=5, model_failure_rate=0.4))
+        tokens = [f"tok{i}" for i in range(64)]
+        assert [a.model_fails(t) for t in tokens] == [b.model_fails(t) for t in tokens]
+
+    def test_seed_changes_decisions(self):
+        tokens = [f"tok{i}" for i in range(128)]
+        a = FaultInjector(ChaosProfile(seed=0, model_failure_rate=0.5))
+        b = FaultInjector(ChaosProfile(seed=1, model_failure_rate=0.5))
+        assert [a.model_fails(t) for t in tokens] != [b.model_fails(t) for t in tokens]
+
+    def test_rate_extremes(self):
+        injector = FaultInjector(ChaosProfile(worker_death_rate=1.0))
+        assert injector.worker_dies("anything")
+        assert not injector.model_fails("anything")  # rate 0
+
+    def test_partial_rate_fires_partially(self):
+        injector = FaultInjector(ChaosProfile(seed=2, model_failure_rate=0.3))
+        fired = sum(injector.model_fails(f"t{i}") for i in range(200))
+        assert 20 < fired < 120  # ~60 expected; just not all-or-nothing
+
+    def test_latency(self):
+        quiet = FaultInjector(ChaosProfile())
+        assert quiet.latency_s("x") == 0.0
+        slow = FaultInjector(ChaosProfile(latency_ms=20.0))
+        assert slow.latency_s("x") == pytest.approx(0.02)
+
+
+# ---------------------------------------------------------------------------
+# The wrappers
+# ---------------------------------------------------------------------------
+
+
+class _ConstantModel:
+    def predict(self, X):
+        return np.ones(np.asarray(X).shape[0])
+
+
+class TestChaoticModel:
+    def test_outage_raises_injected_fault(self):
+        model = ChaoticModel(
+            _ConstantModel(), FaultInjector(PROFILES["model-outage"])
+        )
+        with pytest.raises(InjectedFault):
+            model.predict(np.ones((2, 3)))
+
+    def test_nan_storm_poisons_output(self):
+        model = ChaoticModel(_ConstantModel(), FaultInjector(PROFILES["nan-storm"]))
+        out = model.predict(np.ones((3, 3)))
+        assert np.all(np.isnan(out))
+
+    def test_flaky_sequence_is_reproducible(self):
+        def sequence():
+            model = ChaoticModel(
+                _ConstantModel(),
+                FaultInjector(ChaosProfile(seed=9, model_failure_rate=0.4)),
+            )
+            outcomes = []
+            for _ in range(32):
+                try:
+                    model.predict(np.ones((1, 3)))
+                    outcomes.append("ok")
+                except InjectedFault:
+                    outcomes.append("fail")
+            return outcomes
+
+        first = sequence()
+        assert first == sequence()
+        assert "ok" in first and "fail" in first
+
+
+class TestChaoticOptimizer:
+    def test_serial_worker_death_is_a_raised_fault(self, registry):
+        """In the main process an injected worker death must not actually
+        exit — it surfaces as a job failure the service can retry."""
+        from repro.core.features import FeatureSchema
+        from repro.core.optimizer import Robopt
+        from repro.serve.testing import LinearRuntimeModel
+
+        schema = FeatureSchema(registry)
+        inner = Robopt(
+            registry, LinearRuntimeModel(schema.n_features), schema=schema
+        )
+        chaotic = ChaoticOptimizer(
+            inner, FaultInjector(ChaosProfile(worker_death_rate=1.0))
+        )
+        with pytest.raises(InjectedFault, match="worker death"):
+            chaotic.optimize(build_pipeline(2))
+
+    def test_no_faults_passes_through(self, registry):
+        from repro.core.features import FeatureSchema
+        from repro.core.optimizer import Robopt
+        from repro.serve.testing import LinearRuntimeModel
+
+        schema = FeatureSchema(registry)
+        inner = Robopt(
+            registry, LinearRuntimeModel(schema.n_features), schema=schema
+        )
+        chaotic = ChaoticOptimizer(inner, FaultInjector(ChaosProfile()))
+        plan = build_pipeline(2)
+        assert (
+            chaotic.optimize(plan).execution_plan.assignment
+            == inner.optimize(plan).execution_plan.assignment
+        )
+
+
+class TestCorruptCacheFile:
+    def test_truncates_at_rate_one(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 1, "entries": []}))
+        before = len(path.read_bytes())
+        assert corrupt_cache_file(
+            path, FaultInjector(PROFILES["cache-corruption"])
+        )
+        assert len(path.read_bytes()) < before
+
+    def test_noop_at_rate_zero_or_missing_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        assert not corrupt_cache_file(path, FaultInjector(ChaosProfile()))
+        path.write_text("{}")
+        assert not corrupt_cache_file(path, FaultInjector(ChaosProfile()))
+        assert path.read_text() == "{}"
+
+
+# ---------------------------------------------------------------------------
+# The service under chaos
+# ---------------------------------------------------------------------------
+
+
+def _jobs(n=6):
+    jobs = [BatchJob(f"p{i}", build_pipeline(2 + i % 3)) for i in range(n - 1)]
+    jobs.append(BatchJob("join", build_join_plan()))
+    return jobs
+
+
+class TestServiceUnderChaos:
+    def test_model_outage_zero_batch_failures(self, registry):
+        """The ISSUE acceptance bar: an always-failing ML model costs plan
+        fidelity, never availability."""
+        factory = resilient_robopt_factory(
+            platforms=N_PLATFORMS, chaos=PROFILES["model-outage"]
+        )
+        service = BatchOptimizationService(factory, registry, workers=0)
+        report = service.optimize_batch(_jobs())
+        assert report.n_failed == 0
+        for outcome in report.outcomes:
+            assert outcome.ok, outcome.error
+            assert outcome.result.execution_plan is not None
+
+    def test_nan_storm_zero_batch_failures(self, registry):
+        factory = resilient_robopt_factory(
+            platforms=N_PLATFORMS, chaos=PROFILES["nan-storm"]
+        )
+        service = BatchOptimizationService(factory, registry, workers=0)
+        assert service.optimize_batch(_jobs()).n_failed == 0
+
+    def test_deadline_degrades_every_job_completely(self, registry):
+        factory = resilient_robopt_factory(platforms=N_PLATFORMS, deadline_s=0.0)
+        service = BatchOptimizationService(factory, registry, workers=0)
+        report = service.optimize_batch(_jobs())
+        assert report.n_failed == 0
+        assert report.n_degraded == report.n_jobs
+        for outcome in report.outcomes:
+            plan_ops = set(outcome.result.execution_plan.plan.operators)
+            assert set(outcome.result.execution_plan.assignment) == plan_ops
+
+    def test_serial_worker_deaths_fail_jobs_not_the_service(self, registry):
+        """With worker_death_rate=1.0 in serial mode every job fails (as a
+        raised InjectedFault) but the batch — and the process — survive."""
+        factory = resilient_robopt_factory(
+            platforms=N_PLATFORMS, chaos=ChaosProfile(worker_death_rate=1.0)
+        )
+        service = BatchOptimizationService(factory, registry, workers=0)
+        report = service.optimize_batch(_jobs(4))
+        assert report.n_failed == report.n_jobs
+        assert all("worker death" in o.error for o in report.outcomes)
+
+    def test_transient_failures_recover_via_retry(self, registry, tmp_path):
+        factory = transient_robopt_factory(
+            platforms=N_PLATFORMS, state_dir=str(tmp_path), fail_times=1
+        )
+        service = BatchOptimizationService(
+            factory,
+            registry,
+            workers=0,
+            retry=RetryPolicy(max_retries=2, base_backoff_s=0.0, jitter=0.0),
+        )
+        jobs = [
+            BatchJob("stable", build_pipeline(2)),
+            BatchJob("shaky", _named(build_pipeline(3), "transient-blip")),
+        ]
+        report = service.optimize_batch(jobs)
+        by_id = {o.job_id: o for o in report.outcomes}
+        assert by_id["stable"].ok and by_id["stable"].attempts == 1
+        assert by_id["shaky"].ok and by_id["shaky"].attempts == 2
+        assert report.n_retried == 1
+
+    def test_no_retries_without_policy(self, registry, tmp_path):
+        factory = transient_robopt_factory(
+            platforms=N_PLATFORMS, state_dir=str(tmp_path), fail_times=1
+        )
+        service = BatchOptimizationService(factory, registry, workers=0)
+        report = service.optimize_batch(
+            [BatchJob("shaky", _named(build_pipeline(3), "transient-blip"))]
+        )
+        assert report.n_failed == 1
+        assert report.outcomes[0].attempts == 1
+
+    def test_poisoned_plan_quarantined_innocents_exonerated(self, registry):
+        """A plan that kills its worker on every dispatch crosses the
+        quarantine threshold; jobs that merely shared its broken pool get
+        isolated retries and complete."""
+        factory = crashing_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(
+            factory,
+            registry,
+            workers=2,
+            retry=RetryPolicy(max_retries=3, base_backoff_s=0.0, jitter=0.0),
+            quarantine_after=2,
+        )
+        jobs = [
+            BatchJob("ok1", build_pipeline(2)),
+            BatchJob("bad", _named(build_pipeline(3), "crash-me")),
+            BatchJob("ok2", build_pipeline(4)),
+        ]
+        report = service.optimize_batch(jobs)
+        by_id = {o.job_id: o for o in report.outcomes}
+        assert not by_id["bad"].ok
+        assert by_id["bad"].quarantined
+        assert by_id["ok1"].ok and by_id["ok2"].ok
+        assert report.n_quarantined == 1
+        # The quarantine persists into the next batch: the poisoned plan is
+        # refused up front instead of being handed another worker.
+        again = service.optimize_batch(
+            [BatchJob("bad2", _named(build_pipeline(3), "crash-me"))]
+        )
+        assert again.outcomes[0].quarantined
+        assert "quarantined" in again.outcomes[0].error
+
+    def test_timeout_covers_optimizer_construction(self, registry):
+        """A factory that hangs during *construction* (worker init) must be
+        bounded by the per-job timeout, not stall the batch for its full
+        init sleep."""
+        import time
+
+        factory = slow_init_robopt_factory(platforms=N_PLATFORMS, init_sleep_s=6.0)
+        service = BatchOptimizationService(
+            factory, registry, workers=2, timeout_s=1.0
+        )
+        t0 = time.perf_counter()
+        report = service.optimize_batch([BatchJob("j", build_pipeline(2))])
+        elapsed = time.perf_counter() - t0
+        assert report.n_failed == 1
+        assert report.outcomes[0].timed_out
+        assert elapsed < 5.0  # nowhere near the 6s init sleep
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+
+class TestChaosCli:
+    def _write_jobs(self, tmp_path, n=3):
+        path = tmp_path / "jobs.jsonl"
+        rows = [
+            {"id": f"wc{i}", "workload": "WordCount", "size": f"{20 * (i + 1)}MB"}
+            for i in range(n)
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        return path
+
+    def test_chaos_model_outage_serves_every_job(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs = self._write_jobs(tmp_path)
+        out = tmp_path / "results.jsonl"
+        rc = main(
+            [
+                "optimize-batch",
+                "--jobs", str(jobs),
+                "--model", str(tmp_path / "missing.pkl"),
+                "--chaos-profile", "model-outage",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 3 and all(r["ok"] for r in rows)
+
+    def test_chaos_requires_resilience(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs = self._write_jobs(tmp_path)
+        rc = main(
+            [
+                "optimize-batch",
+                "--jobs", str(jobs),
+                "--model", str(tmp_path / "missing.pkl"),
+                "--chaos-profile", "model-outage",
+                "--no-resilience",
+            ]
+        )
+        assert rc != 0
+        assert "resilience" in capsys.readouterr().err
+
+    def test_env_seed_overrides_profile(self, monkeypatch):
+        import argparse
+
+        from repro.cli import _chaos_profile
+
+        args = argparse.Namespace(chaos_profile="model-flaky,seed=1")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "42")
+        assert _chaos_profile(args).seed == 42
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "not-a-seed")
+        with pytest.raises(ReproError):
+            _chaos_profile(args)
+        monkeypatch.delenv("REPRO_CHAOS_SEED")
+        assert _chaos_profile(args).seed == 1
+
+    def test_deadline_flag_marks_degraded_rows(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs = self._write_jobs(tmp_path, n=2)
+        out = tmp_path / "results.jsonl"
+        rc = main(
+            [
+                "optimize-batch",
+                "--jobs", str(jobs),
+                "--model", str(tmp_path / "missing.pkl"),
+                "--deadline-ms", "0",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert all(r["ok"] for r in rows)
+        assert all(r["degraded"] for r in rows)
