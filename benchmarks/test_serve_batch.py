@@ -10,22 +10,30 @@ situation the plan cache is built for) through
 * *batched serial* — the service with the fingerprint cache and
   singleton memoization (core-count independent: this is the ISSUE 4
   ">= 2x faster than serial" demonstration);
-* *pooled* — 4 process-pool workers plus the cache. Pool parallelism
-  only pays off with real cores, so the pooled speedup assertion scales
-  with the CPUs actually available to this process.
+* *pooled* — an auto-sized warm worker pool plus the cache. The pool is
+  sized from the CPUs actually available to this process (affinity /
+  cgroup aware), so a single-core box runs serially instead of
+  oversubscribing; a second batch on the cache-cleared service measures
+  how much the warm pool saves over the cold one.
 
-Records ``plans_per_sec``, cache hit rate and the speedups to the perf
-trajectory (``BENCH_*.json``); ``scripts/check_bench_regression.py``
-fails CI if ``plans_per_sec`` drops >30% against the previous entry.
+Records ``plans_per_sec``, cache hit rate, p50/p95/p99 per-job latency
+and the speedups to the perf trajectory (``BENCH_*.json``);
+``scripts/check_bench_regression.py`` fails CI if ``plans_per_sec``
+drops >30% or ``latency_p95_s`` regresses against the previous entry,
+and the tier-2 pool-bench job fails if ``pool_speedup`` falls to 1.0 or
+below on a multi-core runner.
 """
 
 from __future__ import annotations
 
-import os
-
 from repro.bench.trajectory import record as record_trajectory
 from repro.rheem.platforms import synthetic_registry
-from repro.serve import BatchJob, BatchOptimizationService, PlanCache
+from repro.serve import (
+    BatchJob,
+    BatchOptimizationService,
+    PlanCache,
+    available_cpus,
+)
 from repro.serve.testing import linear_robopt_factory
 from repro.tdgen.jobgen import JobGenerator
 
@@ -36,14 +44,6 @@ N_PLATFORMS = 7
 N_TEMPLATES = 25
 QUERIES_PER_TEMPLATE = 4
 N_JOBS = N_TEMPLATES * QUERIES_PER_TEMPLATE
-WORKERS = 4
-
-
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _batch_jobs():
@@ -83,12 +83,25 @@ def test_batch_throughput(report, trajectory):
     batched_report = batched.optimize_batch(_batch_jobs())
     assert batched_report.n_failed == 0
 
+    cpus = available_cpus()
+    # Auto-sized warm pool: workers = available CPUs, serial on one core.
     pooled = BatchOptimizationService(
-        factory, registry, workers=WORKERS, cache=PlanCache(max_entries=512)
+        factory, registry, workers=None, cache=PlanCache(max_entries=512)
     )
-    pooled_report = pooled.optimize_batch(_batch_jobs())
-    assert pooled_report.n_failed == 0
-    assert pooled_report.mode == "pool"
+    try:
+        pooled_report = pooled.optimize_batch(_batch_jobs())
+        assert pooled_report.n_failed == 0
+        assert pooled_report.mode == ("pool" if cpus > 1 else "serial")
+
+        # A second batch on the cache-cleared service re-optimizes every
+        # representative on the already-warm pool: cold/warm isolates the
+        # one-time pool spawn + worker init cost the warm architecture
+        # amortizes across batches.
+        pooled.cache.clear()
+        warm_report = pooled.optimize_batch(_batch_jobs())
+        assert warm_report.n_failed == 0
+    finally:
+        pooled.close()
 
     # Identical decisions regardless of execution mode.
     for a, b, c in zip(
@@ -99,7 +112,8 @@ def test_batch_throughput(report, trajectory):
 
     speedup = naive_report.wall_s / max(batched_report.wall_s, 1e-9)
     pool_speedup = naive_report.wall_s / max(pooled_report.wall_s, 1e-9)
-    cpus = _available_cpus()
+    pool_warm_speedup = pooled_report.wall_s / max(warm_report.wall_s, 1e-9)
+    tails = pooled_report.latency_percentiles()
     report(
         "Batch service throughput (100-plan TDGEN batch)",
         ["mode", "wall_s", "plans/s", "cache hit rate"],
@@ -109,13 +123,22 @@ def test_batch_throughput(report, trajectory):
             ["batched serial + cache", f"{batched_report.wall_s:.2f}",
              f"{batched_report.plans_per_sec:.1f}",
              f"{batched_report.cache_hit_rate:.0%}"],
-            [f"pool x{WORKERS} + cache", f"{pooled_report.wall_s:.2f}",
+            [f"pool x{pooled_report.workers_requested} + cache (cold)",
+             f"{pooled_report.wall_s:.2f}",
              f"{pooled_report.plans_per_sec:.1f}",
              f"{pooled_report.cache_hit_rate:.0%}"],
+            [f"pool x{pooled_report.workers_requested} + cache (warm)",
+             f"{warm_report.wall_s:.2f}",
+             f"{warm_report.plans_per_sec:.1f}",
+             f"{warm_report.cache_hit_rate:.0%}"],
         ],
         note=(
-            f"batched {speedup:.2f}x, pooled {pool_speedup:.2f}x vs naive "
-            f"(ISSUE 4 target: >= 2x; {cpus} CPU(s) available)"
+            f"batched {speedup:.2f}x, pooled {pool_speedup:.2f}x vs naive, "
+            f"warm pool {pool_warm_speedup:.2f}x vs cold; "
+            f"p50/p95/p99 {tails['p50'] * 1000:.0f}/{tails['p95'] * 1000:.0f}/"
+            f"{tails['p99'] * 1000:.0f} ms "
+            f"({cpus} CPU(s), workers {pooled_report.workers}"
+            f"/{pooled_report.workers_requested} effective/requested)"
         ),
     )
     metrics = {
@@ -124,9 +147,14 @@ def test_batch_throughput(report, trajectory):
         "naive_plans_per_sec": naive_report.plans_per_sec,
         "speedup": speedup,
         "pool_speedup": pool_speedup,
+        "pool_warm_speedup": pool_warm_speedup,
+        "latency_p50_s": tails["p50"],
+        "latency_p95_s": tails["p95"],
+        "latency_p99_s": tails["p99"],
         "cache_hit_rate": batched_report.cache_hit_rate,
         "n_jobs": batched_report.n_jobs,
-        "workers": WORKERS,
+        "workers": pooled_report.workers,
+        "workers_requested": pooled_report.workers_requested,
         "cpus": cpus,
     }
     trajectory(metrics, meta={"platforms": N_PLATFORMS})
@@ -137,9 +165,12 @@ def test_batch_throughput(report, trajectory):
     # The ISSUE 4 acceptance bar: the batch path (cache + memoization)
     # must be >= 2x faster than naive one-at-a-time optimization.
     assert speedup >= 2.0
-    # Pool parallelism needs real cores. On a single-core box forking 4
-    # workers is pure overhead (the number is recorded, not asserted);
-    # with >= 4 CPUs the pooled path must clear the bar too.
+    # Pool parallelism needs real cores: on a single-core box auto-sizing
+    # already degrades to serial, and on a multi-core one the warm pool
+    # must actually beat naive serial (the ISSUE 6 regression gate) —
+    # with >= 4 CPUs it must clear the original 2x bar as well.
+    if cpus >= 2:
+        assert pool_speedup > 1.0
     if cpus >= 4:
         assert pool_speedup >= 2.0
 

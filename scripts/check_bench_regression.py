@@ -18,13 +18,27 @@ metric — the same-run fractional throughput cost of the resilience
 armor versus the plain stack under zero faults. An overhead above the
 bound (ISSUE 5: 5%) exits non-zero.
 
+``--latency-tolerance`` adds a tail-latency gate (ISSUE 6): the latest
+``--latency-metric`` (default ``latency_p95_s``) may not *rise* by more
+than the given fraction vs the previous entry — a serving layer is
+judged on its tail, not just its mean throughput.
+
+``--min-pool-speedup`` gates the latest entry's ``pool_speedup`` (the
+warm-pool-vs-naive-serial ratio recorded by the throughput benchmark):
+on a multi-core runner (the entry's ``cpus`` metric >= 2) a pool that
+fails to beat serial is the ISSUE 6 regression, and CI fails. On a
+single-core runner the gate is skipped — there is nothing for a pool to
+win there.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
     PYTHONPATH=src python scripts/check_bench_regression.py \
         --name serve.optimize_batch --metric plans_per_sec --tolerance 0.3
     PYTHONPATH=src python scripts/check_bench_regression.py \
-        --max-overhead 0.05
+        --max-overhead 0.05 --latency-tolerance 0.5
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        --min-pool-speedup 1.0
 """
 
 from __future__ import annotations
@@ -58,12 +72,48 @@ def main(argv=None) -> int:
             "exceeds this fraction (e.g. 0.05)"
         ),
     )
+    parser.add_argument(
+        "--latency-metric",
+        default="latency_p95_s",
+        help="tail-latency metric the latency gate compares",
+    )
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest tail latency rose by more than "
+            "this fraction vs the previous entry (e.g. 0.5)"
+        ),
+    )
+    parser.add_argument(
+        "--min-pool-speedup",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest entry's pool_speedup is <= this "
+            "bound while its cpus metric is >= 2 (skipped on single-core "
+            "entries)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.trajectory import series
 
     if args.max_overhead is not None:
         rc = check_overhead(args.overhead_name, args.max_overhead, args.root)
+        if rc != 0:
+            return rc
+
+    if args.min_pool_speedup is not None:
+        rc = check_pool_speedup(args.name, args.min_pool_speedup, args.root)
+        if rc != 0:
+            return rc
+
+    if args.latency_tolerance is not None:
+        rc = check_latency(
+            args.name, args.latency_metric, args.latency_tolerance, args.root
+        )
         if rc != 0:
             return rc
 
@@ -124,6 +174,91 @@ def check_overhead(name: str, max_overhead: float, root=None) -> int:
         print(
             f"bench-regression: resilience armor costs {overhead:.1%} "
             f"throughput under zero faults (> {max_overhead:.0%} bound)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_latency(name: str, metric: str, tolerance: float, root=None) -> int:
+    """Gate tail-latency rises between the last two recorded entries.
+
+    Mirrors the throughput gate with the sign flipped: latency that
+    *rose* by more than ``tolerance`` fails. Sub-millisecond previous
+    values are skipped — a ratio against noise-floor numbers gates
+    nothing but timer jitter.
+    """
+    from repro.bench.trajectory import series
+
+    entries = series(name, metric=metric, root=root)
+    if len(entries) < 2:
+        print(
+            f"bench-regression: only {len(entries)} entry/ies carry "
+            f"{metric!r} — latency baseline established, nothing to compare"
+        )
+        return 0
+    previous = entries[-2]["metrics"][metric]
+    latest = entries[-1]["metrics"][metric]
+    if previous is None or latest is None or previous < 1e-3:
+        print(
+            f"bench-regression: {metric} non-comparable "
+            f"({previous!r} -> {latest!r}), latency gate skipped"
+        )
+        return 0
+    rise = (latest - previous) / previous
+    verdict = "OK" if rise <= tolerance else "REGRESSION"
+    print(
+        f"bench-regression: {name}.{metric} "
+        f"{previous * 1000:.1f}ms -> {latest * 1000:.1f}ms "
+        f"({rise:+.1%}) [{verdict}]"
+    )
+    if rise > tolerance:
+        print(
+            f"bench-regression: tail latency rose {rise:.1%} "
+            f"(> {tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_pool_speedup(name: str, bound: float, root=None) -> int:
+    """Gate the warm pool actually beating naive serial on real cores.
+
+    Reads the latest entry carrying ``pool_speedup``. The gate only
+    applies when that run had >= 2 CPUs (its ``cpus`` metric): a pool
+    cannot win on one core, and auto-sizing runs serially there anyway.
+    """
+    from repro.bench.trajectory import series
+
+    entries = series(name, metric="pool_speedup", root=root)
+    if not entries:
+        print(
+            f"bench-regression: no entries for {name!r} carry pool_speedup "
+            "— pool gate skipped (benchmark not yet recorded)"
+        )
+        return 0
+    metrics = entries[-1]["metrics"]
+    speedup = metrics.get("pool_speedup")
+    cpus = metrics.get("cpus") or 0
+    if speedup is None:
+        print(f"bench-regression: latest {name!r} entry has no pool_speedup")
+        return 0
+    if cpus < 2:
+        print(
+            f"bench-regression: latest {name!r} entry ran on {cpus} CPU(s) "
+            "— pool gate skipped (a pool cannot win on one core)"
+        )
+        return 0
+    verdict = "OK" if speedup > bound else "REGRESSION"
+    print(
+        f"bench-regression: {name}.pool_speedup {speedup:.2f}x on "
+        f"{cpus:.0f} CPUs (bound > {bound:.2f}x) [{verdict}]"
+    )
+    if speedup <= bound:
+        print(
+            f"bench-regression: the worker pool is not beating serial "
+            f"({speedup:.2f}x <= {bound:.2f}x) on a multi-core runner",
             file=sys.stderr,
         )
         return 1

@@ -42,6 +42,13 @@ def _registry(names: str):
     return default_registry(tuple(n.strip() for n in names.split(",")))
 
 
+def _workers_arg(text: str) -> Optional[int]:
+    """``--workers`` value: an int, or ``auto`` (None → CPU-aware sizing)."""
+    if text.strip().lower() == "auto":
+        return None
+    return int(text)
+
+
 def _workload_plan(name: str, size_bytes: Optional[float], args):
     from repro.workloads import TABLE2
 
@@ -355,8 +362,11 @@ def cmd_optimize_batch(args) -> int:
         retry=retry,
         quarantine_after=args.quarantine_after,
     )
-    with _maybe_trace(args):
-        report = service.optimize_batch(jobs) if jobs else None
+    try:
+        with _maybe_trace(args):
+            report = service.optimize_batch(jobs) if jobs else None
+    finally:
+        service.close()
     rows = list(error_rows)
     outcomes = report.outcomes if report is not None else []
     for outcome in outcomes:
@@ -406,18 +416,29 @@ def cmd_optimize_batch(args) -> int:
                 f", degraded={report.n_degraded} retried={report.n_retried} "
                 f"quarantined={report.n_quarantined}"
             )
+        tails = report.latency_percentiles()
         print(
             f"batch: {report.n_ok}/{report.n_jobs} ok in {report.wall_s:.2f}s "
             f"({report.plans_per_sec:.1f} plans/s, mode={report.mode}, "
+            f"workers={report.workers}/{report.workers_requested}, "
             f"cache hit rate {report.cache_hit_rate:.0%}{extras})"
+        )
+        print(
+            "latency: "
+            f"p50={tails['p50'] * 1000:.1f}ms "
+            f"p95={tails['p95'] * 1000:.1f}ms "
+            f"p99={tails['p99'] * 1000:.1f}ms"
         )
         if n_bad_rows:
             print(f"rejected {n_bad_rows} malformed job rows (see result rows)")
-        trajectory.record(
-            "serve.optimize_batch",
-            metrics,
-            meta={"jobs_file": args.jobs, "mode": report.mode},
-        )
+        # Test-driven CLI runs must not pollute the persistent bench
+        # trajectory with pytest-tmp job files; --bench-record re-enables.
+        if args.bench_record or not trajectory.under_pytest():
+            trajectory.record(
+                "serve.optimize_batch",
+                metrics,
+                meta={"jobs_file": args.jobs, "mode": report.mode},
+            )
     else:
         print(f"batch: 0 runnable jobs; rejected {n_bad_rows} malformed rows")
     if cache is not None and args.cache:
@@ -514,7 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--model", required=True)
     batch.add_argument("--platforms", default="java,spark,flink")
     batch.add_argument("--priority", default="robopt")
-    batch.add_argument("--workers", type=int, default=0, help="process count (0 = serial)")
+    batch.add_argument(
+        "--workers", type=_workers_arg, default=None, metavar="N|auto",
+        help="process count: 'auto' (default) sizes the warm pool from the "
+        "CPUs actually available to this process, 0 forces serial",
+    )
     batch.add_argument(
         "--timeout", type=float, default=None, help="per-job timeout in seconds (pool mode)"
     )
@@ -551,6 +576,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--no-resilience", action="store_true",
         help="use the bare optimizer stack (no fallback chain or budget)",
+    )
+    batch.add_argument(
+        "--bench-record", action="store_true",
+        help="record trajectory metrics even when invoked from a test "
+        "(recording is suppressed under pytest by default)",
     )
     batch.set_defaults(func=cmd_optimize_batch)
 

@@ -11,8 +11,10 @@ subpackage provides the batch layer on top of any
 * :mod:`repro.serve.cache` — the fingerprint-keyed LRU
   :class:`PlanCache` with hit/miss counters and JSON persistence;
 * :mod:`repro.serve.batch` — :class:`BatchOptimizationService`:
-  process-pool parallelism, per-job timeouts, graceful serial fallback,
-  within-batch deduplication and singleton-enumeration memoization;
+  warm-worker process-pool parallelism (CPU-affinity-aware sizing,
+  workers initialized once and reused across batches), per-job timeouts,
+  graceful serial fallback, within-batch and in-flight deduplication,
+  singleton-enumeration memoization, and tail-latency percentiles;
 * :mod:`repro.serve.testing` — picklable deterministic doubles for the
   differential and concurrency suites.
 
@@ -26,6 +28,7 @@ from repro.serve.batch import (
     BatchOptimizationService,
     BatchReport,
     JobOutcome,
+    available_cpus,
     resilient_robopt_factory,
     robopt_factory,
 )
@@ -37,6 +40,7 @@ __all__ = [
     "BatchOptimizationService",
     "BatchReport",
     "JobOutcome",
+    "available_cpus",
     "robopt_factory",
     "resilient_robopt_factory",
     "PlanCache",

@@ -4,23 +4,40 @@
 optionally with a per-job input-size override — the "stats" of a job)
 and drives them through any :class:`repro.api.Optimizer`:
 
-* **Parallelism** — a :class:`concurrent.futures.ProcessPoolExecutor`
-  with a configurable worker count. Jobs ship to workers as the exact
-  JSON plan documents of :mod:`repro.rheem.serialization` and results
-  return the same way, so batch-mode answers are bit-identical to serial
-  ones (the differential suite asserts this). Per-job timeouts produce a
-  per-job error entry; a worker raising mid-job fails only its job; a
-  broken pool or an unpicklable optimizer factory degrades gracefully to
-  serial execution.
-* **Plan cache** — an optional fingerprint-keyed
-  :class:`~repro.serve.cache.PlanCache`. Within a batch, jobs sharing a
-  fingerprint are optimized once; across batches (and, via JSON
-  persistence, across processes) repeated/parametric queries reuse the
-  cached decision.
-* **Singleton memoization** — within a batch the serial path (and each
-  pool worker) shares one singleton-enumeration memo, so identical
-  subplans are vectorized once (see
-  :func:`repro.core.operations.enumerate_singleton`).
+* **Warm-worker parallelism** — a long-lived process pool owned by the
+  service. Each worker runs :func:`_worker_init` exactly once (optimizer
+  factory, model load, platform registry) and then consumes jobs
+  streamed over the executor's work queue; the pool survives across
+  batches, so repeated ``optimize_batch`` calls pay worker warm-up once,
+  not per batch. Jobs ship as the exact JSON plan documents of
+  :mod:`repro.rheem.serialization` and results return the same way, so
+  batch-mode answers are bit-identical to serial ones (the differential
+  suite asserts this). Per-job timeouts produce a per-job error entry; a
+  worker raising mid-job fails only its job; a worker *dying* breaks the
+  pool — the unfinished jobs fail, the warm pool is discarded, and the
+  next dispatch spawns a fresh one. A broken pool or an unpicklable
+  optimizer factory degrades gracefully to serial execution.
+* **Plan cache with in-flight dedupe** — an optional fingerprint-keyed
+  :class:`~repro.serve.cache.PlanCache`, shared across every worker
+  (lookups happen in the parent before dispatch; fresh results are
+  published back after). Within a batch, jobs sharing a fingerprint are
+  optimized once; *across concurrent batches*, a fingerprint whose
+  optimization is already in flight on a sibling thread coalesces onto
+  that computation instead of re-enumerating (``coalesced`` outcomes).
+* **Singleton memoization** — the serial path (and each pool worker)
+  shares one singleton-enumeration memo, so identical subplans are
+  vectorized once (see :func:`repro.core.operations.enumerate_singleton`);
+  with warm workers the memo also persists across batches.
+* **Tail-latency accounting** — every outcome carries its
+  dispatch-to-completion latency, and :meth:`BatchReport.metrics`
+  reports p50/p95/p99 percentiles alongside throughput, because a
+  serving layer is judged on its tail, not its mean.
+
+Worker sizing is CPU-affinity aware: ``workers=None`` (the default)
+sizes the pool from :func:`available_cpus` — ``len(os.sched_getaffinity(0))``
+on Linux, which respects cgroup/affinity limits — so a container pinned
+to one core runs serially instead of oversubscribing. An explicit
+integer overrides this.
 
 Every stage emits tracer spans/counters (``serve.*``), and
 :meth:`BatchReport.metrics` is shaped for
@@ -34,12 +51,20 @@ The pool needs a *picklable factory* rather than an optimizer instance
 from __future__ import annotations
 
 import functools
+import math
+import os
 import pickle
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeout,
+    as_completed,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api import Optimizer, OptimizationResult, RunStats
 from repro.exceptions import ModelError, ReproError
@@ -55,9 +80,44 @@ __all__ = [
     "JobOutcome",
     "BatchReport",
     "BatchOptimizationService",
+    "available_cpus",
     "robopt_factory",
     "resilient_robopt_factory",
 ]
+
+#: Wall-clock floor for rate computations. ``plans_per_sec`` divides by
+#: ``max(wall_s, _WALL_FLOOR_S)`` — a 3.5 ms run of 2 jobs reports a
+#: bounded lower-bound rate instead of an absurd extrapolation from a
+#: sub-resolution sample.
+_WALL_FLOOR_S = 0.01
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process (cgroup/affinity aware).
+
+    ``os.sched_getaffinity`` sees CPU pinning and container cpusets;
+    ``os.cpu_count`` (the non-Linux fallback) only sees the machine.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (0.0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 @dataclass
@@ -92,6 +152,8 @@ class JobOutcome:
     result: Optional[OptimizationResult] = None
     error: Optional[str] = None
     cached: bool = False
+    #: Dispatch-to-completion latency as the caller experienced it
+    #: (queueing + optimization for pool jobs, lookup time for hits).
     duration_s: float = 0.0
     tags: Dict[str, Any] = field(default_factory=dict)
     #: Dispatch attempts consumed (1 = no retry was needed).
@@ -102,6 +164,9 @@ class JobOutcome:
     worker_died: bool = False
     #: The job was refused dispatch (its fingerprint is quarantined).
     quarantined: bool = False
+    #: The job coalesced onto a sibling's in-flight computation of the
+    #: same fingerprint instead of enumerating again.
+    coalesced: bool = False
 
 
 @dataclass
@@ -111,7 +176,10 @@ class BatchReport:
     outcomes: List[JobOutcome]
     wall_s: float
     mode: str  # "serial" or "pool"
+    #: Workers actually used for dispatch (0 when the batch ran serially).
     workers: int
+    #: Workers the service was configured for (auto-sizing resolved).
+    workers_requested: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -129,8 +197,18 @@ class BatchReport:
 
     @property
     def plans_per_sec(self) -> float:
-        """Completed jobs per wall-clock second."""
-        return self.n_ok / self.wall_s if self.wall_s > 0 else 0.0
+        """Completed jobs per wall-clock second (a bounded lower bound).
+
+        The wall clock is monotonic (``time.perf_counter``) and the
+        denominator is floored at ``_WALL_FLOOR_S``: a batch that
+        finishes below timer resolution reports a conservative rate
+        instead of an absurd extrapolation (572 plans/s from a 3.5 ms
+        run), and the result is always finite and NaN-free.
+        """
+        if self.n_ok == 0:
+            return 0.0
+        wall = self.wall_s if math.isfinite(self.wall_s) and self.wall_s > 0 else 0.0
+        return self.n_ok / max(wall, _WALL_FLOOR_S)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -155,6 +233,26 @@ class BatchReport:
     def n_quarantined(self) -> int:
         return sum(1 for o in self.outcomes if o.quarantined)
 
+    @property
+    def n_coalesced(self) -> int:
+        """Jobs served by a sibling's in-flight computation."""
+        return sum(1 for o in self.outcomes if o.coalesced)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Per-job latency percentiles over the completed jobs.
+
+        Latency is each outcome's ``duration_s`` — dispatch to
+        completion, the figure a client of the service experiences (a
+        cache hit counts at its near-zero lookup cost). Percentiles are
+        linear-interpolated and 0.0 for an empty batch — never NaN.
+        """
+        latencies = [o.duration_s for o in self.outcomes if o.ok]
+        return {
+            "p50": _percentile(latencies, 50.0),
+            "p95": _percentile(latencies, 95.0),
+            "p99": _percentile(latencies, 99.0),
+        }
+
     def aggregate_stats(self) -> RunStats:
         """Summed RunStats over the successful, non-cached jobs.
 
@@ -175,6 +273,7 @@ class BatchReport:
 
     def metrics(self) -> Dict[str, float]:
         """Flat metric dict for :func:`repro.bench.trajectory.record`."""
+        tails = self.latency_percentiles()
         return {
             "n_jobs": self.n_jobs,
             "n_ok": self.n_ok,
@@ -185,9 +284,14 @@ class BatchReport:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "workers": self.workers,
+            "workers_requested": self.workers_requested,
+            "latency_p50_s": tails["p50"],
+            "latency_p95_s": tails["p95"],
+            "latency_p99_s": tails["p99"],
             "n_degraded": self.n_degraded,
             "n_retried": self.n_retried,
             "n_quarantined": self.n_quarantined,
+            "n_coalesced": self.n_coalesced,
         }
 
 
@@ -394,6 +498,84 @@ def _enable_singleton_memo(optimizer: Optimizer, memo: dict) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# The warm worker pool
+# ---------------------------------------------------------------------------
+
+
+class _WarmWorkerPool:
+    """A long-lived :class:`ProcessPoolExecutor` the service keeps warm.
+
+    ``acquire`` returns the live executor, spawning it on first use (and
+    after a ``discard``); workers run the optimizer factory exactly once
+    and then stream jobs off the executor's work queue. ``None`` from
+    ``acquire`` means pool mode is impossible (unpicklable factory, no
+    multiprocessing support) and the caller should fall back to serial.
+
+    The picklability probe runs once and is cached — its verdict cannot
+    change for a fixed factory.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Optimizer],
+        memoize: bool,
+        max_workers: int,
+    ):
+        self.factory = factory
+        self.memoize = memoize
+        self.max_workers = max_workers
+        #: Pools spawned over this object's lifetime (1 = never broken).
+        self.spawns = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._unpicklable: Optional[str] = None
+        self._lock = threading.Lock()
+
+    @property
+    def warm(self) -> bool:
+        return self._executor is not None
+
+    def acquire(self, tracer) -> Optional[ProcessPoolExecutor]:
+        with self._lock:
+            if self._executor is not None:
+                return self._executor
+            if self._unpicklable is None:
+                try:
+                    pickle.dumps(self.factory)
+                    self._unpicklable = ""
+                except Exception as exc:
+                    self._unpicklable = f"unpicklable factory: {exc}"
+            if self._unpicklable:
+                if tracer.enabled:
+                    tracer.event("serve.pool.fallback", reason=self._unpicklable)
+                return None
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_worker_init,
+                    initargs=(self.factory, self.memoize),
+                )
+                self.spawns += 1
+            except Exception as exc:  # no sem support etc.
+                if tracer.enabled:
+                    tracer.event("serve.pool.fallback", reason=str(exc))
+                return None
+            return self._executor
+
+    def discard(self) -> None:
+        """Drop the executor (broken pool / shutdown); spawn anew later."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.discard()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
 # The service
 # ---------------------------------------------------------------------------
 
@@ -412,14 +594,23 @@ class BatchOptimizationService:
         fingerprint context). Defaults to the factory-built optimizer's
         ``registry`` attribute.
     workers:
-        Process count; ``0`` or ``1`` means serial in-process execution.
+        Process count. ``None`` (the default) auto-sizes from
+        :func:`available_cpus` — cgroup/affinity aware, so a container
+        pinned to one CPU runs serially instead of oversubscribing.
+        ``0`` or ``1`` means serial in-process execution; an explicit
+        ``>= 2`` overrides the auto-sizing. The warm pool persists
+        across batches; :meth:`close` (or the context manager) shuts it
+        down.
     timeout_s:
-        Per-job wall-clock budget, measured from the start of result
-        collection (pool mode only — a serial job cannot be preempted).
-        An overrun produces an error outcome for that job; the batch
-        continues.
+        Per-job wall-clock budget, measured from batch dispatch (pool
+        mode only — a serial job cannot be preempted). On a cold pool
+        the budget covers worker warm-up (the optimizer factory, which
+        may load a model from disk), so a hanging construction cannot
+        stall the batch unboundedly. An overrun produces an error
+        outcome for that job; the batch continues.
     cache:
-        An optional :class:`PlanCache` shared across batches.
+        An optional :class:`PlanCache` shared across batches and across
+        every pool worker (lookups and publishes happen in the parent).
     memoize_singletons:
         Share one singleton-enumeration memo per batch (serial) or per
         worker (pool) so identical subplans vectorize once.
@@ -441,13 +632,18 @@ class BatchOptimizationService:
         optimizer_factory: Callable[[], Optimizer],
         registry: Optional[PlatformRegistry] = None,
         *,
-        workers: int = 0,
+        workers: Optional[int] = None,
         timeout_s: Optional[float] = None,
         cache: Optional[PlanCache] = None,
         memoize_singletons: bool = True,
         retry: Optional[RetryPolicy] = None,
         quarantine_after: int = 2,
     ):
+        self.workers_auto = workers is None
+        if workers is None:
+            workers = available_cpus()
+            if workers <= 1:
+                workers = 0  # one CPU: a pool is pure overhead
         if workers < 0:
             raise ReproError(f"workers must be >= 0, got {workers}")
         if timeout_s is not None and timeout_s <= 0:
@@ -460,7 +656,30 @@ class BatchOptimizationService:
         self.retry = retry
         self.quarantine = Quarantine(threshold=quarantine_after)
         self._optimizer: Optional[Optimizer] = None
+        self._pool = _WarmWorkerPool(optimizer_factory, memoize_singletons, max(workers, 1))
+        # In-flight fingerprint table: fingerprint -> the Future computing
+        # it right now. Concurrent batches coalesce onto it.
+        self._inflight: Dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
         self.registry = registry if registry is not None else self._serial_optimizer().registry
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the warm worker pool down (idempotent; the service stays
+        usable — the next pooled batch spawns a fresh pool)."""
+        self._pool.discard()
+
+    def __enter__(self) -> "BatchOptimizationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def _serial_optimizer(self) -> Optimizer:
@@ -503,7 +722,8 @@ class BatchOptimizationService:
             outcomes=outcomes,
             wall_s=wall,
             mode=mode,
-            workers=self.workers,
+            workers=self.workers if mode == "pool" else 0,
+            workers_requested=self.workers,
             cache_hits=hits,
             cache_misses=misses,
         )
@@ -527,6 +747,7 @@ class BatchOptimizationService:
         followers: Dict[str, List[BatchJob]] = {}
         with tracer.span("serve.cache.lookup", n_jobs=len(jobs)):
             for job in jobs:
+                t0 = time.perf_counter()
                 plan = job.prepared_plan()
                 prepared[job.job_id] = plan
                 fp = plan_fingerprint(plan, self.registry)
@@ -540,6 +761,7 @@ class BatchOptimizationService:
                             ok=True,
                             result=cached,
                             cached=True,
+                            duration_s=time.perf_counter() - t0,
                             tags=job.tags,
                         )
                         continue
@@ -583,22 +805,25 @@ class BatchOptimizationService:
         attempt = 0
         while pending:
             # Jobs already implicated in a worker death are dispatched in
-            # isolation (their own pool) so a repeat offender only breaks
-            # itself: innocents that merely shared the broken pool get a
-            # clean round, succeed, and clear their tally instead of
-            # riding every crash to the quarantine threshold.
+            # isolation (an ephemeral single-use pool) so a repeat offender
+            # only breaks itself — never the warm pool: innocents that
+            # merely shared a broken pool get a clean round on the warm
+            # workers, succeed, and clear their tally instead of riding
+            # every crash to the quarantine threshold.
             suspect_ids = {
                 job.job_id
                 for job in pending
                 if self.quarantine.deaths(fingerprints[job.job_id]) > 0
             }
             clean = [job for job in pending if job.job_id not in suspect_ids]
-            groups = ([clean] if clean else []) + [
-                [job] for job in pending if job.job_id in suspect_ids
-            ]
+            groups: List[Tuple[List[BatchJob], bool]] = (
+                [(clean, False)] if clean else []
+            ) + [([job], True) for job in pending if job.job_id in suspect_ids]
             dispatched: Dict[str, JobOutcome] = {}
-            for group in groups:
-                got, used_mode = self._dispatch(group, prepared, tracer)
+            for group, isolate in groups:
+                got, used_mode = self._dispatch(
+                    group, prepared, fingerprints, tracer, isolate=isolate
+                )
                 dispatched.update(got)
                 if used_mode == "pool":
                     mode = "pool"
@@ -665,11 +890,27 @@ class BatchOptimizationService:
 
     # ------------------------------------------------------------------
     def _dispatch(
-        self, todo: List[BatchJob], prepared: Dict[str, LogicalPlan], tracer
+        self,
+        todo: List[BatchJob],
+        prepared: Dict[str, LogicalPlan],
+        fingerprints: Dict[str, str],
+        tracer,
+        isolate: bool = False,
     ):
         """One dispatch round: the pool when configured, serial otherwise."""
         if self.workers > 1 and todo:
-            pool_outcomes = self._run_pool(todo, prepared, tracer)
+            pool = (
+                _WarmWorkerPool(self._factory, self.memoize_singletons, 1)
+                if isolate
+                else self._pool
+            )
+            try:
+                pool_outcomes = self._run_pool(
+                    todo, prepared, fingerprints, tracer, pool
+                )
+            finally:
+                if isolate:
+                    pool.discard()
             if pool_outcomes is not None:
                 return pool_outcomes, "pool"
         return self._run_serial(todo, prepared, tracer), "serial"
@@ -708,53 +949,70 @@ class BatchOptimizationService:
 
     # ------------------------------------------------------------------
     def _run_pool(
-        self, todo: List[BatchJob], prepared: Dict[str, LogicalPlan], tracer
+        self,
+        todo: List[BatchJob],
+        prepared: Dict[str, LogicalPlan],
+        fingerprints: Dict[str, str],
+        tracer,
+        pool: _WarmWorkerPool,
     ) -> Optional[Dict[str, JobOutcome]]:
-        """Run jobs on a process pool; ``None`` means "fall back to serial".
+        """Run jobs on the (warm) process pool; ``None`` means "fall back
+        to serial".
 
         The fallback triggers only for infrastructure failures (an
         unpicklable factory, a pool that cannot start). A *broken* pool
         mid-run fails the unfinished jobs' outcomes with
-        ``worker_died=True`` — the service's retry/quarantine layer
-        decides whether they get a fresh pool.
+        ``worker_died=True`` and discards the executor so the next
+        dispatch starts a fresh one — the service's retry/quarantine
+        layer decides whether those jobs get it.
         """
         from repro.rheem.serialization import plan_to_json
 
-        try:
-            pickle.dumps(self._factory)
-        except Exception as exc:
-            if tracer.enabled:
-                tracer.event("serve.pool.fallback", reason=f"unpicklable factory: {exc}")
-            return None
-        outcomes: Dict[str, JobOutcome] = {}
-        # The per-job budget starts *here*, before the executor exists:
-        # pool spawn and worker initialization (the optimizer factory,
-        # which may load a model from disk) count against the timeout, so
-        # a hanging construction cannot stall the batch unboundedly.
+        # The per-job budget starts *here*, before the executor may need
+        # to spawn: on a cold pool, worker initialization (the optimizer
+        # factory, which may load a model from disk) counts against the
+        # timeout, so a hanging construction cannot stall the batch
+        # unboundedly. On a warm pool there is nothing to wait for.
         submitted = time.perf_counter()
-        try:
-            executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_worker_init,
-                initargs=(self._factory, self.memoize_singletons),
-            )
-        except Exception as exc:  # pool cannot start (e.g. no sem support)
-            if tracer.enabled:
-                tracer.event("serve.pool.fallback", reason=str(exc))
+        was_warm = pool.warm
+        executor = pool.acquire(tracer)
+        if executor is None:
             return None
+        deadline = None if self.timeout_s is None else submitted + self.timeout_s
+        outcomes: Dict[str, JobOutcome] = {}
+        future_jobs: Dict[Future, BatchJob] = {}
+        own_fps: List[str] = []
+        coalesced: List[Tuple[BatchJob, Future]] = []
+        # In-flight dedupe shares the cache's equivalence semantics, so it
+        # is only active when a cache is configured.
+        dedupe = self.cache is not None
         broken: Optional[str] = None
-        with tracer.span("serve.pool", workers=self.workers, n_jobs=len(todo)):
-            try:
-                futures = []
+        try:
+            with tracer.span(
+                "serve.pool",
+                workers=pool.max_workers,
+                n_jobs=len(todo),
+                warm=was_warm,
+            ):
                 for job in todo:
                     payload = plan_to_json(prepared[job.job_id], indent=0)
-                    futures.append((job, executor.submit(_worker_run, job.job_id, payload)))
-                for job, future in futures:
-                    t0 = time.perf_counter()
-                    if broken is not None:
-                        # In flight when the pool broke: implicated in the
-                        # worker death (the quarantine sorts out who is
-                        # actually poisonous across retries).
+                    fp = fingerprints[job.job_id]
+                    try:
+                        if dedupe:
+                            with self._inflight_lock:
+                                sibling = self._inflight.get(fp)
+                                if sibling is not None:
+                                    coalesced.append((job, sibling))
+                                    continue
+                                future = executor.submit(
+                                    _worker_run, job.job_id, payload
+                                )
+                                self._inflight[fp] = future
+                                own_fps.append(fp)
+                        else:
+                            future = executor.submit(_worker_run, job.job_id, payload)
+                    except Exception as exc:  # pool broke during submission
+                        broken = f"{type(exc).__name__}: {exc}"
                         outcomes[job.job_id] = JobOutcome(
                             job.job_id,
                             ok=False,
@@ -763,38 +1021,90 @@ class BatchOptimizationService:
                             tags=job.tags,
                         )
                         continue
-                    try:
-                        # The per-job budget is measured from batch dispatch:
-                        # jobs run concurrently, so each job's deadline is
-                        # submission + timeout, not collection + timeout.
-                        remaining = None
-                        if self.timeout_s is not None:
-                            remaining = max(
-                                0.05,
-                                self.timeout_s - (time.perf_counter() - submitted),
+                    future_jobs[future] = job
+
+                # Stream results in completion order: a slow job never
+                # blocks the accounting of a fast one, and every job's
+                # deadline is submission + timeout.
+                try:
+                    timeout = None
+                    if deadline is not None:
+                        timeout = max(0.05, deadline - time.perf_counter())
+                    for future in as_completed(list(future_jobs), timeout=timeout):
+                        job = future_jobs[future]
+                        done_at = time.perf_counter()
+                        try:
+                            doc = future.result()
+                            outcomes[job.job_id] = self._outcome_from_doc(
+                                job, doc, done_at - submitted
                             )
-                        doc = future.result(timeout=remaining)
-                        outcomes[job.job_id] = self._outcome_from_doc(
-                            job, doc, time.perf_counter() - t0
-                        )
-                    except FutureTimeout:
+                        except BrokenProcessPool as exc:
+                            broken = f"BrokenProcessPool: {exc}"
+                            outcomes[job.job_id] = JobOutcome(
+                                job.job_id,
+                                ok=False,
+                                error=broken,
+                                worker_died=True,
+                                tags=job.tags,
+                            )
+                        except Exception as exc:
+                            outcomes[job.job_id] = JobOutcome(
+                                job.job_id,
+                                ok=False,
+                                error=f"{type(exc).__name__}: {exc}",
+                                duration_s=done_at - submitted,
+                                tags=job.tags,
+                            )
+                            if tracer.enabled:
+                                tracer.count("serve.jobs_errored")
+                except FutureTimeout:
+                    for future, job in future_jobs.items():
+                        if job.job_id in outcomes:
+                            continue
                         future.cancel()
                         outcomes[job.job_id] = JobOutcome(
                             job.job_id,
                             ok=False,
                             error=f"timeout after {self.timeout_s}s",
-                            duration_s=time.perf_counter() - t0,
+                            duration_s=time.perf_counter() - submitted,
+                            timed_out=True,
+                            tags=job.tags,
+                        )
+                        if tracer.enabled:
+                            tracer.count("serve.jobs_timed_out")
+
+                # Jobs that coalesced onto a sibling thread's in-flight
+                # computation of the same fingerprint: await its result
+                # under the same deadline (the sibling owns the future).
+                for job, future in coalesced:
+                    try:
+                        remaining = None
+                        if deadline is not None:
+                            remaining = max(0.05, deadline - time.perf_counter())
+                        doc = future.result(timeout=remaining)
+                        outcome = self._outcome_from_doc(
+                            job, doc, time.perf_counter() - submitted
+                        )
+                        outcome.coalesced = True
+                        outcomes[job.job_id] = outcome
+                        if tracer.enabled:
+                            tracer.count("serve.jobs_coalesced")
+                    except FutureTimeout:
+                        outcomes[job.job_id] = JobOutcome(
+                            job.job_id,
+                            ok=False,
+                            error=f"timeout after {self.timeout_s}s",
+                            duration_s=time.perf_counter() - submitted,
                             timed_out=True,
                             tags=job.tags,
                         )
                         if tracer.enabled:
                             tracer.count("serve.jobs_timed_out")
                     except BrokenProcessPool as exc:
-                        broken = f"BrokenProcessPool: {exc}"
                         outcomes[job.job_id] = JobOutcome(
                             job.job_id,
                             ok=False,
-                            error=broken,
+                            error=f"BrokenProcessPool: {exc}",
                             worker_died=True,
                             tags=job.tags,
                         )
@@ -803,13 +1113,18 @@ class BatchOptimizationService:
                             job.job_id,
                             ok=False,
                             error=f"{type(exc).__name__}: {exc}",
-                            duration_s=time.perf_counter() - t0,
+                            duration_s=time.perf_counter() - submitted,
                             tags=job.tags,
                         )
-                        if tracer.enabled:
-                            tracer.count("serve.jobs_errored")
-            finally:
-                executor.shutdown(wait=False, cancel_futures=True)
+        finally:
+            if own_fps:
+                with self._inflight_lock:
+                    for fp in own_fps:
+                        self._inflight.pop(fp, None)
+            if broken is not None:
+                # A dead worker poisons the whole executor: discard it so
+                # the next dispatch round starts a fresh warm pool.
+                pool.discard()
         return outcomes
 
     def _outcome_from_doc(
@@ -836,5 +1151,6 @@ class BatchOptimizationService:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BatchOptimizationService(workers={self.workers}, "
-            f"timeout_s={self.timeout_s}, cache={self.cache!r})"
+            f"timeout_s={self.timeout_s}, cache={self.cache!r}, "
+            f"warm={self._pool.warm})"
         )

@@ -25,12 +25,15 @@ __all__ = [
     "CrashingOptimizer",
     "SleepyOptimizer",
     "TransientOptimizer",
+    "CountingOptimizer",
     "linear_robopt_factory",
     "flaky_robopt_factory",
     "crashing_robopt_factory",
     "sleepy_robopt_factory",
     "transient_robopt_factory",
     "slow_init_robopt_factory",
+    "counting_robopt_factory",
+    "count_markers",
 ]
 
 
@@ -174,6 +177,55 @@ class TransientOptimizer:
         return self.inner.optimize(plan)
 
 
+def _touch_marker(state_dir: str, prefix: str) -> None:
+    """Drop one uniquely-named marker file under ``state_dir``."""
+    import os
+    import tempfile
+
+    os.makedirs(state_dir, exist_ok=True)
+    fd, _ = tempfile.mkstemp(prefix=f"{prefix}.", dir=state_dir)
+    os.close(fd)
+
+
+def count_markers(state_dir: str, prefix: str) -> int:
+    """How many ``prefix``-markers the counting probes dropped so far."""
+    import os
+
+    if not os.path.isdir(state_dir):
+        return 0
+    return len(
+        [f for f in os.listdir(state_dir) if f.startswith(prefix + ".")]
+    )
+
+
+class CountingOptimizer:
+    """Delegates to an inner optimizer; counts events via marker files.
+
+    The warm-worker probe: construction drops an ``init`` marker (done by
+    the builder, so it counts pool worker initializations) and every
+    ``optimize`` call drops an ``opt`` marker, optionally after sleeping
+    ``sleep_s`` — long enough for a sibling thread to find the job still
+    in flight. Markers live under ``state_dir`` (use
+    :func:`count_markers` to read them), so counts are shared across
+    pool processes and survive worker recycling.
+    """
+
+    def __init__(self, inner: Optimizer, state_dir: str, sleep_s: float = 0.0):
+        self.inner = inner
+        self.state_dir = state_dir
+        self.sleep_s = sleep_s
+
+    @property
+    def registry(self):
+        return self.inner.registry
+
+    def optimize(self, plan: LogicalPlan) -> OptimizationResult:
+        if self.sleep_s > 0:
+            time.sleep(self.sleep_s)
+        _touch_marker(self.state_dir, "opt")
+        return self.inner.optimize(plan)
+
+
 # ---------------------------------------------------------------------------
 # Picklable factories (functools.partial over these module-level builders
 # pickles by reference; the pool rebuilds the stack inside each worker).
@@ -264,6 +316,30 @@ def transient_robopt_factory(
     return functools.partial(
         _build_transient, platforms, seed, state_dir, fail_times, trigger
     )
+
+
+def _build_counting(platforms, seed: int, state_dir: str, sleep_s: float):
+    _touch_marker(state_dir, "init")
+    return CountingOptimizer(
+        _build_linear_robopt(platforms, seed, "robopt"), state_dir, sleep_s
+    )
+
+
+def counting_robopt_factory(
+    platforms=("java", "spark", "flink"),
+    seed: int = 0,
+    state_dir: str = ".",
+    sleep_s: float = 0.0,
+):
+    """Factory for an event-counting linear Robopt (see CountingOptimizer).
+
+    Construction drops an ``init`` marker in ``state_dir``; each
+    optimization drops an ``opt`` marker. Read them back with
+    :func:`count_markers`.
+    """
+    import functools
+
+    return functools.partial(_build_counting, platforms, seed, state_dir, sleep_s)
 
 
 def _build_slow_init(platforms, seed: int, init_sleep_s: float):

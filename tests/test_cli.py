@@ -137,3 +137,86 @@ class TestCommands:
         )
         assert rc == 0
         assert "predicted runtime" in capsys.readouterr().out
+
+
+class TestBatchCli:
+    """optimize-batch plumbing: worker sizing, latency output, and the
+    ISSUE 6 bench-recording guard (test runs must not pollute the
+    persistent trajectory)."""
+
+    def _write_jobs(self, tmp_path, n=2):
+        path = tmp_path / "jobs.jsonl"
+        rows = [
+            {"id": f"wc{i}", "workload": "WordCount", "size": f"{20 * (i + 1)}MB"}
+            for i in range(n)
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        return path
+
+    def test_workers_flag_accepts_auto_and_integers(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        base = ["optimize-batch", "--jobs", "j.jsonl", "--model", "m.pkl"]
+        assert parser.parse_args(base).workers is None  # auto by default
+        assert parser.parse_args(base + ["--workers", "auto"]).workers is None
+        assert parser.parse_args(base + ["--workers", "0"]).workers == 0
+        assert parser.parse_args(base + ["--workers", "3"]).workers == 3
+
+    def test_batch_prints_workers_and_latency_percentiles(self, tmp_path, capsys):
+        jobs = self._write_jobs(tmp_path)
+        rc = main(
+            [
+                "optimize-batch",
+                "--jobs", str(jobs),
+                "--model", str(tmp_path / "missing.pkl"),
+                "--workers", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workers=" in out
+        assert "p50=" in out and "p95=" in out and "p99=" in out
+
+    def test_trajectory_recording_suppressed_under_pytest(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A CLI run driven from a test must not append to the bench
+        trajectory — that is exactly the BENCH_*.json pollution bug."""
+        from repro.bench import trajectory
+
+        assert trajectory.under_pytest()  # we *are* the pytest process
+        bench = tmp_path / "BENCH_test.json"
+        monkeypatch.setenv("REPRO_BENCH_FILE", str(bench))
+        jobs = self._write_jobs(tmp_path)
+        rc = main(
+            [
+                "optimize-batch",
+                "--jobs", str(jobs),
+                "--model", str(tmp_path / "missing.pkl"),
+                "--workers", "0",
+            ]
+        )
+        assert rc == 0
+        assert not bench.exists()
+
+    def test_bench_record_flag_opts_back_in(self, tmp_path, capsys, monkeypatch):
+        bench = tmp_path / "BENCH_test.json"
+        monkeypatch.setenv("REPRO_BENCH_FILE", str(bench))
+        jobs = self._write_jobs(tmp_path)
+        rc = main(
+            [
+                "optimize-batch",
+                "--jobs", str(jobs),
+                "--model", str(tmp_path / "missing.pkl"),
+                "--workers", "0",
+                "--bench-record",
+            ]
+        )
+        assert rc == 0
+        entries = json.loads(bench.read_text())
+        assert [e["name"] for e in entries] == ["serve.optimize_batch"]
+        metrics = entries[0]["metrics"]
+        for key in ("latency_p50_s", "latency_p95_s", "latency_p99_s",
+                    "workers", "workers_requested", "plans_per_sec"):
+            assert key in metrics

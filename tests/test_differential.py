@@ -134,6 +134,20 @@ class TestBatchMatchesSerial:
             assert a.result.execution_plan.plan.signature() == \
                 b.result.execution_plan.plan.signature()
 
+        # A second batch rides the *warm* pool (workers initialized by the
+        # first batch, with their singleton memos populated): still
+        # bit-identical — warmth is an execution detail too.
+        warm_report = pooled.optimize_batch(self._jobs())
+        pooled.close()
+        assert warm_report.n_failed == 0
+        for a, b in zip(serial_report.outcomes, warm_report.outcomes):
+            assert a.job_id == b.job_id
+            assert (
+                a.result.execution_plan.assignment
+                == b.result.execution_plan.assignment
+            )
+            assert a.result.predicted_runtime == b.result.predicted_runtime
+
     def test_memoization_does_not_change_results(self):
         """The singleton memo is a pure cache: per-job results with it
         must equal per-job results without it."""

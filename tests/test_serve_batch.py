@@ -5,17 +5,33 @@ not the batch; a worker *dying* must fail the unfinished jobs but leave
 the service usable; a slow job must time out individually; an
 unpicklable factory must degrade to serial execution; and the LRU cache
 must stay bounded under interleaved access patterns.
+
+Extended for ISSUE 6 with the warm-worker suite: workers initialize
+once and are reused across batches, identical in-flight fingerprints
+coalesce onto one computation, worker sizing is CPU-affinity aware, and
+report metrics (rates, latency percentiles) are guarded against
+sub-resolution wall times.
 """
 
 from __future__ import annotations
+
+import threading
 
 import pytest
 
 from repro.exceptions import ReproError
 from repro.obs import Tracer, use_tracer
 from repro.rheem.platforms import synthetic_registry
-from repro.serve import BatchJob, BatchOptimizationService, PlanCache
+from repro.serve import (
+    BatchJob,
+    BatchOptimizationService,
+    PlanCache,
+    available_cpus,
+)
+from repro.serve.batch import _WALL_FLOOR_S, BatchReport, JobOutcome
 from repro.serve.testing import (
+    count_markers,
+    counting_robopt_factory,
     crashing_robopt_factory,
     flaky_robopt_factory,
     linear_robopt_factory,
@@ -271,3 +287,238 @@ class TestJobsAndReport:
         assert {"serve.batch", "serve.cache.lookup", "serve.job"} <= names
         assert tracer.counters["serve.jobs"] == 1
         assert tracer.counters["serve.jobs_ok"] == 1
+
+
+class TestWarmWorkers:
+    """ISSUE 6: the pool is long-lived — workers initialize once, jobs
+    stream over the work queue, and the pool survives across batches."""
+
+    def test_workers_initialize_once_across_batches(self, registry, tmp_path):
+        state = str(tmp_path / "probe")
+        factory = counting_robopt_factory(platforms=N_PLATFORMS, state_dir=state)
+        service = BatchOptimizationService(factory, registry, workers=2)
+        try:
+            first = service.optimize_batch(
+                [BatchJob(f"a{n}", build_pipeline(n)) for n in (2, 3, 4, 5)]
+            )
+            assert first.mode == "pool"
+            assert first.n_failed == 0
+            second = service.optimize_batch(
+                [BatchJob(f"b{n}", build_pipeline(n)) for n in (6, 7, 8, 9)]
+            )
+            assert second.mode == "pool"
+            assert second.n_failed == 0
+            # 8 jobs optimized, but at most one initialization per worker
+            # — not one per batch, let alone one per job.
+            assert count_markers(state, "opt") == 8
+            assert count_markers(state, "init") <= 2
+            # And the second batch reused the first batch's pool.
+            assert service._pool.spawns == 1
+        finally:
+            service.close()
+
+    def test_close_respawns_on_next_batch(self, registry, tmp_path):
+        state = str(tmp_path / "probe")
+        factory = counting_robopt_factory(platforms=N_PLATFORMS, state_dir=state)
+        service = BatchOptimizationService(factory, registry, workers=2)
+        try:
+            assert service.optimize_batch([BatchJob("a", build_pipeline(2))]).n_failed == 0
+            service.close()
+            # The service stays usable after close: a fresh pool spawns.
+            report = service.optimize_batch([BatchJob("b", build_pipeline(3))])
+            assert report.n_failed == 0
+            assert report.mode == "pool"
+            assert service._pool.spawns == 2
+        finally:
+            service.close()
+
+    def test_identical_jobs_enumerate_once_on_the_pool(self, registry, tmp_path):
+        """N same-fingerprint jobs in one batch → exactly one worker-side
+        optimization; the rest are batch-local hits."""
+        state = str(tmp_path / "probe")
+        factory = counting_robopt_factory(platforms=N_PLATFORMS, state_dir=state)
+        cache = PlanCache(max_entries=8)
+        service = BatchOptimizationService(factory, registry, workers=2, cache=cache)
+        try:
+            plan = build_pipeline(3)
+            report = service.optimize_batch(
+                [BatchJob(f"dup{i}", plan.clone()) for i in range(6)]
+            )
+            assert report.n_failed == 0
+            assert report.mode == "pool"
+            assert count_markers(state, "opt") == 1
+            assert report.cache_hits == 5
+            runtimes = {o.result.predicted_runtime for o in report.outcomes}
+            assert len(runtimes) == 1
+        finally:
+            service.close()
+
+    def test_inflight_fingerprint_coalescing_across_threads(
+        self, registry, tmp_path
+    ):
+        """A fingerprint submitted while a sibling batch is computing it
+        coalesces onto that computation instead of re-enumerating."""
+        import time
+
+        state = str(tmp_path / "probe")
+        factory = counting_robopt_factory(
+            platforms=N_PLATFORMS, state_dir=state, sleep_s=1.0
+        )
+        cache = PlanCache(max_entries=8)
+        service = BatchOptimizationService(factory, registry, workers=2, cache=cache)
+        plan = build_pipeline(3)
+        reports = {}
+
+        def run(key, delay):
+            if delay:
+                time.sleep(delay)
+            reports[key] = service.optimize_batch([BatchJob(key, plan.clone())])
+
+        try:
+            threads = [
+                threading.Thread(target=run, args=("first", 0.0)),
+                threading.Thread(target=run, args=("second", 0.4)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert reports["first"].n_failed == 0
+            assert reports["second"].n_failed == 0
+            # One enumeration total: the late batch found the fingerprint
+            # in flight and waited for the sibling's future.
+            assert count_markers(state, "opt") == 1
+            assert (
+                reports["first"].n_coalesced + reports["second"].n_coalesced == 1
+            )
+            a = reports["first"].outcomes[0].result
+            b = reports["second"].outcomes[0].result
+            assert a.predicted_runtime == b.predicted_runtime
+            assert a.execution_plan.assignment == b.execution_plan.assignment
+        finally:
+            service.close()
+
+    def test_no_inflight_table_without_cache(self, registry, tmp_path):
+        """In-flight dedupe shares the cache's equivalence semantics: with
+        no cache configured, nothing is registered in flight."""
+        state = str(tmp_path / "probe")
+        factory = counting_robopt_factory(platforms=N_PLATFORMS, state_dir=state)
+        service = BatchOptimizationService(factory, registry, workers=2)
+        try:
+            plan = build_pipeline(3)
+            report = service.optimize_batch(
+                [BatchJob(f"dup{i}", plan.clone()) for i in range(3)]
+            )
+            assert report.n_failed == 0
+            assert report.n_coalesced == 0
+            assert count_markers(state, "opt") == 3
+            assert not service._inflight
+        finally:
+            service.close()
+
+
+class TestWorkerSizing:
+    """ISSUE 6 satellite: the default worker count respects the CPUs
+    actually available (affinity / cgroup aware), with explicit override."""
+
+    def test_auto_sizing_matches_cpu_affinity(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry)
+        cpus = available_cpus()
+        expected = cpus if cpus > 1 else 0
+        assert service.workers_auto
+        assert service.workers == expected
+        try:
+            report = service.optimize_batch([BatchJob("j", build_pipeline(2))])
+        finally:
+            service.close()
+        assert report.mode == ("pool" if expected > 1 else "serial")
+        assert report.workers_requested == expected
+
+    def test_explicit_workers_override_auto_sizing(self, registry):
+        factory = linear_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(factory, registry, workers=2)
+        assert not service.workers_auto
+        assert service.workers == 2  # honored even on a single-CPU box
+        try:
+            report = service.optimize_batch([BatchJob("j", build_pipeline(2))])
+        finally:
+            service.close()
+        # Requested and effective workers both land in the metrics.
+        metrics = report.metrics()
+        assert metrics["workers_requested"] == 2
+        assert metrics["workers"] == (2 if report.mode == "pool" else 0)
+
+
+class TestReportNumbers:
+    """ISSUE 6 satellite: rates and percentiles are finite, NaN-free and
+    guarded against sub-resolution wall times."""
+
+    @staticmethod
+    def _ok(job_id, duration_s):
+        return JobOutcome(job_id, ok=True, duration_s=duration_s)
+
+    def test_plans_per_sec_guards_sub_resolution_walls(self):
+        import math
+
+        # The regression data point: 2 jobs in 3.5ms extrapolated to
+        # 572 plans/s. The floored denominator bounds the rate instead.
+        report = BatchReport(
+            outcomes=[self._ok("a", 0.001), self._ok("b", 0.002)],
+            wall_s=0.0035,
+            mode="serial",
+            workers=0,
+        )
+        assert math.isfinite(report.plans_per_sec)
+        assert report.plans_per_sec <= 2 / _WALL_FLOOR_S
+
+        zero_wall = BatchReport(
+            outcomes=[self._ok("a", 0.0)], wall_s=0.0, mode="serial", workers=0
+        )
+        assert math.isfinite(zero_wall.plans_per_sec)
+        assert zero_wall.plans_per_sec == 1 / _WALL_FLOOR_S
+
+        empty = BatchReport(outcomes=[], wall_s=0.0, mode="serial", workers=0)
+        assert empty.plans_per_sec == 0.0
+
+        poisoned = BatchReport(
+            outcomes=[self._ok("a", 0.1)],
+            wall_s=float("nan"),
+            mode="serial",
+            workers=0,
+        )
+        assert math.isfinite(poisoned.plans_per_sec)
+
+    def test_latency_percentiles_interpolate(self):
+        outcomes = [self._ok(str(i), (i + 1) / 100.0) for i in range(100)]
+        report = BatchReport(
+            outcomes=outcomes, wall_s=1.0, mode="pool", workers=2,
+            workers_requested=2,
+        )
+        tails = report.latency_percentiles()
+        assert tails["p50"] == pytest.approx(0.505)
+        assert tails["p95"] == pytest.approx(0.9505)
+        assert tails["p99"] == pytest.approx(0.9901)
+        metrics = report.metrics()
+        assert metrics["latency_p50_s"] == tails["p50"]
+        assert metrics["latency_p95_s"] == tails["p95"]
+        assert metrics["latency_p99_s"] == tails["p99"]
+
+    def test_percentiles_empty_and_failed_batches(self):
+        import math
+
+        empty = BatchReport(outcomes=[], wall_s=0.0, mode="serial", workers=0)
+        assert empty.latency_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        failed = BatchReport(
+            outcomes=[JobOutcome("a", ok=False, error="boom")],
+            wall_s=0.1,
+            mode="serial",
+            workers=0,
+        )
+        tails = failed.latency_percentiles()
+        assert all(v == 0.0 for v in tails.values())
+        assert all(
+            math.isfinite(v)
+            for v in failed.metrics().values()
+            if isinstance(v, float)
+        )
