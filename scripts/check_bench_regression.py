@@ -30,6 +30,13 @@ fails to beat serial is the ISSUE 6 regression, and CI fails. On a
 single-core runner the gate is skipped — there is nothing for a pool to
 win there.
 
+``--daemon-p95-tolerance`` gates the daemon benchmark's tail (ISSUE 7):
+the latest ``daemon_p95_ms`` of ``--daemon-name`` (default
+``serve.daemon_throughput``, recorded by
+``benchmarks/test_serve_daemon.py``) may not rise by more than the given
+fraction vs the previous entry. The metric is in *milliseconds* — the
+gate skips sub-millisecond previous values as timer noise.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
@@ -96,6 +103,20 @@ def main(argv=None) -> int:
             "entries)"
         ),
     )
+    parser.add_argument(
+        "--daemon-name",
+        default="serve.daemon_throughput",
+        help="series whose daemon_p95_ms the daemon tail gate compares",
+    )
+    parser.add_argument(
+        "--daemon-p95-tolerance",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest daemon_p95_ms rose by more than "
+            "this fraction vs the previous entry (e.g. 0.5)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.trajectory import series
@@ -113,6 +134,13 @@ def main(argv=None) -> int:
     if args.latency_tolerance is not None:
         rc = check_latency(
             args.name, args.latency_metric, args.latency_tolerance, args.root
+        )
+        if rc != 0:
+            return rc
+
+    if args.daemon_p95_tolerance is not None:
+        rc = check_daemon_p95(
+            args.daemon_name, args.daemon_p95_tolerance, args.root
         )
         if rc != 0:
             return rc
@@ -215,6 +243,48 @@ def check_latency(name: str, metric: str, tolerance: float, root=None) -> int:
     if rise > tolerance:
         print(
             f"bench-regression: tail latency rose {rise:.1%} "
+            f"(> {tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_daemon_p95(name: str, tolerance: float, root=None) -> int:
+    """Gate the daemon's served-request p95 between the last two entries.
+
+    Same shape as :func:`check_latency`, but the daemon benchmark
+    records its tails in **milliseconds** (``daemon_p95_ms``, straight
+    from the daemon's live ``stats`` frame), so the display does not
+    rescale and the noise floor sits at 1 ms.
+    """
+    from repro.bench.trajectory import series
+
+    metric = "daemon_p95_ms"
+    entries = series(name, metric=metric, root=root)
+    if len(entries) < 2:
+        print(
+            f"bench-regression: only {len(entries)} entry/ies carry "
+            f"{metric!r} — daemon tail baseline established, nothing to compare"
+        )
+        return 0
+    previous = entries[-2]["metrics"][metric]
+    latest = entries[-1]["metrics"][metric]
+    if previous is None or latest is None or previous < 1.0:
+        print(
+            f"bench-regression: {metric} non-comparable "
+            f"({previous!r} -> {latest!r}), daemon tail gate skipped"
+        )
+        return 0
+    rise = (latest - previous) / previous
+    verdict = "OK" if rise <= tolerance else "REGRESSION"
+    print(
+        f"bench-regression: {name}.{metric} "
+        f"{previous:.1f}ms -> {latest:.1f}ms ({rise:+.1%}) [{verdict}]"
+    )
+    if rise > tolerance:
+        print(
+            f"bench-regression: daemon p95 rose {rise:.1%} "
             f"(> {tolerance:.0%} tolerance)",
             file=sys.stderr,
         )

@@ -15,8 +15,11 @@ Cross-Platform Query Optimization"* (Kaoudi et al., ICDE 2020):
 * :mod:`repro.baselines` — Rheem-ML and exhaustive enumeration baselines;
 * :mod:`repro.tdgen` — the scalable training data generator;
 * :mod:`repro.obs` — observability (tracer, spans, counters, JSONL);
-* :mod:`repro.serve` — the batch optimization service (process-pool
-  parallelism, fingerprint-keyed plan cache, CLI ``optimize-batch``);
+* :mod:`repro.serve` — the serving layer: the batch optimization
+  service (process-pool parallelism, fingerprint-keyed plan cache, CLI
+  ``optimize-batch``) and the persistent ``repro serve`` daemon
+  (versioned wire protocol, admission control, cross-client
+  coalescing);
 * :mod:`repro.resilience` — deadline-budgeted anytime optimization,
   the model fallback chain (circuit breaker → cost model → heuristic),
   retry/quarantine policies and deterministic fault injection;
@@ -86,6 +89,13 @@ _LAZY = {
     "plan_fingerprint": ("repro.serve", "plan_fingerprint"),
     "robopt_factory": ("repro.serve", "robopt_factory"),
     "resilient_robopt_factory": ("repro.serve", "resilient_robopt_factory"),
+    "OptimizationDaemon": ("repro.serve", "OptimizationDaemon"),
+    "DaemonConfig": ("repro.serve", "DaemonConfig"),
+    "ServeClient": ("repro.serve", "ServeClient"),
+    "OptimizeRequest": ("repro.serve", "OptimizeRequest"),
+    "OptimizeResponse": ("repro.serve", "OptimizeResponse"),
+    "ErrorResponse": ("repro.serve", "ErrorResponse"),
+    "PROTOCOL_VERSION": ("repro.serve", "PROTOCOL_VERSION"),
     # resilience layer
     "Budget": ("repro.resilience", "Budget"),
     "CircuitBreaker": ("repro.resilience", "CircuitBreaker"),
@@ -130,6 +140,13 @@ __all__ = [
     "plan_fingerprint",
     "robopt_factory",
     "resilient_robopt_factory",
+    "OptimizationDaemon",
+    "DaemonConfig",
+    "ServeClient",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "ErrorResponse",
+    "PROTOCOL_VERSION",
     # resilience layer
     "Budget",
     "CircuitBreaker",

@@ -14,14 +14,16 @@ measurement code (the fair-comparison requirement of §VII):
   object-based enumerators (subplan counts, pruning effect, phase
   timings).
 
-Historical attribute names (``ObjectEnumerationResult.cost``,
-``ObjectStats.subplans_created`` …) remain available as deprecated
-aliases for one release.
+The vectorized vocabulary is the only one: the pre-unification names
+(``OptimizationResult.cost``, ``RunStats.subplans_created``,
+``subplans_pruned``, ``singleton_subplans``, ``cost_evaluations``)
+shipped as deprecated aliases for one release and have been removed —
+use ``predicted_runtime``, ``vectors_created``, ``vectors_pruned``,
+``singleton_vectors`` and ``rows_predicted``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Any, Dict, Optional, Protocol, runtime_checkable
 
@@ -30,14 +32,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rheem.logical_plan import LogicalPlan
 
 __all__ = ["Optimizer", "OptimizationResult", "RunStats"]
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass
@@ -88,47 +82,6 @@ class RunStats:
     def copy(self) -> "RunStats":
         """An independent field-by-field copy."""
         return RunStats(**self.as_dict())
-
-    # -- deprecated object-world aliases (one release) ------------------
-    @property
-    def singleton_subplans(self) -> int:
-        _deprecated("RunStats.singleton_subplans", "singleton_vectors")
-        return self.singleton_vectors
-
-    @singleton_subplans.setter
-    def singleton_subplans(self, value: int) -> None:
-        _deprecated("RunStats.singleton_subplans", "singleton_vectors")
-        self.singleton_vectors = value
-
-    @property
-    def subplans_created(self) -> int:
-        _deprecated("RunStats.subplans_created", "vectors_created")
-        return self.vectors_created
-
-    @subplans_created.setter
-    def subplans_created(self, value: int) -> None:
-        _deprecated("RunStats.subplans_created", "vectors_created")
-        self.vectors_created = value
-
-    @property
-    def subplans_pruned(self) -> int:
-        _deprecated("RunStats.subplans_pruned", "vectors_pruned")
-        return self.vectors_pruned
-
-    @subplans_pruned.setter
-    def subplans_pruned(self, value: int) -> None:
-        _deprecated("RunStats.subplans_pruned", "vectors_pruned")
-        self.vectors_pruned = value
-
-    @property
-    def cost_evaluations(self) -> int:
-        _deprecated("RunStats.cost_evaluations", "rows_predicted")
-        return self.rows_predicted
-
-    @cost_evaluations.setter
-    def cost_evaluations(self, value: int) -> None:
-        _deprecated("RunStats.cost_evaluations", "rows_predicted")
-        self.rows_predicted = value
 
 
 @dataclass
@@ -181,12 +134,6 @@ class OptimizationResult:
             optimizer=self.optimizer,
             final_enumeration=None,
         )
-
-    # -- deprecated ObjectEnumerationResult alias (one release) ---------
-    @property
-    def cost(self) -> float:
-        _deprecated("OptimizationResult.cost", "predicted_runtime")
-        return self.predicted_runtime
 
 
 @runtime_checkable

@@ -51,14 +51,13 @@ class ObjectEnumeration:
 
 #: Instrumentation of one object-based run: the shared
 #: :class:`repro.api.RunStats` ("subplan" counts land in the canonical
-#: ``*_vectors`` fields; the old ``subplans_*`` names remain as deprecated
-#: aliases). The §VII-B time breakdown lives in ``time_vectorize_s`` /
-#: ``time_predict_s`` / ``time_cost_s``.
+#: ``*_vectors`` fields). The §VII-B time breakdown lives in
+#: ``time_vectorize_s`` / ``time_predict_s`` / ``time_cost_s``.
 ObjectStats = RunStats
 
-#: Deprecated alias: the object enumerator now returns the unified
-#: :class:`repro.api.OptimizationResult` (``.cost`` still works as a
-#: deprecated property).
+#: Type alias: the object enumerator returns the unified
+#: :class:`repro.api.OptimizationResult` (``.predicted_runtime``,
+#: ``.predicted_cost``).
 ObjectEnumerationResult = OptimizationResult
 
 

@@ -6,7 +6,10 @@ Commands:
 * ``train`` — generate TDGEN data and train a runtime model;
 * ``optimize`` — optimize a workload (or a plan JSON) with a model;
 * ``optimize-batch`` — drive a JSONL job file through the batch
-  optimization service (process-pool parallelism + plan cache);
+  optimization service (process-pool parallelism + plan cache), or —
+  with ``--server ADDR`` — through a running ``repro serve`` daemon;
+* ``serve`` — run the persistent optimization daemon (unix socket/TCP,
+  admission control, cross-client coalescing, graceful drain);
 * ``simulate`` — run a workload on one platform (or all) and report
   simulated runtimes;
 * ``explain`` — optimize and print the decision report (chosen plan,
@@ -23,17 +26,7 @@ from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.exceptions import ReproError
-
-_SUFFIXES = {"KB": 2 ** 10, "MB": 2 ** 20, "GB": 2 ** 30, "TB": 2 ** 40}
-
-
-def parse_size(text: str) -> float:
-    """Parse ``"6GB"``-style sizes into bytes."""
-    cleaned = text.strip().upper().replace(" ", "")
-    for suffix, factor in _SUFFIXES.items():
-        if cleaned.endswith(suffix):
-            return float(cleaned[: -len(suffix)]) * factor
-    return float(cleaned)
+from repro.serve.protocol import parse_size, resolve_workload
 
 
 def _registry(names: str):
@@ -50,24 +43,7 @@ def _workers_arg(text: str) -> Optional[int]:
 
 
 def _workload_plan(name: str, size_bytes: Optional[float], args):
-    from repro.workloads import TABLE2
-
-    key = {k.lower().replace(" ", "").replace("-", ""): k for k in TABLE2}
-    normalized = name.lower().replace(" ", "").replace("-", "")
-    if normalized not in key:
-        raise ReproError(
-            f"unknown workload {name!r}; known: {', '.join(sorted(TABLE2))}"
-        )
-    full = key[normalized]
-    module, _, _ = TABLE2[full]
-    kwargs = {}
-    if size_bytes is not None:
-        kwargs["size_bytes"] = size_bytes
-    if full == "TPC-H Q1":
-        return module.q1(**kwargs)
-    if full == "TPC-H Q3":
-        return module.q3(**kwargs)
-    return module.plan(**kwargs)
+    return resolve_workload(name, size_bytes)
 
 
 def _load_plan(args):
@@ -189,78 +165,25 @@ def cmd_optimize(args) -> int:
 def _load_jobs(path, registry):
     """Parse a JSONL job file into :class:`repro.serve.BatchJob` rows.
 
-    Each line is a JSON object, either ``{"id", "plan": <plan doc>}``,
-    ``{"id", "workload": <name>, "size": "6GB"}``, or a bare plan
-    document (an object with an ``"operators"`` key).
-
-    Returns ``(jobs, error_rows)``: every malformed line — invalid JSON,
-    a non-object, a bad plan document or size — becomes a per-row error
-    entry instead of failing the whole batch. Only an unreadable file or
-    a file with *zero* rows raises.
+    The row vocabulary lives in :mod:`repro.serve.protocol`
+    (:func:`~repro.serve.protocol.load_jobs_jsonl`); this wrapper
+    resolves the parsed requests into runnable jobs. Every malformed
+    row — invalid JSON, a bad size, an unknown workload, a broken plan
+    document — becomes a per-row error entry instead of failing the
+    whole batch. Only an unreadable file or a file with *zero* rows
+    raises.
     """
-    import json
+    from repro.serve.protocol import ProtocolError, load_jobs_jsonl, request_to_job
 
-    from repro.rheem.serialization import plan_from_dict
-    from repro.serve import BatchJob
-
+    requests, error_rows = load_jobs_jsonl(path)
     jobs = []
-    error_rows = []
-    try:
-        f = open(path)
-    except OSError as exc:
-        raise ReproError(f"cannot read jobs from {path}: {exc}") from exc
-
-    def bad(lineno, detail):
-        error_rows.append(
-            {"id": f"line{lineno}", "ok": False, "error": f"{path}:{lineno}: {detail}"}
-        )
-
-    with f:
-        for lineno, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                doc = json.loads(line)
-            except json.JSONDecodeError as exc:
-                bad(lineno, f"invalid JSON ({exc})")
-                continue
-            if not isinstance(doc, dict):
-                bad(lineno, f"expected a JSON object, got {type(doc).__name__}")
-                continue
-            try:
-                size = parse_size(doc["size"]) if doc.get("size") else None
-            except (TypeError, ValueError) as exc:
-                bad(lineno, f"invalid size {doc.get('size')!r} ({exc})")
-                continue
-            try:
-                if "plan" in doc:
-                    plan = plan_from_dict(doc["plan"])
-                elif "workload" in doc:
-                    plan = _workload_plan(doc["workload"], None, None)
-                elif "operators" in doc:
-                    plan = plan_from_dict(doc)
-                else:
-                    bad(
-                        lineno,
-                        "a job needs a 'plan', 'workload' or bare plan document",
-                    )
-                    continue
-                plan.validate()
-            except ReproError as exc:
-                bad(lineno, f"invalid job ({exc})")
-                continue
-            except Exception as exc:
-                bad(lineno, f"invalid plan document ({type(exc).__name__}: {exc})")
-                continue
-            job_id = str(doc.get("id") or plan.name or f"line{lineno}")
-            tags = doc.get("tags", {})
-            if not isinstance(tags, dict):
-                bad(lineno, f"tags must be an object, got {type(tags).__name__}")
-                continue
-            jobs.append(BatchJob(job_id, plan, size_bytes=size, tags=tags))
-    if not jobs and not error_rows:
-        raise ReproError(f"{path} contains no jobs")
+    for request in requests:
+        try:
+            jobs.append(request_to_job(request))
+        except ProtocolError as exc:
+            error_rows.append(
+                {"id": request.request_id, "ok": False, "error": f"{path}: {exc}"}
+            )
     return jobs, error_rows
 
 
@@ -289,6 +212,89 @@ def _chaos_profile(args):
     return profile
 
 
+def _optimize_batch_via_server(args) -> int:
+    """``optimize-batch --server``: the CLI as one daemon client among many.
+
+    Jobs are parsed with the same protocol vocabulary as local mode,
+    pipelined to the daemon in one burst (so it can micro-batch and
+    coalesce them), and printed in the same row format. Service knobs
+    (``--workers``, ``--cache``, ``--chaos-profile`` …) belong to the
+    daemon in this mode and are ignored.
+    """
+    import json
+    import time
+
+    from repro.serve.batch import _percentile
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import load_jobs_jsonl
+
+    requests, error_rows = load_jobs_jsonl(args.jobs)
+    if args.deadline_ms is not None:
+        for request in requests:
+            if request.deadline_ms is None:
+                request.deadline_ms = args.deadline_ms
+    started = time.perf_counter()
+    with ServeClient(args.server, timeout_s=args.timeout or 60.0) as client:
+        responses = client.optimize_many(requests) if requests else []
+    wall = time.perf_counter() - started
+    rows = list(error_rows)
+    durations = []
+    for response in responses:
+        if response.ok:
+            row = {
+                "id": response.request_id,
+                "ok": True,
+                "cached": response.cached,
+                "coalesced": response.coalesced,
+                "duration_s": response.duration_ms / 1000.0,
+                "predicted_runtime": response.predicted_runtime,
+                "platforms": response.platforms,
+                "assignment": response.assignment,
+                "stats": response.stats,
+            }
+            if response.degraded:
+                row["degraded"] = response.degraded
+            durations.append(response.duration_ms / 1000.0)
+        else:
+            row = {
+                "id": response.request_id,
+                "ok": False,
+                "error": response.error,
+                "code": response.code,
+            }
+            if response.retry_after_ms is not None:
+                row["retry_after_ms"] = response.retry_after_ms
+        rows.append(row)
+    if args.out:
+        with open(args.out, "w") as f:
+            for row in rows:
+                f.write(json.dumps(row) + "\n")
+        print(f"wrote {len(rows)} result rows to {args.out}")
+    else:
+        for row in rows:
+            shown = (
+                f"{row['predicted_runtime']:.2f}s"
+                if row["ok"]
+                else f"error: {row['error']}"
+            )
+            cached = " (cached)" if row.get("cached") else ""
+            degraded = f" (degraded: {row['degraded']})" if row.get("degraded") else ""
+            print(f"{row['id']:>24}: {shown}{cached}{degraded}")
+    n_ok = sum(1 for row in rows if row.get("ok"))
+    print(
+        f"batch: {n_ok}/{len(rows)} ok in {wall:.2f}s "
+        f"(server={args.server})"
+    )
+    if durations:
+        print(
+            "latency: "
+            f"p50={_percentile(durations, 50.0) * 1000:.1f}ms "
+            f"p95={_percentile(durations, 95.0) * 1000:.1f}ms "
+            f"p99={_percentile(durations, 99.0) * 1000:.1f}ms"
+        )
+    return 0 if n_ok == len(rows) else 1
+
+
 def cmd_optimize_batch(args) -> int:
     import json
     import os
@@ -302,6 +308,10 @@ def cmd_optimize_batch(args) -> int:
         robopt_factory,
     )
 
+    if args.server:
+        return _optimize_batch_via_server(args)
+    if not args.model:
+        raise ReproError("--model is required (unless --server is given)")
     registry = _registry(args.platforms)
     jobs, error_rows = _load_jobs(args.jobs, registry)
     chaos = _chaos_profile(args)
@@ -448,6 +458,108 @@ def cmd_optimize_batch(args) -> int:
     return 0 if failed == 0 else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the persistent optimization daemon until SIGTERM or a
+    ``shutdown`` frame; exits 0 after a clean drain."""
+    import asyncio
+    import os
+
+    from repro.obs import Tracer
+    from repro.resilience import RetryPolicy
+    from repro.serve import (
+        BatchOptimizationService,
+        DaemonConfig,
+        OptimizationDaemon,
+        PlanCache,
+        resilient_robopt_factory,
+        robopt_factory,
+    )
+
+    if not args.socket and not args.host:
+        raise ReproError("repro serve needs --socket PATH and/or --host")
+    registry = _registry(args.platforms)
+    chaos = _chaos_profile(args)
+    resilient = not args.no_resilience
+    if not os.path.isfile(args.model):
+        if resilient:
+            print(
+                f"warning: model {args.model} unreadable; serving from the "
+                "fallback chain",
+                file=sys.stderr,
+            )
+        else:
+            raise ReproError(f"cannot read model from {args.model}: no such file")
+    # A long-lived daemon defaults to an in-memory plan cache — repeated
+    # fingerprints are its whole reason to exist; --cache additionally
+    # persists it across restarts.
+    cache = None
+    if not args.no_cache:
+        if args.cache and os.path.exists(args.cache):
+            cache = PlanCache.load(args.cache, registry, max_entries=args.cache_size)
+        else:
+            cache = PlanCache(max_entries=args.cache_size)
+    platforms = tuple(n.strip() for n in args.platforms.split(","))
+    if resilient:
+        factory = resilient_robopt_factory(
+            platforms=platforms,
+            model_path=args.model,
+            priority=args.priority,
+            chaos=chaos,
+        )
+    else:
+        if chaos is not None:
+            raise ReproError("--chaos-profile requires the resilient stack")
+        factory = robopt_factory(
+            platforms=platforms,
+            model_path=args.model,
+            priority=args.priority,
+        )
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    service = BatchOptimizationService(
+        factory,
+        registry,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        cache=cache,
+        retry=retry,
+        quarantine_after=args.quarantine_after,
+    )
+    config = DaemonConfig(
+        unix_path=args.socket,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        default_deadline_ms=args.deadline_ms,
+        drain_grace_s=args.drain_grace,
+        coalesce=not args.no_coalesce,
+    )
+    daemon = OptimizationDaemon(service, config, Tracer())
+
+    def ready(addresses):
+        # The readiness line: scripts wait for it, and with --port 0 it
+        # is the only place the ephemeral port is announced.
+        print(f"serving on {' '.join(addresses)}", flush=True)
+
+    try:
+        code = asyncio.run(daemon.run(ready=ready))
+    except OSError as exc:
+        where = args.socket or f"{args.host}:{args.port}"
+        raise ReproError(f"cannot bind {where}: {exc}") from exc
+    if cache is not None and args.cache:
+        cache.save(args.cache)
+        print(f"saved plan cache ({len(cache)} entries) to {args.cache}")
+    if code == 0:
+        print("daemon drained cleanly", flush=True)
+    else:
+        print(
+            f"daemon exited with {daemon.pending} unanswered jobs",
+            file=sys.stderr,
+            flush=True,
+        )
+    return code
+
+
 def cmd_explain(args) -> int:
     from repro.core.optimizer import Robopt
 
@@ -532,7 +644,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="optimize a JSONL job file through the batch service",
     )
     batch.add_argument("--jobs", required=True, help="JSONL job file (one job per line)")
-    batch.add_argument("--model", required=True)
+    batch.add_argument(
+        "--model", default=None,
+        help="runtime model file (required unless --server is given)",
+    )
+    batch.add_argument(
+        "--server", default=None, metavar="ADDR",
+        help="send the jobs to a running 'repro serve' daemon at ADDR "
+        "('unix:/path' or 'host:port') instead of optimizing locally",
+    )
     batch.add_argument("--platforms", default="java,spark,flink")
     batch.add_argument("--priority", default="robopt")
     batch.add_argument(
@@ -583,6 +703,78 @@ def build_parser() -> argparse.ArgumentParser:
         "(recording is suppressed under pytest by default)",
     )
     batch.set_defaults(func=cmd_optimize_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent optimization daemon (unix socket/TCP)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket to listen on"
+    )
+    serve.add_argument("--host", default=None, help="TCP host to listen on")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks an ephemeral one, announced on stdout)",
+    )
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--platforms", default="java,spark,flink")
+    serve.add_argument("--priority", default="robopt")
+    serve.add_argument(
+        "--workers", type=_workers_arg, default=None, metavar="N|auto",
+        help="process count: 'auto' (default) sizes the warm pool from the "
+        "CPUs actually available to this process, 0 forces serial",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job timeout in seconds (pool mode)",
+    )
+    serve.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist the plan cache here (loaded if present, saved on exit)",
+    )
+    serve.add_argument("--cache-size", type=int, default=256, help="LRU bound")
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a plan cache (every request re-optimizes)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission bound: accepted-but-unanswered requests beyond "
+        "this are refused with a structured 'overloaded' error",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="largest micro-batch one dispatch drains from the queue",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline for requests that carry none",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="how long a drain waits for in-flight jobs before giving up",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable cross-client in-flight coalescing",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=2,
+        help="retry failed jobs this many times with backoff (0 = off)",
+    )
+    serve.add_argument(
+        "--quarantine-after", type=int, default=2,
+        help="worker deaths before a plan is quarantined",
+    )
+    serve.add_argument(
+        "--chaos-profile", default=None, metavar="SPEC",
+        help="inject deterministic faults (see optimize-batch --chaos-profile)",
+    )
+    serve.add_argument(
+        "--no-resilience", action="store_true",
+        help="use the bare optimizer stack (no fallback chain or budget)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     explain = sub.add_parser("explain", help="optimize and explain the decision")
     add_plan_args(explain)

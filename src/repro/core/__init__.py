@@ -37,7 +37,7 @@ from repro.core.pruning import (
     pruning_footprint,
 )
 from repro.core.priority import PRIORITIES, make_priority
-from repro.core.enumerator import EnumerationResult, EnumerationStats, PriorityEnumerator
+from repro.core.enumerator import EnumerationResult, PriorityEnumerator
 from repro.core.optimizer import OptimizationResult, Robopt
 
 __all__ = [
@@ -61,7 +61,6 @@ __all__ = [
     "make_priority",
     "PriorityEnumerator",
     "EnumerationResult",
-    "EnumerationStats",
     "Robopt",
     "OptimizationResult",
 ]

@@ -48,14 +48,6 @@ from repro.rheem.platforms import PlatformRegistry
 #: not be assembled and a greedy single-pass assignment was returned.
 REASON_GREEDY = "greedy_fallback"
 
-#: Instrumentation of one enumeration run. ``vectors_created`` counts the
-#: plan vectors materialized by concatenations (pre-pruning) — the paper's
-#: "number of enumerated subplans" (Table I); ``rows_predicted`` counts
-#: cost-oracle rows. Kept under its historical name; the shared type that
-#: all optimizers now populate is :class:`repro.api.RunStats`.
-EnumerationStats = RunStats
-
-
 @dataclass
 class EnumerationResult:
     """The outcome of one optimization: the chosen plan and diagnostics."""

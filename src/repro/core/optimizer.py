@@ -20,7 +20,6 @@ import numpy as np
 from repro.api import OptimizationResult, RunStats
 from repro.core.enumerator import (
     EnumerationResult,
-    EnumerationStats,
     PriorityEnumerator,
 )
 from repro.core.features import FeatureSchema

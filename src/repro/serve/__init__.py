@@ -15,12 +15,23 @@ subpackage provides the batch layer on top of any
   workers initialized once and reused across batches), per-job timeouts,
   graceful serial fallback, within-batch and in-flight deduplication,
   singleton-enumeration memoization, and tail-latency percentiles;
+* :mod:`repro.serve.protocol` — the versioned wire schema
+  (``OptimizeRequest``/``OptimizeResponse``/``ErrorResponse`` frames,
+  strict parsing with unknown-field tolerance) shared by the daemon,
+  the client and the CLI's JSONL job rows;
+* :mod:`repro.serve.daemon` — :class:`OptimizationDaemon`: the
+  persistent asyncio front door (unix socket + TCP) with bounded-queue
+  admission control, cross-client fingerprint coalescing, per-request
+  deadline budgets and graceful drain;
+* :mod:`repro.serve.client` — :class:`ServeClient`, the blocking
+  client with pipelined bursts;
 * :mod:`repro.serve.testing` — picklable deterministic doubles for the
   differential and concurrency suites.
 
-CLI: ``repro optimize-batch --jobs jobs.jsonl --model model.pkl``.
-See ``docs/serving.md`` for the batch API, fingerprint scheme and cache
-semantics.
+CLI: ``repro optimize-batch --jobs jobs.jsonl --model model.pkl``
+(add ``--server unix:/run/repro.sock`` to go through a daemon started
+with ``repro serve``). See ``docs/serving.md`` for the batch API,
+fingerprint scheme, cache semantics and the daemon wire protocol.
 """
 
 from repro.serve.batch import (
@@ -33,7 +44,25 @@ from repro.serve.batch import (
     robopt_factory,
 )
 from repro.serve.cache import CacheStats, PlanCache, copy_result
+from repro.serve.client import ServeClient, parse_address
+from repro.serve.daemon import DaemonConfig, OptimizationDaemon
 from repro.serve.fingerprint import cardinality_bucket, plan_fingerprint
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ErrorResponse,
+    OptimizeRequest,
+    OptimizeResponse,
+    ProtocolError,
+    ShutdownRequest,
+    ShutdownResponse,
+    StatsRequest,
+    StatsResponse,
+    job_row_to_request,
+    load_jobs_jsonl,
+    parse_request,
+    parse_response,
+    request_to_job,
+)
 
 __all__ = [
     "BatchJob",
@@ -48,4 +77,24 @@ __all__ = [
     "copy_result",
     "plan_fingerprint",
     "cardinality_bucket",
+    # wire protocol
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "ErrorResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "ShutdownRequest",
+    "ShutdownResponse",
+    "parse_request",
+    "parse_response",
+    "job_row_to_request",
+    "request_to_job",
+    "load_jobs_jsonl",
+    # daemon + client
+    "OptimizationDaemon",
+    "DaemonConfig",
+    "ServeClient",
+    "parse_address",
 ]

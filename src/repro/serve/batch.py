@@ -51,6 +51,7 @@ The pool needs a *picklable factory* rather than an optimizer instance
 from __future__ import annotations
 
 import functools
+import inspect
 import math
 import os
 import pickle
@@ -120,19 +121,68 @@ def _percentile(values: Sequence[float], q: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
+#: Per-optimizer-type verdict of the ``budget=`` capability probe below.
+_BUDGET_CAPABLE: Dict[type, bool] = {}
+
+
+def _accepts_budget(optimizer: Optimizer) -> bool:
+    """Whether this optimizer's ``optimize`` takes a per-call ``budget``.
+
+    Budgets are an optimization contract, not a universal one — chaos
+    wrappers and third-party optimizers may not accept the keyword, and
+    they must keep working (their jobs simply run unbudgeted).
+    """
+    kind = type(optimizer)
+    verdict = _BUDGET_CAPABLE.get(kind)
+    if verdict is None:
+        try:
+            verdict = "budget" in inspect.signature(optimizer.optimize).parameters
+        except (TypeError, ValueError):  # builtins/odd callables
+            verdict = False
+        _BUDGET_CAPABLE[kind] = verdict
+    return verdict
+
+
+def _optimize_with_deadline(
+    optimizer: Optimizer, plan: LogicalPlan, deadline_ms: Optional[float]
+) -> OptimizationResult:
+    """One optimize call, under the job's deadline budget when it has one."""
+    if deadline_ms is not None and _accepts_budget(optimizer):
+        from repro.resilience.budget import Budget
+
+        return optimizer.optimize(plan, budget=Budget(deadline_s=deadline_ms / 1000.0))
+    return optimizer.optimize(plan)
+
+
+def _dedupe_key(fingerprint: str, deadline_ms: Optional[float]) -> str:
+    """The equivalence key for collapsing/coalescing jobs.
+
+    A deadline is part of the answer's identity: a 10 ms budget may
+    legitimately produce a degraded plan that a deadline-free sibling of
+    the same fingerprint must never be handed.
+    """
+    if deadline_ms is None:
+        return fingerprint
+    return f"{fingerprint}|deadline_ms={deadline_ms:g}"
+
+
 @dataclass
 class BatchJob:
     """One optimization request: a plan plus per-job statistics.
 
     ``size_bytes`` rescales the plan's input datasets before optimizing
     (the parametric-query knob); ``tags`` travel untouched into the
-    outcome for the caller's bookkeeping.
+    outcome for the caller's bookkeeping; ``deadline_ms`` is this job's
+    anytime budget — passed as a per-call
+    :class:`~repro.resilience.budget.Budget` to optimizers that accept
+    one, so an expiring job answers degraded instead of late.
     """
 
     job_id: str
     plan: LogicalPlan
     size_bytes: Optional[float] = None
     tags: Dict[str, Any] = field(default_factory=dict)
+    deadline_ms: Optional[float] = None
 
     def prepared_plan(self) -> LogicalPlan:
         """The plan to optimize (cloned + rescaled if sized)."""
@@ -309,13 +359,15 @@ def _worker_init(factory: Callable[[], Optimizer], memoize: bool) -> None:
         _enable_singleton_memo(_WORKER_OPTIMIZER, {})
 
 
-def _worker_run(job_id: str, plan_json: str) -> Dict[str, Any]:
+def _worker_run(
+    job_id: str, plan_json: str, deadline_ms: Optional[float] = None
+) -> Dict[str, Any]:
     """Optimize one shipped plan; returns a JSON-safe result document."""
     from repro.rheem.serialization import execution_plan_to_dict, plan_from_json
 
     assert _WORKER_OPTIMIZER is not None, "worker pool not initialized"
     plan = plan_from_json(plan_json)
-    result = _WORKER_OPTIMIZER.optimize(plan)
+    result = _optimize_with_deadline(_WORKER_OPTIMIZER, plan, deadline_ms)
     return {
         "job_id": job_id,
         "execution_plan": execution_plan_to_dict(result.execution_plan),
@@ -657,8 +709,9 @@ class BatchOptimizationService:
         self.quarantine = Quarantine(threshold=quarantine_after)
         self._optimizer: Optional[Optimizer] = None
         self._pool = _WarmWorkerPool(optimizer_factory, memoize_singletons, max(workers, 1))
-        # In-flight fingerprint table: fingerprint -> the Future computing
-        # it right now. Concurrent batches coalesce onto it.
+        # In-flight table: dedupe key (fingerprint + deadline class, see
+        # _dedupe_key) -> the Future computing it right now. Concurrent
+        # batches coalesce onto it.
         self._inflight: Dict[str, Future] = {}
         self._inflight_lock = threading.Lock()
         self.registry = registry if registry is not None else self._serial_optimizer().registry
@@ -701,7 +754,11 @@ class BatchOptimizationService:
                 job = BatchJob(job_id=item.name or f"job{index}", plan=item)
             if job.job_id in seen or not job.job_id:
                 job = BatchJob(
-                    f"{job.job_id or 'job'}#{index}", job.plan, job.size_bytes, job.tags
+                    f"{job.job_id or 'job'}#{index}",
+                    job.plan,
+                    job.size_bytes,
+                    job.tags,
+                    deadline_ms=job.deadline_ms,
                 )
             seen[job.job_id] = index
             out.append(job)
@@ -768,7 +825,11 @@ class BatchOptimizationService:
                 # Collapsing same-fingerprint jobs onto one optimization is
                 # the cache's equivalence semantics; without a cache every
                 # job is optimized individually.
-                key = fp if self.cache is not None else f"job:{job.job_id}"
+                key = (
+                    _dedupe_key(fp, job.deadline_ms)
+                    if self.cache is not None
+                    else f"job:{job.job_id}"
+                )
                 if key in representatives:
                     followers.setdefault(key, []).append(job)
                 else:
@@ -866,7 +927,15 @@ class BatchOptimizationService:
         # publish fresh results to the cache.
         for key, job in representatives.items():
             rep = outcomes[job.job_id]
-            if rep.ok and rep.result is not None and self.cache is not None:
+            if (
+                rep.ok
+                and rep.result is not None
+                and self.cache is not None
+                # A degraded answer is the best *this deadline* allowed —
+                # caching it would serve a 10 ms compromise to every
+                # future deadline-free request of the same fingerprint.
+                and not rep.result.stats.degraded
+            ):
                 self.cache.put(fingerprints[job.job_id], rep.result)
             for follower in followers.get(key, []):
                 if rep.ok and rep.result is not None:
@@ -927,7 +996,9 @@ class BatchOptimizationService:
             t0 = time.perf_counter()
             try:
                 with tracer.span("serve.job", job=job.job_id, mode="serial"):
-                    result = optimizer.optimize(prepared[job.job_id])
+                    result = _optimize_with_deadline(
+                        optimizer, prepared[job.job_id], job.deadline_ms
+                    )
                 outcomes[job.job_id] = JobOutcome(
                     job.job_id,
                     ok=True,
@@ -996,21 +1067,23 @@ class BatchOptimizationService:
             ):
                 for job in todo:
                     payload = plan_to_json(prepared[job.job_id], indent=0)
-                    fp = fingerprints[job.job_id]
+                    key = _dedupe_key(fingerprints[job.job_id], job.deadline_ms)
                     try:
                         if dedupe:
                             with self._inflight_lock:
-                                sibling = self._inflight.get(fp)
+                                sibling = self._inflight.get(key)
                                 if sibling is not None:
                                     coalesced.append((job, sibling))
                                     continue
                                 future = executor.submit(
-                                    _worker_run, job.job_id, payload
+                                    _worker_run, job.job_id, payload, job.deadline_ms
                                 )
-                                self._inflight[fp] = future
-                                own_fps.append(fp)
+                                self._inflight[key] = future
+                                own_fps.append(key)
                         else:
-                            future = executor.submit(_worker_run, job.job_id, payload)
+                            future = executor.submit(
+                                _worker_run, job.job_id, payload, job.deadline_ms
+                            )
                     except Exception as exc:  # pool broke during submission
                         broken = f"{type(exc).__name__}: {exc}"
                         outcomes[job.job_id] = JobOutcome(

@@ -1,0 +1,204 @@
+"""The synchronous client of the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the newline-delimited JSON frames of
+:mod:`repro.serve.protocol` over a unix socket (``unix:/path``) or TCP
+(``host:port``). It is deliberately boring: blocking socket I/O, one
+connection, no thread magic — the concurrency lives in the daemon. The
+one serving-minded feature is :meth:`ServeClient.optimize_many`, which
+*pipelines*: every request goes out before the first response is read,
+so the daemon sees the whole burst at once (micro-batching and
+cross-client coalescing get a fair shot) and the client still returns
+responses in request order, matched by ``request_id``.
+
+Protocol-level refusals (``error`` frames) are returned, not raised —
+an ``overloaded`` rejection with ``retry_after_ms`` is an answer, and
+callers branch on ``response.ok``. Transport failures (connection
+refused, mid-frame disconnect) raise :class:`~repro.exceptions.ReproError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.serve.protocol import (
+    OptimizeRequest,
+    ShutdownRequest,
+    StatsRequest,
+    parse_response,
+)
+
+__all__ = ["ServeClient", "parse_address"]
+
+#: Longest accepted response line — mirrors the daemon's frame bound.
+_MAX_LINE = 16 * 1024 * 1024
+
+
+def parse_address(address: str) -> Tuple[str, Union[str, Tuple[str, int]]]:
+    """Parse ``unix:/path`` or ``host:port`` into a transport spec.
+
+    Returns ``("unix", path)`` or ``("tcp", (host, port))``.
+    """
+    text = address.strip()
+    if text.startswith("unix:"):
+        path = text[len("unix:"):]
+        if not path:
+            raise ReproError(f"empty unix socket path in address {address!r}")
+        return ("unix", path)
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"cannot parse server address {address!r}; "
+            "expected 'unix:/path' or 'host:port'"
+        )
+    try:
+        return ("tcp", (host, int(port)))
+    except ValueError as exc:
+        raise ReproError(f"invalid port in address {address!r}") from exc
+
+
+class ServeClient:
+    """One connection to an optimization daemon.
+
+    Usable as a context manager; :meth:`connect` is lazy (the first
+    request opens the socket). ``timeout_s`` bounds every blocking
+    socket operation — a daemon that stops answering raises instead of
+    hanging the caller forever.
+    """
+
+    def __init__(self, address: str, timeout_s: Optional[float] = 60.0):
+        self.address = address
+        self.timeout_s = timeout_s
+        self._spec = parse_address(address)
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        kind, target = self._spec
+        try:
+            if kind == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout_s)
+                sock.connect(target)
+            else:
+                sock = socket.create_connection(target, timeout=self.timeout_s)
+        except OSError as exc:
+            raise ReproError(f"cannot connect to {self.address}: {exc}") from exc
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
+        for closable in (reader, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:  # pragma: no cover - teardown race
+                    pass
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _send_line(self, text: str) -> None:
+        self.connect()
+        try:
+            self._sock.sendall(text.encode() + b"\n")
+        except OSError as exc:
+            self.close()
+            raise ReproError(f"lost connection to {self.address}: {exc}") from exc
+
+    def _read_frame(self):
+        self.connect()
+        try:
+            line = self._reader.readline(_MAX_LINE)
+        except OSError as exc:
+            self.close()
+            raise ReproError(f"lost connection to {self.address}: {exc}") from exc
+        if not line:
+            self.close()
+            raise ReproError(
+                f"connection to {self.address} closed before a response arrived"
+            )
+        return parse_response(line.decode("utf-8", errors="replace"))
+
+    def request(self, frame):
+        """Send one request frame, return the daemon's response frame."""
+        self._send_line(frame.to_json())
+        return self._read_frame()
+
+    def _fresh_id(self) -> str:
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    # ------------------------------------------------------------------
+    def optimize(self, request: OptimizeRequest):
+        """One optimization round trip.
+
+        Returns the response frame — an
+        :class:`~repro.serve.protocol.OptimizeResponse` or an
+        :class:`~repro.serve.protocol.ErrorResponse`; branch on ``.ok``.
+        """
+        if not request.request_id:
+            request.request_id = self._fresh_id()
+        request.validate()
+        return self.request(request)
+
+    def optimize_many(self, requests: Sequence[OptimizeRequest]) -> List:
+        """Pipeline a burst of requests; responses in request order.
+
+        All frames are written before any response is read, so the
+        daemon can micro-batch and coalesce across the burst; responses
+        may come back in any order and are re-matched by ``request_id``
+        (missing ids are assigned, clashing ids are an error — the match
+        would be ambiguous).
+        """
+        requests = list(requests)
+        ids: List[str] = []
+        seen = set()
+        for request in requests:
+            if not request.request_id:
+                request.request_id = self._fresh_id()
+            if request.request_id in seen:
+                raise ReproError(
+                    f"duplicate request_id {request.request_id!r} in a "
+                    "pipelined burst; responses would be ambiguous"
+                )
+            seen.add(request.request_id)
+            ids.append(request.request_id)
+            request.validate()
+        for request in requests:
+            self._send_line(request.to_json())
+        by_id = {}
+        for _ in requests:
+            response = self._read_frame()
+            by_id[response.request_id] = response
+        missing = [rid for rid in ids if rid not in by_id]
+        if missing:
+            raise ReproError(
+                f"daemon answered {len(by_id)} of {len(ids)} pipelined "
+                f"requests; missing {missing[:5]}"
+            )
+        return [by_id[rid] for rid in ids]
+
+    def stats(self):
+        """The daemon's live counters and latency tails."""
+        return self.request(StatsRequest(request_id=self._fresh_id()))
+
+    def shutdown(self):
+        """Ask the daemon to drain and exit; returns the acknowledgement."""
+        return self.request(ShutdownRequest(request_id=self._fresh_id()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "connected" if self._sock is not None else "idle"
+        return f"ServeClient({self.address!r}, {state})"

@@ -34,6 +34,8 @@ __all__ = [
     "slow_init_robopt_factory",
     "counting_robopt_factory",
     "count_markers",
+    "DaemonHarness",
+    "run_daemon",
 ]
 
 
@@ -359,3 +361,95 @@ def slow_init_robopt_factory(
     import functools
 
     return functools.partial(_build_slow_init, platforms, seed, init_sleep_s)
+
+
+# ---------------------------------------------------------------------------
+# The daemon harness (tests + benchmarks host the event loop off-thread)
+# ---------------------------------------------------------------------------
+
+
+class DaemonHarness:
+    """One :class:`~repro.serve.daemon.OptimizationDaemon` event loop in a
+    background thread, driven by synchronous clients outside it.
+
+    ``asyncio.run(daemon.run(...))`` happens off the main thread, so the
+    daemon's signal hooks are skipped (it tolerates that) and drain is
+    driven by the ``shutdown`` frame or :meth:`stop`. The harness owns a
+    fresh :class:`~repro.obs.Tracer` (``harness.tracer``) unless one is
+    passed in.
+    """
+
+    def __init__(self, service, tracer=None, **config_kwargs):
+        from repro.obs import Tracer
+        from repro.serve.daemon import DaemonConfig, OptimizationDaemon
+
+        config_kwargs.setdefault("drain_grace_s", 20.0)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.daemon = OptimizationDaemon(
+            service, DaemonConfig(**config_kwargs), tracer=self.tracer
+        )
+        self.exit_code = None
+        self.addresses = []
+        self.loop = None
+        self._ready = None
+        self._thread = None
+
+    def _run(self):
+        import asyncio
+
+        async def main():
+            def ready(addresses):
+                self.addresses = addresses
+                self.loop = asyncio.get_running_loop()
+                self._ready.set()
+
+            return await self.daemon.run(ready=ready)
+
+        try:
+            self.exit_code = asyncio.run(main())
+        finally:
+            self._ready.set()  # unblock start() even on a failed boot
+
+    def start(self) -> "DaemonHarness":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0) or not self.addresses:
+            raise RuntimeError("daemon failed to start")
+        return self
+
+    @property
+    def address(self) -> str:
+        """The first bound listen address (``unix:...`` / ``host:port``)."""
+        return self.addresses[0]
+
+    def stop(self, timeout: float = 30.0):
+        """Request drain (idempotent), join the loop thread, return the
+        daemon's exit code (0 = clean drain)."""
+        import contextlib
+
+        if self.loop is not None and self._thread is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self.loop.call_soon_threadsafe(self.daemon.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("daemon loop failed to exit")
+        return self.exit_code
+
+
+def run_daemon(service, tracer=None, **config_kwargs):
+    """Context manager: a running :class:`DaemonHarness`, drained on exit."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def _ctx():
+        harness = DaemonHarness(service, tracer=tracer, **config_kwargs).start()
+        try:
+            yield harness
+        finally:
+            harness.stop()
+
+    return _ctx()

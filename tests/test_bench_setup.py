@@ -45,7 +45,7 @@ class TestLatencySetup:
         result = RheemixOptimizer(registry, cost_model).optimize(
             synthetic.pipeline_plan(6)
         )
-        assert result.cost > 0
+        assert result.predicted_runtime > 0
 
 
 class TestArtifactsDir:

@@ -435,3 +435,61 @@ class TestChaosCli:
         rows = [json.loads(line) for line in out.read_text().splitlines()]
         assert all(r["ok"] for r in rows)
         assert all(r["degraded"] for r in rows)
+
+
+# ---------------------------------------------------------------------------
+# The daemon front door (ISSUE 7): chaos contracts hold over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestDaemonUnderChaosProfiles:
+    """The network layer adds no new failure modes: chaos behind the
+    daemon degrades exactly as it does behind the batch CLI."""
+
+    def test_nan_storm_daemon_answers_every_client(self, registry, tmp_path):
+        from test_serve_daemon import _plan_request, run_daemon
+        from repro.serve import ServeClient
+
+        factory = resilient_robopt_factory(
+            platforms=N_PLATFORMS, chaos=PROFILES["nan-storm"]
+        )
+        service = BatchOptimizationService(factory, registry, workers=0)
+        with run_daemon(service, unix_path=str(tmp_path / "d.sock")) as harness:
+            with ServeClient(harness.address) as client:
+                responses = client.optimize_many(
+                    [_plan_request(build_pipeline(2 + i % 3), f"n{i}") for i in range(4)]
+                )
+        assert all(r.ok for r in responses)
+
+    def test_poisoned_plan_is_quarantined_over_the_wire(self, registry, tmp_path):
+        """A plan that keeps killing pool workers crosses the quarantine
+        threshold; the client sees a structured ``quarantined`` error and
+        other plans keep completing on the recycled pool."""
+        from test_serve_daemon import _plan_request, run_daemon
+        from repro.serve import ServeClient
+
+        factory = crashing_robopt_factory(platforms=N_PLATFORMS)
+        service = BatchOptimizationService(
+            factory,
+            registry,
+            workers=2,
+            retry=RetryPolicy(max_retries=3, base_backoff_s=0.0, jitter=0.0),
+            quarantine_after=2,
+        )
+        with run_daemon(service, unix_path=str(tmp_path / "d.sock")) as harness:
+            with ServeClient(harness.address) as client:
+                bad = client.optimize(
+                    _plan_request(_named(build_pipeline(3), "crash-me"), "bad")
+                )
+                assert not bad.ok
+                assert bad.code == "quarantined"
+                # the quarantine persists: refused up front next time
+                again = client.optimize(
+                    _plan_request(_named(build_pipeline(3), "crash-me"), "bad2")
+                )
+                assert not again.ok
+                assert again.code == "quarantined"
+                assert "quarantined" in again.error
+                # an innocent plan still gets a real answer
+                ok = client.optimize(_plan_request(build_pipeline(2), "ok"))
+                assert ok.ok, ok

@@ -73,7 +73,7 @@ class TestEndToEnd:
         obj = RheemMLOptimizer(
             ctx["registry"], ctx["model"], schema=ctx["schema"]
         ).optimize(plan)
-        assert obj.cost == pytest.approx(vec.predicted_runtime, rel=1e-6)
+        assert obj.predicted_runtime == pytest.approx(vec.predicted_runtime, rel=1e-6)
         assert obj.execution_plan == vec.execution_plan
 
     def test_vectorized_is_faster_than_object_based(self, tiny_context):

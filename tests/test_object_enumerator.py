@@ -57,7 +57,7 @@ class TestAgreementWithVectorized:
         vec = PriorityEnumerator(reg, vector_linear_cost(schema), schema=schema)
         r_obj = obj.enumerate_plan(plan)
         r_vec = vec.enumerate_plan(plan)
-        assert r_obj.cost == pytest.approx(r_vec.predicted_cost)
+        assert r_obj.predicted_runtime == pytest.approx(r_vec.predicted_cost)
         assert r_obj.execution_plan == r_vec.execution_plan
 
     @pytest.mark.parametrize("priority", ["robopt", "topdown", "bottomup"])
@@ -81,10 +81,10 @@ class TestPruningBehaviour:
         cost = object_linear_cost(schema)
         pruned = ObjectEnumerator(reg, cost).enumerate_plan(plan)
         exhaustive = ObjectEnumerator(reg, cost, pruning=False).enumerate_plan(plan)
-        assert pruned.stats.subplans_created < exhaustive.stats.subplans_created
-        assert pruned.stats.subplans_pruned > 0
-        assert exhaustive.stats.subplans_pruned == 0
-        assert pruned.cost == pytest.approx(exhaustive.cost)
+        assert pruned.stats.vectors_created < exhaustive.stats.vectors_created
+        assert pruned.stats.vectors_pruned > 0
+        assert exhaustive.stats.vectors_pruned == 0
+        assert pruned.predicted_runtime == pytest.approx(exhaustive.predicted_runtime)
 
     def test_max_subplans_guard(self, reg):
         plan = build_pipeline(6)
@@ -100,7 +100,7 @@ class TestPruningBehaviour:
         schema = FeatureSchema(reg)
         result = ObjectEnumerator(reg, object_linear_cost(schema)).enumerate_plan(plan)
         s = result.stats
-        assert s.singleton_subplans == 2 * plan.n_operators
+        assert s.singleton_vectors == 2 * plan.n_operators
         assert s.merges > 0
-        assert s.cost_evaluations > 0
+        assert s.rows_predicted > 0
         assert s.latency_s > 0

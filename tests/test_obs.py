@@ -281,22 +281,26 @@ class TestNoOpOverhead:
         )
 
 
-class TestUnifiedApiAliases:
-    def test_run_stats_deprecated_aliases(self):
+class TestUnifiedApiNames:
+    def test_run_stats_aliases_are_gone(self):
         from repro.api import RunStats
 
-        stats = RunStats()
-        with pytest.warns(DeprecationWarning):
-            stats.subplans_created = 5
-        with pytest.warns(DeprecationWarning):
-            assert stats.subplans_created == 5
+        stats = RunStats(vectors_created=5)
         assert stats.vectors_created == 5
+        for old in (
+            "subplans_created",
+            "subplans_pruned",
+            "singleton_subplans",
+            "cost_evaluations",
+        ):
+            with pytest.raises(AttributeError):
+                getattr(stats, old)
 
-    def test_result_cost_alias_warns(self):
+    def test_result_cost_alias_is_gone(self):
         from repro.api import OptimizationResult
 
         result = OptimizationResult(execution_plan=None, predicted_runtime=2.0)
-        with pytest.warns(DeprecationWarning):
-            assert result.cost == 2.0
+        with pytest.raises(AttributeError):
+            result.cost
         assert result.predicted_cost == 2.0
         assert result.latency_s == result.stats.latency_s

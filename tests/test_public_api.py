@@ -99,8 +99,13 @@ class TestOptimizerProtocol:
         assert not isinstance(object(), Optimizer)
 
 
-class TestDeprecationShims:
-    def test_object_enumeration_result_is_optimization_result(self):
+class TestAliasFreeSurface:
+    """The one-release deprecation window is over: the pre-unification
+    names are gone, not warning."""
+
+    def test_object_world_type_aliases_still_resolve(self):
+        # These are *type* aliases (same class, different vocabulary),
+        # not deprecation shims — they stay.
         from repro.baselines.object_enumerator import (
             ObjectEnumerationResult,
             ObjectStats,
@@ -109,21 +114,59 @@ class TestDeprecationShims:
         assert ObjectEnumerationResult is OptimizationResult
         assert ObjectStats is RunStats
 
-    def test_enumeration_stats_is_run_stats(self):
-        from repro.core.enumerator import EnumerationStats
+    def test_enumeration_stats_reexport_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro.core.enumerator import EnumerationStats  # noqa: F401
 
-        assert EnumerationStats is RunStats
-
-    def test_stats_read_aliases(self):
+    def test_stats_attribute_aliases_are_gone(self):
         stats = RunStats(vectors_created=7, vectors_pruned=2, singleton_vectors=3)
-        with pytest.warns(DeprecationWarning):
-            assert stats.subplans_created == 7
-        with pytest.warns(DeprecationWarning):
-            assert stats.subplans_pruned == 2
-        with pytest.warns(DeprecationWarning):
-            assert stats.singleton_subplans == 3
+        for old in (
+            "subplans_created",
+            "subplans_pruned",
+            "singleton_subplans",
+            "cost_evaluations",
+        ):
+            with pytest.raises(AttributeError):
+                getattr(stats, old)
+
+    def test_result_cost_alias_is_gone(self):
+        result = OptimizationResult(execution_plan=None, predicted_runtime=1.5)
+        with pytest.raises(AttributeError):
+            result.cost
 
     def test_stats_as_dict_uses_canonical_names(self):
         blob = RunStats(vectors_created=4).as_dict()
         assert blob["vectors_created"] == 4
         assert "subplans_created" not in blob
+
+
+class TestServingSurface:
+    """The daemon/protocol/client types are first-class public API."""
+
+    def test_daemon_names_are_exported(self):
+        for name in (
+            "OptimizationDaemon",
+            "DaemonConfig",
+            "ServeClient",
+            "OptimizeRequest",
+            "OptimizeResponse",
+            "ErrorResponse",
+            "PROTOCOL_VERSION",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None, name
+
+    def test_lazy_daemon_names_resolve_to_canonical_classes(self):
+        from repro.serve.client import ServeClient
+        from repro.serve.daemon import OptimizationDaemon
+        from repro.serve.protocol import OptimizeRequest
+
+        assert repro.OptimizationDaemon is OptimizationDaemon
+        assert repro.ServeClient is ServeClient
+        assert repro.OptimizeRequest is OptimizeRequest
+
+    def test_serve_all_is_importable(self):
+        import repro.serve as serve
+
+        for name in serve.__all__:
+            assert getattr(serve, name) is not None, name
