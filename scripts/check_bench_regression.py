@@ -37,6 +37,13 @@ the latest ``daemon_p95_ms`` of ``--daemon-name`` (default
 fraction vs the previous entry. The metric is in *milliseconds* — the
 gate skips sub-millisecond previous values as timer noise.
 
+``--enum-latency-tolerance`` gates the core enumeration kernels
+(ISSUE 8): the latest ``robopt_80ops_s`` of ``--enum-name`` (default
+the Fig. 9(a) benchmark nodeid) may not rise by more than the given
+fraction vs the previous entry. ``--max-enum-latency`` additionally
+bounds the latest value absolutely (seconds), so a slow creep across
+many runs cannot hide inside the per-run tolerance.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
@@ -117,6 +124,32 @@ def main(argv=None) -> int:
             "this fraction vs the previous entry (e.g. 0.5)"
         ),
     )
+    parser.add_argument(
+        "--enum-name",
+        default=(
+            "benchmarks/test_fig09_efficiency.py"
+            "::test_fig09a_latency_vs_operators"
+        ),
+        help="series whose robopt_80ops_s the enumeration gate compares",
+    )
+    parser.add_argument(
+        "--enum-latency-tolerance",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest robopt_80ops_s rose by more than "
+            "this fraction vs the previous entry (e.g. 0.25)"
+        ),
+    )
+    parser.add_argument(
+        "--max-enum-latency",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest robopt_80ops_s exceeds this many "
+            "seconds outright (absolute ceiling, e.g. 0.012)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.trajectory import series
@@ -141,6 +174,16 @@ def main(argv=None) -> int:
     if args.daemon_p95_tolerance is not None:
         rc = check_daemon_p95(
             args.daemon_name, args.daemon_p95_tolerance, args.root
+        )
+        if rc != 0:
+            return rc
+
+    if args.enum_latency_tolerance is not None or args.max_enum_latency is not None:
+        rc = check_enum_latency(
+            args.enum_name,
+            args.enum_latency_tolerance,
+            args.max_enum_latency,
+            args.root,
         )
         if rc != 0:
             return rc
@@ -285,6 +328,74 @@ def check_daemon_p95(name: str, tolerance: float, root=None) -> int:
     if rise > tolerance:
         print(
             f"bench-regression: daemon p95 rose {rise:.1%} "
+            f"(> {tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_enum_latency(
+    name: str, tolerance=None, ceiling=None, root=None
+) -> int:
+    """Gate the 80-operator enumeration latency (the merge/prune hot path).
+
+    Two independent bounds over the Fig. 9(a) ``robopt_80ops_s`` series:
+
+    * ``tolerance`` — the latest value may not *rise* by more than this
+      fraction vs the previous entry (same shape as :func:`check_latency`);
+    * ``ceiling`` — the latest value may not exceed this many seconds
+      outright, which catches slow creep that per-run tolerances forgive.
+    """
+    from repro.bench.trajectory import series
+
+    metric = "robopt_80ops_s"
+    entries = series(name, metric=metric, root=root)
+    if not entries:
+        print(
+            f"bench-regression: no entries for {name!r} carry {metric!r} "
+            "— enumeration gate skipped (benchmark not yet recorded)"
+        )
+        return 0
+    latest = entries[-1]["metrics"][metric]
+    if ceiling is not None and latest is not None:
+        verdict = "OK" if latest <= ceiling else "TOO SLOW"
+        print(
+            f"bench-regression: {name}.{metric} {latest * 1000:.2f}ms "
+            f"(ceiling {ceiling * 1000:.2f}ms) [{verdict}]"
+        )
+        if latest > ceiling:
+            print(
+                f"bench-regression: 80-op enumeration took "
+                f"{latest * 1000:.2f}ms (> {ceiling * 1000:.2f}ms ceiling)",
+                file=sys.stderr,
+            )
+            return 1
+    if tolerance is None:
+        return 0
+    if len(entries) < 2:
+        print(
+            f"bench-regression: only {len(entries)} entry/ies carry "
+            f"{metric!r} — enumeration baseline established, nothing to compare"
+        )
+        return 0
+    previous = entries[-2]["metrics"][metric]
+    if previous is None or latest is None or previous < 1e-3:
+        print(
+            f"bench-regression: {metric} non-comparable "
+            f"({previous!r} -> {latest!r}), enumeration gate skipped"
+        )
+        return 0
+    rise = (latest - previous) / previous
+    verdict = "OK" if rise <= tolerance else "REGRESSION"
+    print(
+        f"bench-regression: {name}.{metric} "
+        f"{previous * 1000:.2f}ms -> {latest * 1000:.2f}ms "
+        f"({rise:+.1%}) [{verdict}]"
+    )
+    if rise > tolerance:
+        print(
+            f"bench-regression: enumeration latency rose {rise:.1%} "
             f"(> {tolerance:.0%} tolerance)",
             file=sys.stderr,
         )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Profile one Robopt enumeration: cProfile hotspots + RunStats phases.
+
+Optimizes an N-operator TDGEN plan (shape/size/platform count from the
+CLI) a few times under cProfile and prints:
+
+* the top functions by cumulative time (default 20) — where the wall
+  clock actually goes, across merge, prune and the model;
+* the optimizer's own ``RunStats`` phase breakdown for the best run —
+  merge vs prune vs everything else, plus the enumeration counters
+  (merges, prune calls, rows predicted, peak enumeration size).
+
+This is the first stop when the Fig. 9(a) trajectory regresses: compare
+its output against the committed numbers in ``docs/paper_mapping.md``
+("hot-path kernels") to see which phase moved.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_enumerate.py
+    PYTHONPATH=src python scripts/profile_enumerate.py \
+        --operators 40 --platforms 3 --shape juncture --repeats 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--operators", type=int, default=80, help="plan size N")
+    parser.add_argument("--platforms", type=int, default=2, help="registry size k")
+    parser.add_argument(
+        "--shape",
+        default="pipeline",
+        help="TDGEN plan shape (pipeline/juncture/replicate/loop)",
+    )
+    parser.add_argument("--repeats", type=int, default=10, help="profiled runs")
+    parser.add_argument("--seed", type=int, default=0, help="TDGEN generator seed")
+    parser.add_argument(
+        "--cardinality", type=float, default=1e6, help="source cardinality"
+    )
+    parser.add_argument("--top", type=int, default=20, help="profile rows to print")
+    args = parser.parse_args(argv)
+
+    from repro.bench.synthetic_setup import latency_setup
+    from repro.core.optimizer import Robopt
+    from repro.tdgen.jobgen import JobGenerator
+
+    registry, schema, model, _ = latency_setup(args.platforms)
+    gen = JobGenerator(registry, seed=args.seed)
+    template = gen.templates_for_shapes(
+        (args.shape,),
+        max_operators=args.operators,
+        count=1,
+        min_operators=args.operators,
+    )[0]
+    plan = template(args.cardinality)
+    optimizer = Robopt(registry, model, schema=schema)
+
+    optimizer.optimize(plan)  # warm the per-schema caches out of the profile
+
+    results = []
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.repeats):
+        results.append(optimizer.optimize(plan))
+    profiler.disable()
+
+    print(
+        f"profile_enumerate: {args.shape} plan, {plan.n_operators} operators, "
+        f"{args.platforms} platforms, {args.repeats} profiled runs"
+    )
+    print(f"\n--- cProfile top {args.top} by cumulative time ---")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+
+    best = min(results, key=lambda r: r.stats.latency_s)
+    s = best.stats
+    other_s = s.latency_s - s.time_merge_s - s.time_prune_s
+    print("--- RunStats phase breakdown (best of profiled runs) ---")
+    print(f"latency          {s.latency_s * 1e3:8.3f} ms")
+    for label, value in (
+        ("merge", s.time_merge_s),
+        ("prune (+model)", s.time_prune_s),
+        ("other (setup/loop/final)", other_s),
+    ):
+        share = value / s.latency_s if s.latency_s else 0.0
+        print(f"  {label:<24s} {value * 1e3:8.3f} ms  ({share:6.1%})")
+    print(
+        f"counters: merges={s.merges} prune_calls={s.prune_calls} "
+        f"rows_predicted={s.rows_predicted} vectors_created={s.vectors_created} "
+        f"vectors_pruned={s.vectors_pruned} peak={s.peak_enumeration} "
+        f"final={s.final_vectors}"
+    )
+    print(f"predicted runtime of chosen plan: {best.predicted_runtime:.6g} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from repro.exceptions import BudgetExceededError, EnumerationError
 from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
 from repro.core.features import FeatureSchema
 from repro.core.operations import (
+    MergeScratch,
     enumerate_singleton,
     merge_enumerations,
     split,
@@ -114,6 +115,10 @@ class PriorityEnumerator:
         self.max_vectors = max_vectors
         self.singleton_memo = singleton_memo
         self.budget = budget
+        # Reusable merge arenas. Only safe under pruning: prune's select
+        # copies the survivors out of the arenas before the next merge
+        # reuses them. Without pruning every merge owns fresh matrices.
+        self._scratch = MergeScratch() if pruning else None
 
     # ------------------------------------------------------------------
     def enumerate_plan(
@@ -151,15 +156,27 @@ class PriorityEnumerator:
         op_to_enum: Dict[int, int] = {}
         ids = itertools.count()
         try:
-            for abstract in split(vectorize(ctx)):
-                eid = next(ids)
-                enumeration = enumerate_singleton(
-                    abstract, memo=self.singleton_memo, clock=clock
-                )
-                enums[eid] = enumeration
-                stats.singleton_vectors += enumeration.n_vectors
-                (op_id,) = abstract.scope
-                op_to_enum[op_id] = eid
+            if self.singleton_memo is None:
+                # No cross-run memo: build every singleton in one batched
+                # pass (same vectors, two scatters for the whole plan).
+                if clock is not None:
+                    clock.ensure()
+                for enumeration in ctx.singleton_enumerations():
+                    eid = next(ids)
+                    enums[eid] = enumeration
+                    stats.singleton_vectors += enumeration.n_vectors
+                    (op_id,) = enumeration.scope
+                    op_to_enum[op_id] = eid
+            else:
+                for abstract in split(vectorize(ctx)):
+                    eid = next(ids)
+                    enumeration = enumerate_singleton(
+                        abstract, memo=self.singleton_memo, clock=clock
+                    )
+                    enums[eid] = enumeration
+                    stats.singleton_vectors += enumeration.n_vectors
+                    (op_id,) = abstract.scope
+                    op_to_enum[op_id] = eid
         except BudgetExceededError as exc:
             # Budget gone before the singletons even finished: the partial
             # enumerations cannot cover the plan, so assembly will fall
@@ -170,11 +187,14 @@ class PriorityEnumerator:
         if tracer.enabled:
             tracer.count("enumerate.singleton_vectors", stats.singleton_vectors)
 
+        # Neighbouring enumerations can only attach through boundary
+        # operators (an edge to another enumeration is an edge out of the
+        # scope), so partner discovery walks the cached boundary instead of
+        # the full scope.
         def children_of(eid: int) -> List[int]:
-            scope = enums[eid].scope
             found: List[int] = []
             seen: Set[int] = set()
-            for u in scope:
+            for u in enums[eid].boundary_list():
                 for v in ctx.op_children[u]:
                     other = op_to_enum[v]
                     if other != eid and other not in seen:
@@ -183,10 +203,9 @@ class PriorityEnumerator:
             return found
 
         def parents_of(eid: int) -> List[int]:
-            scope = enums[eid].scope
             found: List[int] = []
             seen: Set[int] = set()
-            for u in scope:
+            for u in enums[eid].boundary_list():
                 for p in ctx.op_parents[u]:
                     other = op_to_enum[p]
                     if other != eid and other not in seen:
@@ -202,7 +221,7 @@ class PriorityEnumerator:
             enumeration = enums[eid]
             children = [enums[c] for c in children_of(eid)]
             priority = priority_fn(enumeration, children)
-            tie = len(enumeration.boundary_ids())
+            tie = len(enumeration.boundary_list())
             version[eid] = version.get(eid, 0) + 1
             heapq.heappush(heap, (-priority, tie, next(seq), eid, version[eid]))
 
@@ -240,20 +259,26 @@ class PriorityEnumerator:
         final = enums[final_eid]
         stats.final_vectors = final.n_vectors
 
-        # Line 18: pick the plan with the minimum estimated runtime.
-        t0 = time.perf_counter()
-        if tracer.enabled:
-            with tracer.span("enumerate.select", rows=final.n_vectors):
+        # Line 18: pick the plan with the minimum estimated runtime. The
+        # last prune already costed exactly these rows (per-row predictions
+        # are batch-independent), so reuse its cached survivor costs when
+        # present and skip the redundant model invocation.
+        costs = final.cached_costs()
+        if costs is None:
+            t0 = time.perf_counter()
+            if tracer.enabled:
+                with tracer.span("enumerate.select", rows=final.n_vectors):
+                    costs = np.asarray(self.cost_fn(final), dtype=np.float64)
+            else:
                 costs = np.asarray(self.cost_fn(final), dtype=np.float64)
-        else:
-            costs = np.asarray(self.cost_fn(final), dtype=np.float64)
-        stats.time_prune_s += time.perf_counter() - t0
-        stats.rows_predicted += final.n_vectors
+            stats.time_prune_s += time.perf_counter() - t0
+            stats.rows_predicted += final.n_vectors
+            if tracer.enabled:
+                tracer.count("enumerate.rows_predicted", final.n_vectors)
         best_row = int(np.argmin(costs))
         xplan = unvectorize(final, best_row)
         stats.latency_s = time.perf_counter() - started
         if tracer.enabled:
-            tracer.count("enumerate.rows_predicted", final.n_vectors)
             tracer.count("enumerate.final_vectors", final.n_vectors)
         return EnumerationResult(
             execution_plan=xplan,
@@ -289,9 +314,9 @@ class PriorityEnumerator:
                 right=right.n_vectors,
                 produced=produced,
             ):
-                merged = merge_enumerations(left, right)
+                merged = merge_enumerations(left, right, scratch=self._scratch)
         else:
-            merged = merge_enumerations(left, right)
+            merged = merge_enumerations(left, right, scratch=self._scratch)
         stats.time_merge_s += time.perf_counter() - t0
         stats.merges += 1
         stats.vectors_created += merged.n_vectors
@@ -318,16 +343,25 @@ class PriorityEnumerator:
                 tracer.count(
                     "enumerate.vectors_pruned", merged.n_vectors - pruned.n_vectors
                 )
+            if pruned is merged and self._scratch is not None:
+                # Single-row prune shortcut returns the input object, whose
+                # matrices alias the merge arenas — detach before the next
+                # merge reuses them (select copies and keeps the cached
+                # boundary; the costs are row-bound, reattach them).
+                costs_cache = pruned.cached_costs()
+                pruned = pruned.select(np.arange(pruned.n_vectors))
+                pruned._costs = costs_cache
             merged = pruned
 
-        del enums[left_id], enums[right_id]
-        new_id = max(enums, default=-1) + 1
-        while new_id in enums:
-            new_id += 1
-        enums[new_id] = merged
-        for op_id in merged.scope:
-            op_to_enum[op_id] = new_id
-        return new_id
+        # The merged enumeration takes over the left id: left-scope
+        # operators already map there, so only the (usually single-op)
+        # right scope needs remapping, and older heap entries for the id
+        # retire through the version counter at the next push.
+        del enums[right_id]
+        enums[left_id] = merged
+        for op_id in right.scope:
+            op_to_enum[op_id] = left_id
+        return left_id
 
     # -- anytime degradation -------------------------------------------
     def _anytime_result(

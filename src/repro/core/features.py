@@ -225,6 +225,58 @@ class FeatureSchema:
             vals.append(loop_work)
         return np.asarray(cols, dtype=np.int64), np.asarray(vals, dtype=np.float64)
 
+    def conv_block_bounds(self) -> Tuple[int, int]:
+        """``[lo, hi)`` column range of the (contiguous) conversion blocks."""
+        lo = self._conv_offset[self.conversion_kinds[0]]
+        hi = self._conv_offset[self.conversion_kinds[-1]] + self._conv_block_size
+        return lo, hi
+
+    def conversion_tables(self) -> Dict[bool, Tuple[np.ndarray, np.ndarray]]:
+        """Dense pair-coded conversion deltas, one table pair per loop flag.
+
+        For each ``in_loop`` flag this returns ``(base, scale)`` arrays of
+        shape ``((k+1)**2, n_conv_cols)`` over the conversion-block columns
+        (see :meth:`conv_block_bounds`). Row ``(pi+1)*(k+1)+(pj+1)`` holds
+        the feature delta of moving data from platform ``pi`` to ``pj``:
+        ``base`` carries the per-step instance counts, ``scale`` marks the
+        cardinality cells, so the full delta for one plan edge is
+        ``base + moved * scale`` with ``moved = cardinality x iterations``.
+
+        The tables depend only on the schema (registry + conversion rules),
+        are built once per schema on first use, and are therefore shared by
+        every enumeration context — and, through the serve layer's
+        long-lived optimizers, by every request hitting one worker. This
+        hoists the O(edges x k^2) Python ``conversion_path`` reconstruction
+        out of ``EnumerationContext`` entirely.
+        """
+        cached = getattr(self, "_conversion_tables", None)
+        if cached is not None:
+            return cached
+        from repro.rheem.conversion import conversion_path
+
+        k = self.k
+        lo, hi = self.conv_block_bounds()
+        tables: Dict[bool, Tuple[np.ndarray, np.ndarray]] = {}
+        for in_loop in (False, True):
+            base = np.zeros(((k + 1) ** 2, hi - lo), dtype=np.float64)
+            scale = np.zeros_like(base)
+            for pi in range(k):
+                for pj in range(k):
+                    if pi == pj:
+                        continue
+                    code = (pi + 1) * (k + 1) + (pj + 1)
+                    steps = conversion_path(
+                        self.registry[pi], self.registry[pj], in_loop=in_loop
+                    )
+                    for step in steps:
+                        p_idx = self.registry.index(step.platform)
+                        base[code, self.conv_platform_cell(step.kind, p_idx) - lo] += 1.0
+                        scale[code, self.conv_input_card_cell(step.kind) - lo] += 1.0
+                        scale[code, self.conv_output_card_cell(step.kind) - lo] += 1.0
+            tables[in_loop] = (base, scale)
+        self._conversion_tables = tables
+        return tables
+
     @property
     def static_mask(self) -> np.ndarray:
         """Boolean mask of scope-static columns."""
@@ -316,7 +368,11 @@ class FeatureSchema:
         topo = plan.topology_counts(ids)
         v[0:4] = topo.as_tuple()
         cards = plan.cardinalities()
-        for op_id in ids:
+        # Canonical accumulation order: iterating the scope sorted by
+        # operator id pins the floating-point summation order of the
+        # per-kind cardinality cells, so the vectorized static kernel in
+        # EnumerationContext can reproduce this vector bit-identically.
+        for op_id in sorted(ids):
             op = plan.operators[op_id]
             kind = op.kind_name
             v[self.op_total_cell(kind)] += 1.0

@@ -11,19 +11,47 @@ complete plan.
 The cost oracle ``m`` is any callable from an enumeration to a cost array —
 an ML model (:func:`ml_cost`), a cost model, or even the switch-count
 heuristic that TDGEN uses (§VI-A).
+
+Footprint grouping is *radix-packed*: platform indices are small
+non-negative int8 values, so up to eight boundary columns pack into one
+big-endian int64 word (wider boundaries chunk into several words). The
+packed words order exactly like the raw footprint rows, which lets
+:func:`prune` fold grouping into its single ``np.lexsort`` — one sort
+replaces the ``np.unique(axis=0)`` (an internal void-view argsort) plus
+lexsort of the previous implementation while producing the identical
+partition, labels and survivors.
 """
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Tuple
+from typing import Callable, FrozenSet, List, Tuple
 
 import numpy as np
 
 from repro.exceptions import EnumerationError
-from repro.core.enumeration import EnumerationContext, PlanVectorEnumeration
+from repro.core.enumeration import (
+    EnumerationContext,
+    PlanVectorEnumeration,
+    compute_boundary,
+)
 
 #: A cost oracle: maps an enumeration to one cost per plan vector.
 CostFn = Callable[[PlanVectorEnumeration], np.ndarray]
+
+_ARANGE = np.arange(256, dtype=np.int64)
+
+
+def _arange(n: int) -> np.ndarray:
+    """A read-only-by-convention ``arange(n)`` served from a shared buffer.
+
+    ``prune`` needs an index vector as the lexsort tie-breaker on every
+    call; ``np.lexsort`` copies its keys, so handing out views of one
+    growing buffer is safe and skips the per-call allocation.
+    """
+    global _ARANGE
+    if _ARANGE.size < n:
+        _ARANGE = np.arange(max(n, _ARANGE.size * 2), dtype=np.int64)
+    return _ARANGE[:n]
 
 
 def ml_cost(model) -> CostFn:
@@ -34,8 +62,20 @@ def ml_cost(model) -> CostFn:
     prune time.
     """
 
-    def cost(enumeration: PlanVectorEnumeration) -> np.ndarray:
-        return np.asarray(model.predict(enumeration.features), dtype=np.float64)
+    fast = getattr(model, "predict_matrix", None)
+    if fast is not None:
+        # RuntimeModel offers a trusted-input entry point; enumeration
+        # feature matrices are 2-D float64 by construction, so the
+        # coercion/validation layer of ``predict`` is pure overhead here.
+        def cost(enumeration: PlanVectorEnumeration) -> np.ndarray:
+            return fast(enumeration.features)
+
+    else:
+
+        def cost(enumeration: PlanVectorEnumeration) -> np.ndarray:
+            return np.asarray(
+                model.predict(enumeration.features), dtype=np.float64
+            )
 
     return cost
 
@@ -49,15 +89,12 @@ def boundary_operators(ctx: EnumerationContext, scope: FrozenSet[int]) -> np.nda
     """Sorted ids of the boundary operators of a scope.
 
     A boundary operator is adjacent to at least one operator outside the
-    scope. For the complete scope the result is empty.
+    scope. For the complete scope the result is empty. Delegates to
+    :func:`repro.core.enumeration.compute_boundary` — the single
+    implementation also behind
+    :meth:`PlanVectorEnumeration.boundary_ids`.
     """
-    scope = frozenset(scope)
-    boundary = set()
-    for i in scope:
-        neighbours = ctx.op_children[i] + ctx.op_parents[i]
-        if any(n not in scope for n in neighbours):
-            boundary.add(i)
-    return np.array(sorted(boundary), dtype=np.int64)
+    return compute_boundary(ctx, scope)
 
 
 def pruning_footprint(enumeration: PlanVectorEnumeration) -> np.ndarray:
@@ -72,13 +109,55 @@ def pruning_footprint(enumeration: PlanVectorEnumeration) -> np.ndarray:
     return enumeration.assignments[:, ids]
 
 
+def _footprint_words(fp: np.ndarray) -> List[np.ndarray]:
+    """Radix-pack footprint rows into big-endian int64 key words.
+
+    Boundary operators are always inside the scope, so their platform
+    indices are non-negative (``0..k-1`` with ``k <= 126``); shifted by one
+    they occupy a single byte each, and eight columns pack into one int64.
+    Wider boundaries produce one word per 8-column chunk. Because packing
+    is big-endian and values are positive, comparing the word tuples
+    lexicographically compares the original rows lexicographically — the
+    exact row order ``np.unique(fp, axis=0)`` sorts by.
+    """
+    n, m = fp.shape
+    u = fp.astype(np.int64)
+    u += 1
+    words: List[np.ndarray] = []
+    for start in range(0, m, 8):
+        chunk = u[:, start : start + 8]
+        # ``u`` is a fresh copy, so the first column can accumulate the
+        # word in place — later columns of the chunk are only ever read.
+        word = chunk[:, 0]
+        for c in range(1, chunk.shape[1]):
+            word <<= 8
+            word |= chunk[:, c]
+        words.append(word)
+    return words
+
+
 def footprint_groups(enumeration: PlanVectorEnumeration) -> np.ndarray:
-    """Group index per vector; equal indices mean equal pruning footprints."""
+    """Group index per vector; equal indices mean equal pruning footprints.
+
+    Labels are ranks in the lexicographic row order — identical to the
+    ``return_inverse`` labels of ``np.unique(fp, axis=0)``, at the cost of
+    one lexsort over the packed key words instead of a void-view argsort.
+    """
     fp = pruning_footprint(enumeration)
-    if fp.shape[1] == 0:
-        return np.zeros(enumeration.n_vectors, dtype=np.int64)
-    _, inverse = np.unique(fp, axis=0, return_inverse=True)
-    return inverse.astype(np.int64)
+    n = enumeration.n_vectors
+    if fp.shape[1] == 0 or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    words = _footprint_words(fp)
+    order = np.lexsort(tuple(reversed(words)))
+    changed = np.zeros(n, dtype=bool)
+    changed[0] = True
+    for word in words:
+        sw = word[order]
+        changed[1:] |= sw[1:] != sw[:-1]
+    labels_sorted = np.cumsum(changed) - 1
+    groups = np.empty(n, dtype=np.int64)
+    groups[order] = labels_sorted
+    return groups
 
 
 def prune(
@@ -90,6 +169,14 @@ def prune(
     produced (callers reuse them for statistics). Keeps exactly one plan
     vector — the cheapest — per pruning footprint. Ties resolve to the
     earliest row, which keeps the operation deterministic.
+
+    Grouping and survivor selection fuse into one
+    ``lexsort(row, cost, footprint-words)``: rows sort by footprint first,
+    cost second, original row last, so the first row of every footprint
+    run *is* the group survivor. The survivors' costs are attached to the
+    pruned enumeration (see
+    :meth:`PlanVectorEnumeration.cached_costs`) so the final plan
+    selection can reuse them instead of re-invoking the oracle.
     """
     n = enumeration.n_vectors
     if n == 0:
@@ -100,15 +187,57 @@ def prune(
             f"cost oracle returned shape {costs.shape}, expected ({n},)"
         )
     if n == 1:
+        enumeration._costs = costs
         return enumeration, costs
-    groups = footprint_groups(enumeration)
-    # Sort by (group, cost, row) and keep the first row of each group.
-    order = np.lexsort((np.arange(n), costs, groups))
-    sorted_groups = groups[order]
-    first_of_group = np.ones(n, dtype=bool)
-    first_of_group[1:] = sorted_groups[1:] != sorted_groups[:-1]
-    keep = np.sort(order[first_of_group])
-    return enumeration.select(keep), costs
+    ids = enumeration.boundary_list()
+    m = len(ids)
+    if m == 0:
+        # One group: keep the cheapest row, earliest on ties.
+        keep = np.array([int(np.argmin(costs))], dtype=np.int64)
+    elif n <= 64:
+        # Small batches — the pruning steady state, where survivor count is
+        # bounded by k^|boundary| — group through a Python dict over the
+        # footprint tuples: one O(n) pass replaces key packing, lexsort and
+        # the group-edge scan, and at these sizes the per-call NumPy
+        # dispatch dwarfs the work. Survivors are identical to the packed
+        # path: cheapest row per footprint, earliest row on cost ties
+        # (strict ``<`` keeps the first seen).
+        a = enumeration.assignments
+        keys = (
+            a[:, ids[0]].tolist()
+            if m == 1
+            else zip(*(a[:, c].tolist() for c in ids))
+        )
+        best = {}
+        for r, key, c in zip(range(n), keys, costs.tolist()):
+            hit = best.get(key)
+            if hit is None or c < hit[1]:
+                best[key] = (r, c)
+        keep = np.array(sorted(r for r, _ in best.values()), dtype=np.int64)
+    else:
+        if m <= 8:
+            # One packed word, built from column views — no fancy-indexed
+            # footprint copy. Values are non-negative (boundary operators
+            # are in scope, so platform indices are 0..k-1), so packing
+            # without the defensive +1 shift preserves lexicographic order.
+            a = enumeration.assignments
+            word = a[:, ids[0]].astype(np.int64)
+            for c in ids[1:]:
+                word <<= 8
+                word |= a[:, c]
+            words = [word]
+        else:
+            words = _footprint_words(enumeration.assignments[:, ids])
+        order = np.lexsort((_arange(n), costs, *reversed(words)))
+        first_of_group = np.zeros(n, dtype=bool)
+        first_of_group[0] = True
+        for word in words:
+            sw = word[order]
+            first_of_group[1:] |= sw[1:] != sw[:-1]
+        keep = np.sort(order[first_of_group])
+    pruned = enumeration.select(keep)
+    pruned._costs = costs[keep]
+    return pruned, costs
 
 
 def prune_switches(

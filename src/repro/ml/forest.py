@@ -91,6 +91,14 @@ class RandomForestRegressor:
         one NumPy gather per tree level instead of one Python call per
         tree. This is what keeps the prune operation's ML invocations at
         ~10% of the optimization time (§VII-B) instead of dominating it.
+
+        The tree builder always appends a split's right child directly
+        after its left child, so ``right == left + 1`` on internal nodes.
+        When that invariant holds (verified here, never assumed), leaves
+        are rewritten to self-loop — ``left = self``, ``threshold = +inf``,
+        ``feature = 0`` — and the per-tree depths are recorded, which lets
+        ``predict`` run a fixed-depth loop of pure gathers with no
+        active-row masking: ``next = left[node] + (x > threshold[node])``.
         """
         offsets = np.cumsum([0] + [t.n_nodes for t in self.trees_[:-1]])
         self._roots = offsets.astype(np.int64)
@@ -103,36 +111,92 @@ class RandomForestRegressor:
             [t.right_ + off for t, off in zip(self.trees_, offsets)]
         )
         self._value = np.concatenate([t.value_ for t in self.trees_])
+        self._gather_cache = {}
+        internal = self._feature >= 0
+        if not np.array_equal(
+            self._right[internal], self._left[internal] + 1
+        ):
+            self._max_depth = -1  # invariant violated: masked fallback loop
+            return
+        # Children are appended after their parent, so one forward pass
+        # over the (still untransformed) child pointers yields node depths.
+        depth = np.zeros(self._feature.shape[0], dtype=np.int64)
+        left, right = self._left, self._right
+        for i in np.flatnonzero(internal).tolist():
+            d = depth[i] + 1
+            depth[left[i]] = d
+            depth[right[i]] = d
+        self._max_depth = int(depth.max(initial=0))
+        leaves = np.flatnonzero(~internal)
+        self._left[leaves] = leaves
+        self._threshold[leaves] = np.inf
+        self._feature[leaves] = 0
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Mean prediction over all trees (vectorized joint traversal).
 
         All (row, tree) pairs descend one level per iteration over flat
-        arrays; leaves are made self-looping via clipped feature indices,
-        so the loop body is a handful of ``take`` calls with no masking.
+        arrays. With self-looping leaves (see :meth:`_pack`) each level is
+        three gathers, one comparison and one add, repeated exactly
+        ``max_depth`` times — leaves stay put because nothing exceeds a
+        ``+inf`` threshold. Row order does not affect a row's prediction
+        (traversals are independent), so prune-time batches and the final
+        selection see bit-identical costs for identical feature rows.
+
+        NaN feature values descend left (``NaN > t`` is false); the
+        training pipeline never produces NaN features.
         """
         if not self.trees_:
             raise NotFittedError("RandomForestRegressor.predict before fit")
         X = np.asarray(X, dtype=np.float64)
-        if not hasattr(self, "_roots"):
+        if not hasattr(self, "_roots") or not hasattr(self, "_max_depth"):
             self._pack()  # models unpickled from older saves
         n, n_features = X.shape
         t = len(self.trees_)
         x_flat = np.ascontiguousarray(X).ravel()
-        row_offset = np.repeat(np.arange(n, dtype=np.int64) * n_features, t)
-        nodes = np.tile(self._roots, n)
-        feature = self._feature.take(nodes)
-        active = feature >= 0
-        while active.any():
-            values = x_flat.take(row_offset + np.maximum(feature, 0))
-            go_left = values <= self._threshold.take(nodes)
-            children = np.where(
-                go_left, self._left.take(nodes), self._right.take(nodes)
-            )
-            nodes = np.where(active, children, nodes)
+        cached = self._gather_cache.get(n)
+        if cached is None:
+            row_offset = np.repeat(np.arange(n, dtype=np.int64) * n_features, t)
+            nodes0 = np.tile(self._roots, n)
+            if n <= 4096:  # keep arenas for the small prune-time batches
+                self._gather_cache[n] = (row_offset, nodes0)
+        else:
+            row_offset, nodes0 = cached
+        nodes = nodes0
+        if self._max_depth < 0:
+            # Fallback for tree arrays that violate right == left + 1:
+            # masked level-by-level descent (leaves are not self-looping
+            # here, so inactive rows are held in place explicitly).
             feature = self._feature.take(nodes)
             active = feature >= 0
-        return self._value.take(nodes).reshape(n, t).mean(axis=1)
+            while active.any():
+                values = x_flat.take(row_offset + np.maximum(feature, 0))
+                go_left = values <= self._threshold.take(nodes)
+                children = np.where(
+                    go_left, self._left.take(nodes), self._right.take(nodes)
+                )
+                nodes = np.where(active, children, nodes)
+                feature = self._feature.take(nodes)
+                active = feature >= 0
+        else:
+            # Fresh gathers beat ``take(..., out=)`` here, and plain fancy
+            # indexing beats ``take`` on these 1-D flat gathers (the int64
+            # index fast path skips take's mode handling), so only the adds
+            # run in place.
+            feature, threshold, left = self._feature, self._threshold, self._left
+            for _ in range(self._max_depth):
+                f = feature[nodes]
+                f += row_offset
+                values = x_flat[f]
+                go_right = values > threshold[nodes]
+                nxt = left[nodes]
+                nxt += go_right
+                nodes = nxt
+        # sum + in-place scalar division == mean(axis=1) bit-for-bit (same
+        # pairwise reduction, same true_divide), minus the _mean wrapper.
+        out = self._value[nodes].reshape(n, t).sum(axis=1)
+        out /= t
+        return out
 
     def feature_importances(self) -> np.ndarray:
         """Split-count importances (how often each feature is used)."""

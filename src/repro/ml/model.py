@@ -181,8 +181,6 @@ class RuntimeModel:
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted runtimes in seconds for a matrix of plan vectors."""
-        if not self._fitted:
-            raise NotFittedError("RuntimeModel.predict before train/load")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
             X = X[None, :]
@@ -190,6 +188,18 @@ class RuntimeModel:
             raise ModelError(
                 f"expected {self.n_features} features, got {X.shape[1]}"
             )
+        return self.predict_matrix(X)
+
+    def predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        """:meth:`predict` minus input coercion, for trusted callers.
+
+        ``X`` must already be a 2-D float64 matrix with ``n_features``
+        columns — exactly what the plan enumeration produces, which calls
+        this once per prune. Output values and tracing semantics are
+        identical to :meth:`predict`.
+        """
+        if not self._fitted:
+            raise NotFittedError("RuntimeModel.predict before train/load")
         tracer = current_tracer()
         if tracer.enabled:
             with tracer.span(
@@ -200,7 +210,12 @@ class RuntimeModel:
             tracer.count("model.calls")
         else:
             log_pred = self._regressor.predict(X)
-        return np.maximum(np.expm1(log_pred), 0.0)
+        # The regressor output is a fresh array; undo the log1p target
+        # transform in place instead of allocating two temporaries.
+        out = np.asarray(log_pred, dtype=np.float64)
+        np.expm1(out, out=out)
+        np.maximum(out, 0.0, out=out)
+        return out
 
     def predict_one(self, x: np.ndarray) -> float:
         """Predicted runtime for a single plan vector."""

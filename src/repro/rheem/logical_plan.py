@@ -81,6 +81,8 @@ class LogicalPlan:
         self._parents: Dict[int, List[int]] = {}
         self._children: Dict[int, List[int]] = {}
         self._cardinalities: Optional[Dict[int, Tuple[float, float]]] = None
+        self._validated: set = set()
+        self._adjacency: Optional[Tuple[Dict, Dict, Dict]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -107,6 +109,8 @@ class LogicalPlan:
         elif dataset is not None:
             raise PlanError(f"non-source operator {op.label!r} cannot take a dataset")
         self._cardinalities = None
+        self._validated.clear()
+        self._adjacency = None
         return op
 
     def connect(self, src, dst) -> None:
@@ -121,6 +125,8 @@ class LogicalPlan:
         self._children[u].append(v)
         self._parents[v].append(u)
         self._cardinalities = None
+        self._validated.clear()
+        self._adjacency = None
 
     def chain(self, *ops) -> LogicalOperator:
         """Connect operators in a pipeline; returns the last one."""
@@ -138,6 +144,7 @@ class LogicalPlan:
             raise PlanError(f"loop body references unknown operators {sorted(unknown)}")
         spec = LoopSpec(body=ids, iterations=iterations)
         self.loops.append(spec)
+        self._validated.clear()
         return spec
 
     # ------------------------------------------------------------------
@@ -156,6 +163,22 @@ class LogicalPlan:
 
     def children(self, op_id: int) -> List[int]:
         return list(self._children[op_id])
+
+    def adjacency(self) -> Tuple[Dict[int, Tuple[int, ...]], ...]:
+        """``(children, parents, neighbours)`` maps, id -> tuple of ids.
+
+        Memoized on the plan (invalidated by ``add``/``connect``) so
+        repeated optimizations of one plan share the read-only maps instead
+        of re-copying the per-operator lists each run.
+        """
+        adjacency = getattr(self, "_adjacency", None)
+        if adjacency is None:
+            children = {i: tuple(c) for i, c in self._children.items()}
+            parents = {i: tuple(p) for i, p in self._parents.items()}
+            neighbours = {i: children[i] + parents[i] for i in children}
+            adjacency = (children, parents, neighbours)
+            self._adjacency = adjacency
+        return adjacency
 
     def sources(self) -> List[int]:
         return [i for i, op in self.operators.items() if op.kind.is_source]
@@ -190,7 +213,15 @@ class LogicalPlan:
         With ``strict=True`` (the default) every non-sink operator must feed
         at least one consumer and the plan must have at least one source and
         one sink.
+
+        Validation is memoized per ``strict`` flag: a plan that passed once
+        stays valid until its structure changes (``add``, ``connect``,
+        ``add_loop`` clear the memo), so optimizers can validate defensively
+        on every call without re-running the DAG check.
         """
+        validated = getattr(self, "_validated", None)
+        if validated is not None and strict in validated:
+            return
         if not self.operators:
             raise PlanError(f"plan {self.name!r} is empty")
         g = self.graph()
@@ -219,6 +250,8 @@ class LogicalPlan:
                 raise PlanError(
                     f"loop body references unknown operators {sorted(unknown)}"
                 )
+        if validated is not None:
+            validated.add(strict)
 
     # ------------------------------------------------------------------
     # Topology analysis (§IV-A)

@@ -82,6 +82,36 @@ class TestPrunedMatchesExhaustive:
                 best.predicted_runtime, truth.predicted_runtime, rtol=1e-9
             ), f"pruned optimum diverged from exhaustive on {plan.name!r}"
 
+    def test_lossless_on_wide_boundary_plans(self):
+        """Bushy plans with near-maximal boundaries (ISSUE 8).
+
+        Juncture/replicate plans at 11-12 operators keep most operators
+        adjacent to out-of-scope neighbours during enumeration, driving
+        the widest pruning footprints this suite sees — the territory of
+        the chunked (> 8 column) packed-word path. Lemma 1 must survive
+        the packing: the pruned optimum still equals the exhaustive one.
+        """
+        registry = _registry()
+        schema = FeatureSchema(registry)
+        model = LinearRuntimeModel(schema.n_features, seed=3)
+        pruned = Robopt(registry, model, schema=schema)
+        exhaustive = ExhaustiveOptimizer(registry, model, schema=schema)
+        gen = JobGenerator(registry, seed=77)
+        templates = gen.templates_for_shapes(
+            ("juncture", "replicate"),
+            max_operators=12,
+            count=6,
+            min_operators=11,
+        )
+        for index, template in enumerate(templates):
+            plan = template(10.0 ** (3 + index % 4))
+            best = pruned.optimize(plan)
+            truth = exhaustive.optimize(plan)
+            assert best.stats.total_vectors <= truth.stats.total_vectors
+            assert np.isclose(
+                best.predicted_runtime, truth.predicted_runtime, rtol=1e-9
+            ), f"pruned optimum diverged from exhaustive on {plan.name!r}"
+
     def test_pruning_actually_prunes(self):
         """The comparison is meaningful: pruning must shrink the space
         on at least some plans (otherwise the lossless check is vacuous)."""
