@@ -37,6 +37,13 @@ the latest ``daemon_p95_ms`` of ``--daemon-name`` (default
 fraction vs the previous entry. The metric is in *milliseconds* — the
 gate skips sub-millisecond previous values as timer noise.
 
+``--min-template-hit-rate`` gates the template-cache tier (ISSUE 9):
+the latest ``template_hit_rate`` of ``--template-name`` (default
+``serve.template_cache``, recorded by
+``benchmarks/test_serve_template.py``) must stay at or above the bound
+(ISSUE 9: 0.5) — a template tier that stops serving the parametric
+workload it exists for is a regression even if raw throughput holds.
+
 ``--enum-latency-tolerance`` gates the core enumeration kernels
 (ISSUE 8): the latest ``robopt_80ops_s`` of ``--enum-name`` (default
 the Fig. 9(a) benchmark nodeid) may not rise by more than the given
@@ -125,6 +132,20 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--template-name",
+        default="serve.template_cache",
+        help="series whose template_hit_rate the template gate reads",
+    )
+    parser.add_argument(
+        "--min-template-hit-rate",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest template-cache hit rate falls "
+            "below this fraction (e.g. 0.5)"
+        ),
+    )
+    parser.add_argument(
         "--enum-name",
         default=(
             "benchmarks/test_fig09_efficiency.py"
@@ -174,6 +195,13 @@ def main(argv=None) -> int:
     if args.daemon_p95_tolerance is not None:
         rc = check_daemon_p95(
             args.daemon_name, args.daemon_p95_tolerance, args.root
+        )
+        if rc != 0:
+            return rc
+
+    if args.min_template_hit_rate is not None:
+        rc = check_template_hit_rate(
+            args.template_name, args.min_template_hit_rate, args.root
         )
         if rc != 0:
             return rc
@@ -397,6 +425,49 @@ def check_enum_latency(
         print(
             f"bench-regression: enumeration latency rose {rise:.1%} "
             f"(> {tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_template_hit_rate(name: str, bound: float, root=None) -> int:
+    """Gate the template tier still serving its parametric workload.
+
+    The hit rate is computed *within* one benchmark run (the eval phase
+    of ``benchmarks/test_serve_template.py``, whose cardinalities are
+    drawn so the exact-fingerprint tier alone scores ~0), so a single
+    entry suffices — no cross-run comparison. A rate below ``bound``
+    means structurally repeated queries are falling through to full
+    enumeration, which defeats the tier's purpose regardless of how
+    fast that enumeration happens to be.
+    """
+    from repro.bench.trajectory import series
+
+    entries = series(name, metric="template_hit_rate", root=root)
+    if not entries:
+        print(
+            f"bench-regression: no entries for {name!r} carry "
+            "template_hit_rate — template gate skipped "
+            "(benchmark not yet recorded)"
+        )
+        return 0
+    rate = entries[-1]["metrics"].get("template_hit_rate")
+    if rate is None:
+        print(
+            f"bench-regression: latest {name!r} entry has no "
+            "template_hit_rate metric"
+        )
+        return 0
+    verdict = "OK" if rate >= bound else "REGRESSION"
+    print(
+        f"bench-regression: {name}.template_hit_rate {rate:.0%} "
+        f"(bound >= {bound:.0%}) [{verdict}]"
+    )
+    if rate < bound:
+        print(
+            f"bench-regression: template tier served only {rate:.0%} of "
+            f"its parametric eval workload (< {bound:.0%} bound)",
             file=sys.stderr,
         )
         return 1

@@ -86,7 +86,9 @@ _LAZY = {
     "BatchJob": ("repro.serve", "BatchJob"),
     "BatchReport": ("repro.serve", "BatchReport"),
     "PlanCache": ("repro.serve", "PlanCache"),
+    "TemplateCache": ("repro.serve", "TemplateCache"),
     "plan_fingerprint": ("repro.serve", "plan_fingerprint"),
+    "template_fingerprint": ("repro.serve", "template_fingerprint"),
     "robopt_factory": ("repro.serve", "robopt_factory"),
     "resilient_robopt_factory": ("repro.serve", "resilient_robopt_factory"),
     "OptimizationDaemon": ("repro.serve", "OptimizationDaemon"),
@@ -137,7 +139,9 @@ __all__ = [
     "BatchJob",
     "BatchReport",
     "PlanCache",
+    "TemplateCache",
     "plan_fingerprint",
+    "template_fingerprint",
     "robopt_factory",
     "resilient_robopt_factory",
     "OptimizationDaemon",

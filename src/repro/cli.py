@@ -304,6 +304,7 @@ def cmd_optimize_batch(args) -> int:
     from repro.serve import (
         BatchOptimizationService,
         PlanCache,
+        TemplateCache,
         resilient_robopt_factory,
         robopt_factory,
     )
@@ -343,6 +344,19 @@ def cmd_optimize_batch(args) -> int:
             cache = PlanCache.load(args.cache, registry, max_entries=args.cache_size)
         else:
             cache = PlanCache(max_entries=args.cache_size)
+    template_cache = None
+    if args.template_cache:
+        if os.path.exists(args.template_cache):
+            template_cache = TemplateCache.load(
+                args.template_cache,
+                registry,
+                max_templates=args.template_cache_size,
+                guardrail=args.guardrail,
+            )
+        else:
+            template_cache = TemplateCache(
+                max_templates=args.template_cache_size, guardrail=args.guardrail
+            )
     platforms = tuple(n.strip() for n in args.platforms.split(","))
     if resilient:
         factory = resilient_robopt_factory(
@@ -369,6 +383,7 @@ def cmd_optimize_batch(args) -> int:
         workers=args.workers,
         timeout_s=args.timeout,
         cache=cache,
+        template_cache=template_cache,
         retry=retry,
         quarantine_after=args.quarantine_after,
     )
@@ -387,6 +402,8 @@ def cmd_optimize_batch(args) -> int:
             "duration_s": outcome.duration_s,
             "attempts": outcome.attempts,
         }
+        if outcome.template_hit:
+            row["template_hit"] = True
         if outcome.ok and outcome.result is not None:
             result = outcome.result
             row["predicted_runtime"] = result.predicted_runtime
@@ -421,8 +438,10 @@ def cmd_optimize_batch(args) -> int:
     if report is not None:
         metrics = report.metrics()
         extras = ""
+        if template_cache is not None:
+            extras += f", template hit rate {report.template_hit_rate:.0%}"
         if report.n_degraded or report.n_retried or report.n_quarantined:
-            extras = (
+            extras += (
                 f", degraded={report.n_degraded} retried={report.n_retried} "
                 f"quarantined={report.n_quarantined}"
             )
@@ -454,6 +473,12 @@ def cmd_optimize_batch(args) -> int:
     if cache is not None and args.cache:
         cache.save(args.cache)
         print(f"saved plan cache ({len(cache)} entries) to {args.cache}")
+    if template_cache is not None and args.template_cache:
+        template_cache.save(args.template_cache)
+        print(
+            f"saved template cache ({len(template_cache)} templates) "
+            f"to {args.template_cache}"
+        )
     failed = n_bad_rows + (report.n_failed if report is not None else 0)
     return 0 if failed == 0 else 1
 
@@ -471,6 +496,7 @@ def cmd_serve(args) -> int:
         DaemonConfig,
         OptimizationDaemon,
         PlanCache,
+        TemplateCache,
         resilient_robopt_factory,
         robopt_factory,
     )
@@ -498,6 +524,21 @@ def cmd_serve(args) -> int:
             cache = PlanCache.load(args.cache, registry, max_entries=args.cache_size)
         else:
             cache = PlanCache(max_entries=args.cache_size)
+    # The template tier is opt-in: it may serve guardrail-bounded (not
+    # bit-exact) answers, so the operator enables it deliberately.
+    template_cache = None
+    if args.template_cache:
+        if os.path.exists(args.template_cache):
+            template_cache = TemplateCache.load(
+                args.template_cache,
+                registry,
+                max_templates=args.template_cache_size,
+                guardrail=args.guardrail,
+            )
+        else:
+            template_cache = TemplateCache(
+                max_templates=args.template_cache_size, guardrail=args.guardrail
+            )
     platforms = tuple(n.strip() for n in args.platforms.split(","))
     if resilient:
         factory = resilient_robopt_factory(
@@ -521,6 +562,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         timeout_s=args.timeout,
         cache=cache,
+        template_cache=template_cache,
         retry=retry,
         quarantine_after=args.quarantine_after,
     )
@@ -549,6 +591,12 @@ def cmd_serve(args) -> int:
     if cache is not None and args.cache:
         cache.save(args.cache)
         print(f"saved plan cache ({len(cache)} entries) to {args.cache}")
+    if template_cache is not None and args.template_cache:
+        template_cache.save(args.template_cache)
+        print(
+            f"saved template cache ({len(template_cache)} templates) "
+            f"to {args.template_cache}"
+        )
     if code == 0:
         print("daemon drained cleanly", flush=True)
     else:
@@ -668,6 +716,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON plan-cache file (loaded if present, saved after the run)",
     )
     batch.add_argument("--cache-size", type=int, default=256, help="LRU bound")
+    batch.add_argument(
+        "--template-cache", default=None, metavar="PATH",
+        help="JSON template-cache file: enables the second cache tier "
+        "(cardinality-stripped template keys, guardrailed candidate "
+        "reuse; loaded if present, saved after the run)",
+    )
+    batch.add_argument(
+        "--template-cache-size", type=int, default=256,
+        help="LRU bound on distinct templates",
+    )
+    batch.add_argument(
+        "--guardrail", type=float, default=1.2,
+        help="serve a template candidate only when its re-costed runtime "
+        "is within this factor of the cheapest candidate (>= 1.0)",
+    )
     batch.add_argument("--out", default=None, help="write per-job results as JSONL")
     batch.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -736,6 +799,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-cache", action="store_true",
         help="serve without a plan cache (every request re-optimizes)",
+    )
+    serve.add_argument(
+        "--template-cache", default=None, metavar="PATH",
+        help="enable the template cache tier, persisted here (loaded if "
+        "present, saved on exit); parametric streams whose cardinalities "
+        "never repeat reuse plans through it",
+    )
+    serve.add_argument(
+        "--template-cache-size", type=int, default=256,
+        help="LRU bound on distinct templates",
+    )
+    serve.add_argument(
+        "--guardrail", type=float, default=1.2,
+        help="serve a template candidate only when its re-costed runtime "
+        "is within this factor of the cheapest candidate (>= 1.0)",
     )
     serve.add_argument(
         "--max-pending", type=int, default=64,

@@ -10,6 +10,11 @@ subpackage provides the batch layer on top of any
   cache key;
 * :mod:`repro.serve.cache` — the fingerprint-keyed LRU
   :class:`PlanCache` with hit/miss counters and JSON persistence;
+* :mod:`repro.serve.template` — the second cache tier:
+  :class:`TemplateCache`, keyed by cardinality-*stripped* template
+  fingerprints, holding per-template candidate sets with a learned
+  (random-forest) selector and a re-costing guardrail, so parametric
+  workloads whose cardinalities never repeat still reuse plans safely;
 * :mod:`repro.serve.batch` — :class:`BatchOptimizationService`:
   warm-worker process-pool parallelism (CPU-affinity-aware sizing,
   workers initialized once and reused across batches), per-job timeouts,
@@ -47,6 +52,13 @@ from repro.serve.cache import CacheStats, PlanCache, copy_result
 from repro.serve.client import ServeClient, parse_address
 from repro.serve.daemon import DaemonConfig, OptimizationDaemon
 from repro.serve.fingerprint import cardinality_bucket, plan_fingerprint
+from repro.serve.template import (
+    TemplateCache,
+    TemplateCacheStats,
+    TemplateCandidate,
+    template_features,
+    template_fingerprint,
+)
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ErrorResponse,
@@ -77,6 +89,11 @@ __all__ = [
     "copy_result",
     "plan_fingerprint",
     "cardinality_bucket",
+    "TemplateCache",
+    "TemplateCacheStats",
+    "TemplateCandidate",
+    "template_fingerprint",
+    "template_features",
     # wire protocol
     "PROTOCOL_VERSION",
     "ProtocolError",

@@ -75,6 +75,7 @@ from repro.rheem.logical_plan import LogicalPlan
 from repro.rheem.platforms import PlatformRegistry
 from repro.serve.cache import PlanCache, copy_result
 from repro.serve.fingerprint import plan_fingerprint
+from repro.serve.template import TemplateCache, template_fingerprint
 
 __all__ = [
     "BatchJob",
@@ -217,6 +218,10 @@ class JobOutcome:
     #: The job coalesced onto a sibling's in-flight computation of the
     #: same fingerprint instead of enumerating again.
     coalesced: bool = False
+    #: The job was served by the template tier: a cached candidate
+    #: re-costed at this job's cardinalities and accepted under the
+    #: guardrail (``cached`` is also True for these).
+    template_hit: bool = False
 
 
 @dataclass
@@ -232,6 +237,8 @@ class BatchReport:
     workers_requested: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    template_hits: int = 0
+    template_misses: int = 0
 
     @property
     def n_jobs(self) -> int:
@@ -264,6 +271,18 @@ class BatchReport:
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def n_template_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.template_hit)
+
+    @property
+    def template_hit_rate(self) -> float:
+        """Template-tier hits over template-tier lookups (exact-cache
+        misses that consulted the template cache); 0.0 when the tier
+        never ran."""
+        lookups = self.template_hits + self.template_misses
+        return self.template_hits / lookups if lookups else 0.0
 
     @property
     def n_degraded(self) -> int:
@@ -333,6 +352,9 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "template_hits": self.template_hits,
+            "template_misses": self.template_misses,
+            "template_hit_rate": self.template_hit_rate,
             "workers": self.workers,
             "workers_requested": self.workers_requested,
             "latency_p50_s": tails["p50"],
@@ -663,6 +685,14 @@ class BatchOptimizationService:
     cache:
         An optional :class:`PlanCache` shared across batches and across
         every pool worker (lookups and publishes happen in the parent).
+    template_cache:
+        An optional :class:`~repro.serve.template.TemplateCache`: the
+        second cache tier. Exact-fingerprint misses consult it; a
+        guardrailed template hit answers the job without enumeration,
+        and every fresh (non-degraded) result is folded back into its
+        template's candidate set. Requires an optimizer exposing
+        ``model`` and ``schema`` (possibly behind ``.inner`` wrappers)
+        so candidates can be re-costed; otherwise the tier is skipped.
     memoize_singletons:
         Share one singleton-enumeration memo per batch (serial) or per
         worker (pool) so identical subplans vectorize once.
@@ -687,6 +717,7 @@ class BatchOptimizationService:
         workers: Optional[int] = None,
         timeout_s: Optional[float] = None,
         cache: Optional[PlanCache] = None,
+        template_cache: Optional[TemplateCache] = None,
         memoize_singletons: bool = True,
         retry: Optional[RetryPolicy] = None,
         quarantine_after: int = 2,
@@ -704,6 +735,10 @@ class BatchOptimizationService:
         self.workers = workers
         self.timeout_s = timeout_s
         self.cache = cache
+        self.template_cache = template_cache
+        #: Lazily resolved re-cost closure for the template tier
+        #: (``None`` = not yet probed, ``False`` = probe failed).
+        self._recoster: Any = None
         self.memoize_singletons = memoize_singletons
         self.retry = retry
         self.quarantine = Quarantine(threshold=quarantine_after)
@@ -773,7 +808,9 @@ class BatchOptimizationService:
         tracer = current_tracer()
         started = time.perf_counter()
         with tracer.span("serve.batch", n_jobs=len(jobs), workers=self.workers):
-            outcomes, hits, misses, mode = self._run(jobs, tracer)
+            outcomes, hits, misses, t_hits, t_misses, mode = self._run(
+                jobs, tracer
+            )
         wall = time.perf_counter() - started
         report = BatchReport(
             outcomes=outcomes,
@@ -783,6 +820,8 @@ class BatchOptimizationService:
             workers_requested=self.workers,
             cache_hits=hits,
             cache_misses=misses,
+            template_hits=t_hits,
+            template_misses=t_misses,
         )
         if tracer.enabled:
             tracer.count("serve.jobs", report.n_jobs)
@@ -791,15 +830,69 @@ class BatchOptimizationService:
         return report
 
     # ------------------------------------------------------------------
+    def _template_recoster(self):
+        """The re-cost closure of the template tier (``None`` if unavailable).
+
+        Resolved once: the serial optimizer (or a wrapper's ``.inner``
+        chain) must expose a runtime ``model`` and a feature ``schema``;
+        candidates are then re-costed by instantiating their assignment
+        against the live plan and running one model prediction — the
+        exact cost the enumerator itself would assign that plan vector.
+        """
+        if self._recoster is False:
+            return None
+        if self._recoster is None:
+            probe: Any = self._serial_optimizer()
+            model = schema = None
+            for _ in range(4):  # unwrap chaos/resilience layers
+                model = getattr(probe, "model", None)
+                schema = getattr(probe, "schema", None)
+                if model is not None and schema is not None:
+                    break
+                probe = getattr(probe, "inner", None)
+                if probe is None:
+                    break
+            if model is None or schema is None:
+                self._recoster = False
+                tracer = current_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "serve.template.disabled",
+                        reason="optimizer exposes no model/schema to re-cost with",
+                    )
+                return None
+            import numpy as _np
+
+            from repro.rheem.execution_plan import ExecutionPlan as _ExecutionPlan
+
+            registry = self.registry
+
+            def recost(plan, assignment):
+                xplan = _ExecutionPlan(plan, dict(assignment), registry)
+                features = _np.asarray(
+                    schema.encode_execution_plan(xplan), dtype=_np.float64
+                )
+                cost = float(
+                    _np.asarray(model.predict(features[None, :])).reshape(-1)[0]
+                )
+                return cost, xplan
+
+            self._recoster = recost
+        return self._recoster
+
+    # ------------------------------------------------------------------
     def _run(self, jobs: List[BatchJob], tracer):
         """Plan the batch: cache lookups, then dispatch the misses."""
         outcomes: Dict[str, JobOutcome] = {}
         hits = 0
         misses = 0
+        template_hits = 0
+        template_misses = 0
         # Fingerprint every job; serve cache hits immediately and collapse
         # within-batch duplicates onto one representative optimization.
         prepared: Dict[str, LogicalPlan] = {}
         fingerprints: Dict[str, str] = {}
+        template_fps: Dict[str, str] = {}
         representatives: Dict[str, BatchJob] = {}
         followers: Dict[str, List[BatchJob]] = {}
         with tracer.span("serve.cache.lookup", n_jobs=len(jobs)):
@@ -822,6 +915,33 @@ class BatchOptimizationService:
                             tags=job.tags,
                         )
                         continue
+                # Second tier: the template cache. A guardrailed hit —
+                # a remembered candidate re-costed at *this* job's
+                # cardinalities — answers without enumeration; anything
+                # unsure falls through to the full optimizer.
+                if self.template_cache is not None:
+                    recost = self._template_recoster()
+                    if recost is not None:
+                        tfp = template_fingerprint(plan, self.registry)
+                        template_fps[job.job_id] = tfp
+                        served = self.template_cache.get(tfp, plan, recost)
+                        if served is not None:
+                            template_hits += 1
+                            if self.cache is not None:
+                                # Promote into tier 1 so same-bucket
+                                # repeats skip the re-costing too.
+                                self.cache.put(fp, served)
+                            outcomes[job.job_id] = JobOutcome(
+                                job.job_id,
+                                ok=True,
+                                result=served,
+                                cached=True,
+                                template_hit=True,
+                                duration_s=time.perf_counter() - t0,
+                                tags=job.tags,
+                            )
+                            continue
+                        template_misses += 1
                 # Collapsing same-fingerprint jobs onto one optimization is
                 # the cache's equivalence semantics; without a cache every
                 # job is optimized individually.
@@ -930,13 +1050,24 @@ class BatchOptimizationService:
             if (
                 rep.ok
                 and rep.result is not None
-                and self.cache is not None
                 # A degraded answer is the best *this deadline* allowed —
                 # caching it would serve a 10 ms compromise to every
                 # future deadline-free request of the same fingerprint.
                 and not rep.result.stats.degraded
             ):
-                self.cache.put(fingerprints[job.job_id], rep.result)
+                if self.cache is not None:
+                    self.cache.put(fingerprints[job.job_id], rep.result)
+                if (
+                    self.template_cache is not None
+                    and job.job_id in template_fps
+                ):
+                    # Fold the fresh optimum back into its template's
+                    # candidate set (Kepler's feedback loop).
+                    self.template_cache.observe(
+                        template_fps[job.job_id],
+                        prepared[job.job_id],
+                        rep.result,
+                    )
             for follower in followers.get(key, []):
                 if rep.ok and rep.result is not None:
                     hits += 1
@@ -955,7 +1086,7 @@ class BatchOptimizationService:
                         tags=follower.tags,
                     )
         ordered = [outcomes[job.job_id] for job in jobs]
-        return ordered, hits, misses, mode
+        return ordered, hits, misses, template_hits, template_misses, mode
 
     # ------------------------------------------------------------------
     def _dispatch(

@@ -36,7 +36,12 @@ socket and/or TCP:
   drain that cannot finish within ``drain_grace_s`` force-stops and
   exits 1 — visible, not hung.
 * **Introspection** — a ``stats`` frame returns the tracer's counters
-  plus live p50/p95/p99 over the recent answered-request window.
+  plus live p50/p95/p99 over the recent answered-request window. When
+  the owned service carries a :class:`~repro.serve.template.TemplateCache`
+  (``repro serve --template-cache``), its ``serve.template.*`` counters
+  (hits, misses, guardrail_rejects, low_confidence, ...) appear here
+  too — batches run under the daemon's tracer, so the second cache
+  tier is observable without any protocol change.
 
 A malformed or version-mismatched frame yields an ``error`` response on
 that connection; no client input can raise past the serve loop.

@@ -493,3 +493,197 @@ class TestDaemonUnderChaosProfiles:
                 # an innocent plan still gets a real answer
                 ok = client.optimize(_plan_request(build_pipeline(2), "ok"))
                 assert ok.ok, ok
+
+
+# ---------------------------------------------------------------------------
+# The template cache tier under chaos
+# ---------------------------------------------------------------------------
+
+
+class TestTemplateCacheChaos:
+    """The template tier's failure mode is wasted work, never a wrong plan.
+
+    A corrupt persistence file loads as an empty cache (never raises); a
+    selector that returns NaN or raises trips the fallback to full
+    enumeration; a confident-but-expensive pick dies on the guardrail —
+    in every case the answer the client sees is the enumerated optimum.
+    """
+
+    def _optimizer(self, registry):
+        from repro.core.features import FeatureSchema
+        from repro.core.optimizer import Robopt
+        from repro.serve.testing import LinearRuntimeModel
+
+        schema = FeatureSchema(registry)
+        return Robopt(
+            registry, LinearRuntimeModel(schema.n_features, seed=5), schema=schema
+        )
+
+    def _seed_two_candidates(self, cache, tfp, plan, optimizer, registry):
+        """Forge a 2-candidate template (all-platform-0 / all-platform-1)."""
+        base = optimizer.optimize(plan)
+        for name in registry.names:
+            forged = base.copy()
+            for op_id in forged.execution_plan.assignment:
+                forged.execution_plan.assignment[op_id] = name
+            cache.observe(tfp, plan, forged)
+        assert len(cache.candidates(tfp)) == 2
+
+    def test_corrupt_template_cache_loads_empty_never_raises(self, tmp_path):
+        from repro.obs import Tracer, use_tracer
+        from repro.serve import TemplateCache
+
+        registry = synthetic_registry(N_PLATFORMS)
+        optimizer = self._optimizer(registry)
+        plan = build_pipeline(3)
+        cache = TemplateCache()
+        cache.observe("tfp", plan, optimizer.optimize(plan))
+        path = cache.save(tmp_path / "templates.json")
+
+        # The classic crash-during-write artifact: a truncated document.
+        assert corrupt_cache_file(path, FaultInjector(PROFILES["cache-corruption"]))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            loaded = TemplateCache.load(path, registry)
+        assert len(loaded) == 0
+        assert tracer.counters["serve.template.load_corrupt"] == 1
+
+        # Outright garbage behaves the same.
+        path.write_text("\x00\x01 not json at all")
+        assert len(TemplateCache.load(path, registry)) == 0
+
+    def test_nan_selector_falls_back_to_enumeration(self, registry):
+        from repro.obs import Tracer, use_tracer
+        from repro.serve import BatchOptimizationService, TemplateCache
+        from repro.serve import template_fingerprint
+        from repro.serve.testing import linear_robopt_factory
+
+        class NaNSelector:
+            """Every tree answers NaN — a silently broken model."""
+
+            def fit(self, X, y):
+                return self
+
+            class _Tree:
+                def predict(self, X):
+                    return np.full(X.shape[0], np.nan)
+
+            trees_ = [_Tree(), _Tree(), _Tree()]
+
+        optimizer = self._optimizer(registry)
+        cache = TemplateCache(min_observations=2, selector_factory=NaNSelector)
+        plan = build_pipeline(3)
+        tfp = template_fingerprint(plan, registry)
+        self._seed_two_candidates(cache, tfp, plan, optimizer, registry)
+
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS, seed=5),
+            registry,
+            workers=0,
+            template_cache=cache,
+        )
+        probe = BatchJob("probe", build_pipeline(3, cardinality=7.7e5))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = service.optimize_batch([probe])
+        (outcome,) = report.outcomes
+        assert outcome.ok and not outcome.template_hit
+        assert tracer.counters["serve.template.selector_errors"] >= 1
+        # Never a wrong plan: the answer is the enumerated optimum.
+        fresh = optimizer.optimize(probe.plan)
+        assert outcome.result.predicted_runtime == fresh.predicted_runtime
+        assert (
+            outcome.result.execution_plan.assignment
+            == fresh.execution_plan.assignment
+        )
+
+    def test_raising_selector_falls_back_to_enumeration(self, registry):
+        from repro.serve import BatchOptimizationService, TemplateCache
+        from repro.serve import template_fingerprint
+        from repro.serve.testing import linear_robopt_factory
+
+        class ExplodingSelector:
+            def fit(self, X, y):
+                raise RuntimeError("selector training outage")
+
+        optimizer = self._optimizer(registry)
+        cache = TemplateCache(min_observations=2, selector_factory=ExplodingSelector)
+        plan = build_pipeline(3)
+        tfp = template_fingerprint(plan, registry)
+        self._seed_two_candidates(cache, tfp, plan, optimizer, registry)
+
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS, seed=5),
+            registry,
+            workers=0,
+            template_cache=cache,
+        )
+        probe = BatchJob("probe", build_pipeline(3, cardinality=2.2e6))
+        report = service.optimize_batch([probe])
+        (outcome,) = report.outcomes
+        assert outcome.ok and not outcome.template_hit
+        assert cache.stats.selector_errors >= 1
+        fresh = optimizer.optimize(probe.plan)
+        assert outcome.result.predicted_runtime == fresh.predicted_runtime
+
+    def test_guardrail_reject_is_counted_and_falls_back(self, registry):
+        from repro.obs import Tracer, use_tracer
+        from repro.rheem.execution_plan import ExecutionPlan
+        from repro.serve import BatchOptimizationService, TemplateCache
+        from repro.serve import template_fingerprint
+        from repro.serve.testing import linear_robopt_factory
+
+        optimizer = self._optimizer(registry)
+        plan = build_pipeline(3)
+        tfp = template_fingerprint(plan, registry)
+
+        # Find the *worse* of the two forged single-platform candidates
+        # under the live model, so the selector can confidently pick it.
+        def cost_of(name):
+            assignment = {op_id: name for op_id in plan.operators}
+            xplan = ExecutionPlan(plan, assignment, registry)
+            feats = optimizer.schema.encode_execution_plan(xplan)
+            return float(optimizer.model.predict(feats[None, :])[0])
+
+        names = list(registry.names)
+        worse_index = int(np.argmax([cost_of(n) for n in names]))
+
+        class WorstPickSelector:
+            """Confident (zero variance) and maximally unhelpful."""
+
+            def fit(self, X, y):
+                return self
+
+            class _Tree:
+                def predict(self, X):
+                    return np.full(X.shape[0], float(worse_index))
+
+            trees_ = [_Tree(), _Tree(), _Tree()]
+
+        cache = TemplateCache(
+            guardrail=1.0,  # only the argmin may be served
+            min_observations=2,
+            selector_factory=WorstPickSelector,
+        )
+        self._seed_two_candidates(cache, tfp, plan, optimizer, registry)
+
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS, seed=5),
+            registry,
+            workers=0,
+            template_cache=cache,
+        )
+        probe = BatchJob("probe", build_pipeline(3, cardinality=4.4e6))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = service.optimize_batch([probe])
+        (outcome,) = report.outcomes
+        assert outcome.ok and not outcome.template_hit
+        assert tracer.counters["serve.template.guardrail_rejects"] == 1
+        assert cache.stats.guardrail_rejects == 1
+        fresh = optimizer.optimize(probe.plan)
+        assert outcome.result.predicted_runtime == fresh.predicted_runtime
+        assert (
+            outcome.result.execution_plan.assignment
+            == fresh.execution_plan.assignment
+        )

@@ -1,6 +1,6 @@
 """Differential correctness: pruned Robopt vs exhaustive, batch vs serial.
 
-Two equivalences the serving layer must never break:
+Three guarantees the serving layer must never break:
 
 * **Losslessness (Lemma 1).** For a merge-decomposable (linear) cost
   model, boundary pruning discards only subplans that cannot be part of
@@ -15,6 +15,14 @@ Two equivalences the serving layer must never break:
   semantic one. (With the fingerprint cache *disabled*; the cache's
   bucket-level equivalence is deliberately coarser and is exercised in
   ``test_serve_cache.py``.)
+
+* **The template-cache guardrail.** The template tier deliberately
+  serves plans that may not be the optimum — but *never* beyond the
+  guardrail: every answer it serves must have true (model-predicted)
+  cost within the configured factor of the exhaustive optimizer's
+  optimum at the request's actual cardinalities, and any lookup the
+  tier was not confident about must have been answered by full
+  enumeration (bit-identical to a direct optimize).
 """
 
 from __future__ import annotations
@@ -26,7 +34,13 @@ from repro.baselines.exhaustive import ExhaustiveOptimizer
 from repro.core.features import FeatureSchema
 from repro.core.optimizer import Robopt
 from repro.rheem.platforms import synthetic_registry
-from repro.serve import BatchJob, BatchOptimizationService, PlanCache
+from repro.serve import (
+    BatchJob,
+    BatchOptimizationService,
+    PlanCache,
+    TemplateCache,
+    template_fingerprint,
+)
 from repro.serve.testing import LinearRuntimeModel, linear_robopt_factory
 from repro.tdgen.jobgen import JobGenerator
 
@@ -219,3 +233,132 @@ class TestBatchMatchesSerial:
                 x.result.execution_plan.assignment
                 == y.result.execution_plan.assignment
             )
+
+
+class TestTemplateGuardrail:
+    """Template-tier answers stay within the guardrail of the true optimum.
+
+    ~50 TDGEN plans: a dozen parametric templates, each instantiated
+    several times with cardinalities *resampled from a log-uniform
+    distribution* (the workload the exact-fingerprint tier misses on).
+    Served answers are checked against a pruning-free exhaustive
+    enumeration at the request's actual cardinalities.
+    """
+
+    GUARDRAIL = 1.2
+
+    def _templates(self, count=12, seed=501):
+        registry = _registry()
+        gen = JobGenerator(registry, seed=seed)
+        per_shape = -(-count // len(SHAPES))
+        templates = []
+        for shape in SHAPES:
+            templates.extend(
+                gen.templates_for_shapes(
+                    (shape,), max_operators=8, count=per_shape, min_operators=5
+                )
+            )
+        return registry, templates[:count]
+
+    def test_every_served_answer_is_within_the_guardrail(self):
+        registry, templates = self._templates()
+        schema = FeatureSchema(registry)
+        model = LinearRuntimeModel(schema.n_features, seed=5)
+        exhaustive = ExhaustiveOptimizer(registry, model, schema=schema)
+        direct = Robopt(registry, model, schema=schema)
+        cache = TemplateCache(guardrail=self.GUARDRAIL)
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS, seed=5),
+            registry,
+            workers=0,
+            template_cache=cache,
+        )
+        rng = np.random.default_rng(99)
+
+        def draw_jobs(tag, per_template):
+            jobs = []
+            for t_index, template in enumerate(templates):
+                for rep in range(per_template):
+                    cardinality = 10.0 ** rng.uniform(3.0, 8.0)
+                    jobs.append(
+                        BatchJob(f"{tag}-{t_index}-{rep}", template(cardinality))
+                    )
+            return jobs
+
+        # Warm phase: first sight of every template misses and folds the
+        # fresh optimum back into its candidate set.
+        warm_jobs = draw_jobs("warm", 3)
+        warm = service.optimize_batch(warm_jobs)
+        assert warm.n_failed == 0
+
+        # Eval phase: fresh cardinality draws — never seen before.
+        eval_jobs = draw_jobs("eval", 2)
+        report = service.optimize_batch(eval_jobs)
+        assert report.n_failed == 0
+        assert len(warm_jobs) + len(eval_jobs) >= 50
+
+        served = 0
+        for job, outcome in zip(eval_jobs, report.outcomes):
+            truth = exhaustive.optimize(job.plan)
+            if outcome.template_hit:
+                served += 1
+                # The guardrail bound, against the *exhaustive* optimum
+                # at this job's actual cardinalities.
+                assert outcome.result.predicted_runtime <= (
+                    self.GUARDRAIL * truth.predicted_runtime * (1.0 + 1e-9)
+                ), f"guardrail breached on {job.job_id}"
+            else:
+                # A refused lookup fell back to full enumeration:
+                # bit-identical to optimizing directly.
+                fresh = direct.optimize(job.plan)
+                assert (
+                    outcome.result.predicted_runtime == fresh.predicted_runtime
+                )
+                assert (
+                    outcome.result.execution_plan.assignment
+                    == fresh.execution_plan.assignment
+                )
+        # Non-vacuous: the tier actually served most of the eval phase.
+        assert served >= len(eval_jobs) // 2
+        assert report.template_hit_rate >= 0.5
+
+    def test_low_confidence_falls_back_to_enumeration(self):
+        """A multi-candidate template whose selector is not trained yet
+        must answer via full enumeration — bit-identical to a direct
+        optimize — and count the fallback."""
+        registry, templates = self._templates(count=4, seed=77)
+        schema = FeatureSchema(registry)
+        model = LinearRuntimeModel(schema.n_features, seed=5)
+        direct = Robopt(registry, model, schema=schema)
+        # min_observations unreachable: any multi-candidate template is
+        # permanently low-confidence.
+        cache = TemplateCache(guardrail=self.GUARDRAIL, min_observations=10**9)
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS, seed=5),
+            registry,
+            workers=0,
+            template_cache=cache,
+        )
+        plan = templates[0](1e5)
+        tfp = template_fingerprint(plan, registry)
+        base = direct.optimize(plan)
+        # Forge a second candidate so the template is multi-candidate.
+        names = list(registry.names)
+        for name in names:
+            forged = base.copy()
+            for op_id in forged.execution_plan.assignment:
+                forged.execution_plan.assignment[op_id] = name
+            cache.observe(tfp, plan, forged)
+        assert len(cache.candidates(tfp)) >= 2
+
+        probe = BatchJob("probe", templates[0](3.3e6))
+        report = service.optimize_batch([probe])
+        (outcome,) = report.outcomes
+        assert not outcome.template_hit  # fell back ...
+        assert cache.stats.low_confidence >= 1  # ... for the right reason
+        fresh = direct.optimize(probe.plan)
+        assert outcome.result.predicted_runtime == fresh.predicted_runtime
+        assert (
+            outcome.result.execution_plan.assignment
+            == fresh.execution_plan.assignment
+        )
