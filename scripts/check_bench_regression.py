@@ -37,6 +37,12 @@ the latest ``daemon_p95_ms`` of ``--daemon-name`` (default
 fraction vs the previous entry. The metric is in *milliseconds* — the
 gate skips sub-millisecond previous values as timer noise.
 
+``--min-drift-heal`` gates the feedback loop (ISSUE 10): the latest
+``heal_ratio`` of ``--drift-name`` (default ``ml.drift_heal``, recorded
+by ``benchmarks/test_feedback.py``) must stay at or above the bound
+(ISSUE 10: 2.0) — a drift-triggered retrain that no longer repairs
+held-out q-error means the closed loop has stopped closing.
+
 ``--min-template-hit-rate`` gates the template-cache tier (ISSUE 9):
 the latest ``template_hit_rate`` of ``--template-name`` (default
 ``serve.template_cache``, recorded by
@@ -146,6 +152,20 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--drift-name",
+        default="ml.drift_heal",
+        help="series whose heal_ratio the feedback-loop gate reads",
+    )
+    parser.add_argument(
+        "--min-drift-heal",
+        type=float,
+        default=None,
+        help=(
+            "also fail when the latest drift-heal ratio falls below "
+            "this bound (e.g. 2.0)"
+        ),
+    )
+    parser.add_argument(
         "--enum-name",
         default=(
             "benchmarks/test_fig09_efficiency.py"
@@ -196,6 +216,11 @@ def main(argv=None) -> int:
         rc = check_daemon_p95(
             args.daemon_name, args.daemon_p95_tolerance, args.root
         )
+        if rc != 0:
+            return rc
+
+    if args.min_drift_heal is not None:
+        rc = check_drift_heal(args.drift_name, args.min_drift_heal, args.root)
         if rc != 0:
             return rc
 
@@ -468,6 +493,44 @@ def check_template_hit_rate(name: str, bound: float, root=None) -> int:
         print(
             f"bench-regression: template tier served only {rate:.0%} of "
             f"its parametric eval workload (< {bound:.0%} bound)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_drift_heal(name: str, bound: float, root=None) -> int:
+    """Gate the feedback loop still repairing an injected workload shift.
+
+    The heal ratio (stale vs retrained held-out median q-error) is
+    computed *within* one benchmark run of the drift-heal drill, so a
+    single entry suffices — no cross-run comparison. A ratio below
+    ``bound`` means drift-triggered retraining no longer recovers
+    prediction quality, which defeats the loop's purpose even if it
+    still technically fires.
+    """
+    from repro.bench.trajectory import series
+
+    entries = series(name, metric="heal_ratio", root=root)
+    if not entries:
+        print(
+            f"bench-regression: no entries for {name!r} carry heal_ratio "
+            "— drift-heal gate skipped (benchmark not yet recorded)"
+        )
+        return 0
+    ratio = entries[-1]["metrics"].get("heal_ratio")
+    if ratio is None:
+        print(f"bench-regression: latest {name!r} entry has no heal_ratio")
+        return 0
+    verdict = "OK" if ratio >= bound else "REGRESSION"
+    print(
+        f"bench-regression: {name}.heal_ratio {ratio:.2f}x "
+        f"(bound >= {bound:.1f}x) [{verdict}]"
+    )
+    if ratio < bound:
+        print(
+            f"bench-regression: the drift-triggered retrain healed "
+            f"held-out q-error only {ratio:.2f}x (< {bound:.1f}x bound)",
             file=sys.stderr,
         )
         return 1

@@ -69,6 +69,10 @@ class RunStats:
     # "greedy_fallback"); empty when the search ran to completion.
     degraded: bool = False
     degradation: str = ""
+    # Uncertainty: the model's prediction spread (seconds) for the chosen
+    # plan, populated only when risk-adjusted ranking ran (see
+    # ``Robopt(risk_aversion=...)``); 0.0 otherwise.
+    predicted_std: float = 0.0
 
     @property
     def total_vectors(self) -> int:

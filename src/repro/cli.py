@@ -295,6 +295,52 @@ def _optimize_batch_via_server(args) -> int:
     return 0 if n_ok == len(rows) else 1
 
 
+def _feedback_controller(args, registry, background: bool):
+    """Build the opt-in execution-feedback controller for --feedback runs.
+
+    Executed plans are simulated (SimulatedExecutor — the same runtime
+    oracle the training data comes from), observed outcomes feed the
+    FeedbackLoop, and a DriftMonitor decides when the windowed q-error
+    justifies an off-critical-path retrain.
+    """
+    if not getattr(args, "feedback", False):
+        return None
+    from repro.core.features import FeatureSchema
+    from repro.ml import DriftMonitor, FeedbackLoop
+    from repro.serve import FeedbackController
+    from repro.simulator.executor import SimulatedExecutor
+
+    if args.retrain_after < 0:
+        raise ReproError("--retrain-after must be >= 0")
+    if args.drift_threshold < 1.0:
+        raise ReproError("--drift-threshold must be >= 1.0 (q-error scale)")
+    drift = DriftMonitor(
+        warn_threshold=min(2.0, args.drift_threshold),
+        drift_threshold=args.drift_threshold,
+    )
+    return FeedbackController(
+        FeedbackLoop(FeatureSchema(registry)),
+        SimulatedExecutor.default(registry),
+        drift=drift,
+        retrain_after=args.retrain_after,
+        background=background,
+    )
+
+
+def _print_feedback_stats(service) -> None:
+    stats = service.feedback_stats()
+    if not stats:
+        return
+    q = stats.get("q_error")
+    q_shown = f"{q:.2f}" if isinstance(q, float) else "n/a"
+    print(
+        f"feedback: {stats['observations_total']} observed "
+        f"({stats['rejected']} rejected), drift q-error {q_shown} "
+        f"[{stats['status']}], retrains={stats['retrains']}, "
+        f"model generation {stats['model_generation']}"
+    )
+
+
 def cmd_optimize_batch(args) -> int:
     import json
     import os
@@ -367,16 +413,23 @@ def cmd_optimize_batch(args) -> int:
                 args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
             ),
             chaos=chaos,
+            variance_threshold=args.variance_threshold,
+            risk_aversion=args.risk_aversion,
         )
     else:
         if chaos is not None:
             raise ReproError("--chaos-profile requires the resilient stack")
+        if args.risk_aversion or args.variance_threshold is not None:
+            raise ReproError(
+                "--risk-aversion/--variance-threshold require the resilient stack"
+            )
         factory = robopt_factory(
             platforms=platforms,
             model_path=args.model,
             priority=args.priority,
         )
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    feedback = _feedback_controller(args, registry, background=False)
     service = BatchOptimizationService(
         factory,
         registry,
@@ -386,11 +439,15 @@ def cmd_optimize_batch(args) -> int:
         template_cache=template_cache,
         retry=retry,
         quarantine_after=args.quarantine_after,
+        feedback=feedback,
+        model_path=args.model if feedback is not None else None,
     )
     try:
         with _maybe_trace(args):
             report = service.optimize_batch(jobs) if jobs else None
     finally:
+        if feedback is not None:
+            feedback.join()
         service.close()
     rows = list(error_rows)
     outcomes = report.outcomes if report is not None else []
@@ -458,6 +515,7 @@ def cmd_optimize_batch(args) -> int:
             f"p95={tails['p95'] * 1000:.1f}ms "
             f"p99={tails['p99'] * 1000:.1f}ms"
         )
+        _print_feedback_stats(service)
         if n_bad_rows:
             print(f"rejected {n_bad_rows} malformed job rows (see result rows)")
         # Test-driven CLI runs must not pollute the persistent bench
@@ -546,16 +604,25 @@ def cmd_serve(args) -> int:
             model_path=args.model,
             priority=args.priority,
             chaos=chaos,
+            variance_threshold=args.variance_threshold,
+            risk_aversion=args.risk_aversion,
         )
     else:
         if chaos is not None:
             raise ReproError("--chaos-profile requires the resilient stack")
+        if args.risk_aversion or args.variance_threshold is not None:
+            raise ReproError(
+                "--risk-aversion/--variance-threshold require the resilient stack"
+            )
         factory = robopt_factory(
             platforms=platforms,
             model_path=args.model,
             priority=args.priority,
         )
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    # The daemon retrains off the event loop: observations land inline
+    # per batch, the refit itself runs on a background thread.
+    feedback = _feedback_controller(args, registry, background=True)
     service = BatchOptimizationService(
         factory,
         registry,
@@ -565,6 +632,8 @@ def cmd_serve(args) -> int:
         template_cache=template_cache,
         retry=retry,
         quarantine_after=args.quarantine_after,
+        feedback=feedback,
+        model_path=args.model if feedback is not None else None,
     )
     config = DaemonConfig(
         unix_path=args.socket,
@@ -588,6 +657,10 @@ def cmd_serve(args) -> int:
     except OSError as exc:
         where = args.socket or f"{args.host}:{args.port}"
         raise ReproError(f"cannot bind {where}: {exc}") from exc
+    finally:
+        if feedback is not None:
+            feedback.join()
+    _print_feedback_stats(service)
     if cache is not None and args.cache:
         cache.save(args.cache)
         print(f"saved plan cache ({len(cache)} entries) to {args.cache}")
@@ -761,6 +834,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the bare optimizer stack (no fallback chain or budget)",
     )
     batch.add_argument(
+        "--feedback", action="store_true",
+        help="close the loop: execute chosen plans (simulated), feed "
+        "observed runtimes back, and retrain + swap the model when the "
+        "drift monitor trips or --retrain-after observations accumulate "
+        "(retrained models are persisted back to --model)",
+    )
+    batch.add_argument(
+        "--retrain-after", type=int, default=50, metavar="N",
+        help="with --feedback: retrain after this many fresh observations "
+        "(0 = only on drift)",
+    )
+    batch.add_argument(
+        "--drift-threshold", type=float, default=4.0, metavar="Q",
+        help="with --feedback: windowed median q-error above this "
+        "triggers an immediate retrain (>= 1.0)",
+    )
+    batch.add_argument(
+        "--risk-aversion", type=float, default=0.0, metavar="K",
+        help="rank candidate plans by mean + K*std of the predicted "
+        "runtime instead of the mean (0 = off, bit-identical ranking)",
+    )
+    batch.add_argument(
+        "--variance-threshold", type=float, default=None, metavar="R",
+        help="treat sustained high relative prediction variance "
+        "(std/mean above R over a sliding window) as a model soft "
+        "failure and degrade to the fallback chain",
+    )
+    batch.add_argument(
         "--bench-record", action="store_true",
         help="record trajectory metrics even when invoked from a test "
         "(recording is suppressed under pytest by default)",
@@ -851,6 +952,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-resilience", action="store_true",
         help="use the bare optimizer stack (no fallback chain or budget)",
+    )
+    serve.add_argument(
+        "--feedback", action="store_true",
+        help="close the loop: execute chosen plans (simulated), feed "
+        "observed runtimes back, and retrain + swap the model off the "
+        "critical path when drift trips or --retrain-after observations "
+        "accumulate (retrained models are persisted back to --model)",
+    )
+    serve.add_argument(
+        "--retrain-after", type=int, default=50, metavar="N",
+        help="with --feedback: retrain after this many fresh observations "
+        "(0 = only on drift)",
+    )
+    serve.add_argument(
+        "--drift-threshold", type=float, default=4.0, metavar="Q",
+        help="with --feedback: windowed median q-error above this "
+        "triggers an immediate retrain (>= 1.0)",
+    )
+    serve.add_argument(
+        "--risk-aversion", type=float, default=0.0, metavar="K",
+        help="rank candidate plans by mean + K*std of the predicted "
+        "runtime instead of the mean (0 = off, bit-identical ranking)",
+    )
+    serve.add_argument(
+        "--variance-threshold", type=float, default=None, metavar="R",
+        help="treat sustained high relative prediction variance "
+        "(std/mean above R over a sliding window) as a model soft "
+        "failure and degrade to the fallback chain",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -103,6 +103,15 @@ class Robopt:
         an anytime plan with ``RunStats.degraded`` set instead of running
         the search to completion. A per-call budget passed to
         :meth:`optimize` overrides it.
+    risk_aversion:
+        The ``k`` in the risk-adjusted plan score ``mean + k·std``
+        (Reqo-style robust plan choice). With the default ``0.0`` the
+        optimizer is bit-identical to the pure expected-runtime ranking
+        and never even asks the model for a distribution. Positive
+        values re-rank the *final* surviving candidates (pruning is
+        unchanged — intermediate pruning by mean keeps the search
+        identical and cheap) preferring plans the model is confident
+        about; requires a model with ``predict_dist``.
     """
 
     def __init__(
@@ -115,9 +124,15 @@ class Robopt:
         max_vectors: int = 4_000_000,
         singleton_memo: Optional[Dict] = None,
         budget: Optional["Budget"] = None,
+        risk_aversion: float = 0.0,
     ):
+        if risk_aversion < 0.0:
+            raise EnumerationError(
+                f"risk_aversion must be >= 0, got {risk_aversion}"
+            )
         self.registry = registry
         self.model = model
+        self.risk_aversion = float(risk_aversion)
         self.schema = schema if schema is not None else FeatureSchema(registry)
         self._enumerator = PriorityEnumerator(
             registry,
@@ -151,16 +166,60 @@ class Robopt:
     def optimize(
         self, plan: LogicalPlan, budget: Optional["Budget"] = None
     ) -> OptimizationResult:
-        """Find the execution plan with the lowest predicted runtime."""
+        """Find the execution plan with the lowest predicted runtime.
+
+        With ``risk_aversion > 0`` the final surviving candidates are
+        re-ranked by ``mean + k·std`` (see :meth:`_risk_rerank`); the
+        reported ``predicted_runtime`` stays the *expected* runtime of
+        the chosen plan, not its risk score.
+        """
         plan.validate()
         result: EnumerationResult = self._enumerator.enumerate_plan(plan, budget)
-        return OptimizationResult(
+        out = OptimizationResult(
             execution_plan=result.execution_plan,
             predicted_runtime=result.predicted_cost,
             stats=result.stats,
             optimizer="robopt",
             final_enumeration=result.final_enumeration,
         )
+        if self.risk_aversion > 0.0:
+            out = self._risk_rerank(out)
+        return out
+
+    def _risk_rerank(self, out: OptimizationResult) -> OptimizationResult:
+        """Re-choose among the final candidates by ``mean + k·std``.
+
+        No-ops (keeping the mean-optimal plan) when the model offers no
+        distribution, the enumeration carried no final matrix (budget-
+        degraded anytime answers), or any candidate's std is non-finite
+        — a fallback-served ``inf`` std would make *every* risk score
+        infinite and the argmin meaningless, so the honest move is to
+        fall back to the expected-runtime choice.
+        """
+        final = out.final_enumeration
+        if final is None or not hasattr(self.model, "predict_dist"):
+            return out
+        mean, std = self.model.predict_dist(final.features)
+        mean = np.asarray(mean, dtype=np.float64).reshape(-1)
+        std = np.asarray(std, dtype=np.float64).reshape(-1)
+        if mean.size == 0 or not np.all(np.isfinite(std)):
+            return out
+        score = mean + self.risk_aversion * std
+        row = int(np.argmin(score))
+        out.execution_plan = unvectorize(final, row)
+        out.predicted_runtime = float(mean[row])
+        out.stats.predicted_std = float(std[row])
+        return out
+
+    def set_model(self, model) -> None:
+        """Swap in a new runtime model (a feedback-loop retrain).
+
+        The enumerator's cost function closes over the model, so it is
+        rebuilt; callers holding this ``Robopt`` see the new pricing on
+        their next ``optimize`` call.
+        """
+        self.model = model
+        self._enumerator.cost_fn = ml_cost(model)
 
     def _ranked(
         self, plan: LogicalPlan, k: int

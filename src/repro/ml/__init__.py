@@ -14,6 +14,7 @@ from repro.ml.linear import LinearRegression, RidgeRegression
 from repro.ml.mlp import MLPRegressor
 from repro.ml.model import RuntimeModel, TrainingDataset
 from repro.ml.feedback import FeedbackLoop
+from repro.ml.drift import DriftMonitor, DriftStatus
 from repro.ml.metrics import mae, pearson, q_error, rmse, spearman
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "RuntimeModel",
     "TrainingDataset",
     "FeedbackLoop",
+    "DriftMonitor",
+    "DriftStatus",
     "rmse",
     "mae",
     "q_error",

@@ -1,0 +1,159 @@
+"""Windowed q-error drift detection over executed plans.
+
+The paper trains its runtime model once from TDGEN logs (§VII-A) but
+notes Robopt "is able to find such cases by observing patterns in the
+execution logs". :class:`DriftMonitor` is the observer half of that
+loop: it keeps a sliding window of ``(predicted, observed)`` runtime
+pairs from real (simulated) executions, re-computes the windowed median
+q-error after every observation, and classifies the model's health as
+:class:`DriftStatus` ``OK`` / ``WARN`` / ``DRIFTED``. The retrain half
+lives in :mod:`repro.serve.feedback`, which watches for ``DRIFTED`` and
+refits off the critical path.
+
+Q-error (``max(pred/obs, obs/pred)``, see :mod:`repro.ml.metrics`) is
+the same statistic the training pipeline reports as holdout quality, so
+"drifted" is directly comparable to the model's own birth certificate.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.metrics import q_error
+
+
+class DriftStatus(enum.Enum):
+    """Model health verdict from the sliding q-error window."""
+
+    OK = "ok"
+    WARN = "warn"
+    DRIFTED = "drifted"
+
+
+class DriftMonitor:
+    """Sliding-window q-error monitor over (predicted, observed) pairs.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent observations the q-error is computed over.
+    min_samples:
+        Observations required before any verdict other than ``OK`` is
+        issued — a two-sample window saying "drifted" is noise.
+    warn_threshold, drift_threshold:
+        Windowed median q-error levels for ``WARN`` and ``DRIFTED``.
+        A perfectly calibrated model sits at 1.0; the defaults flag a
+        sustained 2× (warn) / 4× (drift) median misprediction.
+    quantile:
+        Which q-error quantile the verdict uses (default: the median,
+        matching the ``q50`` holdout metric recorded at training time).
+
+    Thread safety: ``observe``/``status``/``reset`` take an internal
+    lock, so the serving hot path and a background retrainer may share
+    one monitor.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        min_samples: int = 16,
+        warn_threshold: float = 2.0,
+        drift_threshold: float = 4.0,
+        quantile: float = 0.5,
+    ):
+        if window < 1:
+            raise ModelError(f"window must be >= 1, got {window}")
+        if min_samples < 1:
+            raise ModelError(f"min_samples must be >= 1, got {min_samples}")
+        if not warn_threshold >= 1.0:
+            raise ModelError(
+                f"warn_threshold must be >= 1.0, got {warn_threshold}"
+            )
+        if not drift_threshold >= warn_threshold:
+            raise ModelError(
+                "drift_threshold must be >= warn_threshold, got "
+                f"{drift_threshold} < {warn_threshold}"
+            )
+        if not 0.0 <= quantile <= 1.0:
+            raise ModelError(f"quantile must be in [0, 1], got {quantile}")
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.warn_threshold = float(warn_threshold)
+        self.drift_threshold = float(drift_threshold)
+        self.quantile = float(quantile)
+        self._pairs: Deque[Tuple[float, float]] = deque(maxlen=self.window)
+        self._total = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(self, predicted: float, observed: float) -> DriftStatus:
+        """Record one executed plan and return the updated verdict.
+
+        Non-finite or negative pairs are ignored (the feedback loop
+        rejects them upstream too, but a monitor must not be corruptible
+        by a single bad sample).
+        """
+        p = float(predicted)
+        o = float(observed)
+        if not (np.isfinite(p) and np.isfinite(o)) or p < 0.0 or o < 0.0:
+            return self.status()
+        with self._lock:
+            self._pairs.append((p, o))
+            self._total += 1
+        return self.status()
+
+    def q_error(self) -> float:
+        """Windowed q-error at ``quantile``; NaN before any observation."""
+        with self._lock:
+            if not self._pairs:
+                return float("nan")
+            pairs = list(self._pairs)
+        pred = np.array([p for p, _ in pairs])
+        obs = np.array([o for _, o in pairs])
+        return q_error(obs, pred, self.quantile)
+
+    def status(self) -> DriftStatus:
+        """Current verdict from the windowed q-error."""
+        with self._lock:
+            n = len(self._pairs)
+        if n < self.min_samples:
+            return DriftStatus.OK
+        q = self.q_error()
+        if q >= self.drift_threshold:
+            return DriftStatus.DRIFTED
+        if q >= self.warn_threshold:
+            return DriftStatus.WARN
+        return DriftStatus.OK
+
+    def reset(self) -> None:
+        """Drop the window — called after a retrain swaps a new model in,
+        so stale pre-retrain errors can't re-trigger drift."""
+        with self._lock:
+            self._pairs.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pairs)
+
+    @property
+    def total_observations(self) -> int:
+        """Lifetime observation count (unaffected by ``reset``)."""
+        with self._lock:
+            return self._total
+
+    def snapshot(self) -> Dict[str, object]:
+        """Stats-frame payload: window fill, q-error, verdict."""
+        q = self.q_error()
+        return {
+            "window": float(len(self)),
+            "observations": float(self.total_observations),
+            "q_error": q if np.isfinite(q) else float("nan"),
+            "status": self.status().value,
+        }

@@ -28,6 +28,7 @@ import numpy as np
 from repro.exceptions import ModelError
 from repro.core.features import FeatureSchema
 from repro.ml.model import RuntimeModel, TrainingDataset
+from repro.obs import current_tracer
 from repro.rheem.execution_plan import ExecutionPlan
 
 
@@ -56,7 +57,7 @@ class FeedbackLoop:
     def __init__(
         self,
         schema: FeatureSchema,
-        base_dataset: TrainingDataset,
+        base_dataset: Optional[TrainingDataset] = None,
         algorithm: str = "random_forest",
         observation_weight: int = 3,
         seed: int = 0,
@@ -65,6 +66,12 @@ class FeedbackLoop:
         if observation_weight < 1:
             raise ModelError(
                 f"observation_weight must be >= 1, got {observation_weight}"
+            )
+        if base_dataset is None:
+            # Pure-observation mode: a deployed daemon usually has only
+            # the pickled model, not the TDGEN logs it was trained from.
+            base_dataset = TrainingDataset(
+                np.zeros((0, schema.n_features)), np.zeros(0), []
             )
         if base_dataset.n_features != schema.n_features:
             raise ModelError(
@@ -82,18 +89,36 @@ class FeedbackLoop:
         self._meta: List[Dict] = []
         self.observations_since_retrain = 0
         self.n_retrains = 0
+        self.rejected = 0
 
     # ------------------------------------------------------------------
     @property
     def n_observations(self) -> int:
         return len(self._labels)
 
-    def observe(self, xplan: ExecutionPlan, runtime_s: float) -> None:
-        """Record one executed plan and its measured runtime."""
+    def observe(self, xplan: ExecutionPlan, runtime_s: float, stats=None) -> bool:
+        """Record one executed plan and its measured runtime.
+
+        Returns ``True`` if the observation was accepted. Two classes of
+        outcome are rejected rather than learned from, with the
+        ``ml.feedback.rejected`` counter (and a per-reason variant)
+        bumped: non-finite or negative runtimes (a crashed or unmeasured
+        execution is not a label), and plans whose ``stats.degraded``
+        flag is set — a degraded plan came from the fallback chain, not
+        the optimizer's real choice, so its runtime would teach the
+        model that the *fallback's* picks are what good plans cost.
+        """
+        reason = None
         if runtime_s < 0 or not np.isfinite(runtime_s):
-            raise ModelError(
-                f"observed runtime must be finite and >= 0, got {runtime_s}"
-            )
+            reason = "nonfinite"
+        elif stats is not None and getattr(stats, "degraded", False):
+            reason = "degraded"
+        if reason is not None:
+            self.rejected += 1
+            tracer = current_tracer()
+            tracer.count("ml.feedback.rejected")
+            tracer.count(f"ml.feedback.rejected.{reason}")
+            return False
         self._rows.append(self.schema.encode_execution_plan(xplan))
         self._labels.append(float(runtime_s))
         self._meta.append(
@@ -104,6 +129,8 @@ class FeedbackLoop:
             }
         )
         self.observations_since_retrain += 1
+        current_tracer().count("ml.feedback.accepted")
+        return True
 
     def observations_dataset(self) -> TrainingDataset:
         """The accumulated observations as a dataset (unweighted)."""
@@ -124,10 +151,15 @@ class FeedbackLoop:
                 combined = combined.extend(observations)
         return combined
 
-    def retrain(self) -> RuntimeModel:
-        """Train a fresh model on everything seen so far."""
+    def retrain(self, dataset: Optional[TrainingDataset] = None) -> RuntimeModel:
+        """Train a fresh model on everything seen so far.
+
+        ``dataset`` lets a concurrent caller snapshot
+        :meth:`training_dataset` under its own lock and run the (slow)
+        fit outside it.
+        """
         model = RuntimeModel.train(
-            self.training_dataset(),
+            dataset if dataset is not None else self.training_dataset(),
             self.algorithm,
             seed=self.seed,
             **self.train_params,

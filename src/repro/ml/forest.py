@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -132,19 +132,12 @@ class RandomForestRegressor:
         self._threshold[leaves] = np.inf
         self._feature[leaves] = 0
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Mean prediction over all trees (vectorized joint traversal).
+    def _leaf_nodes(self, X: np.ndarray) -> Tuple[np.ndarray, int, int]:
+        """Flat leaf-node indices for every (row, tree) pair.
 
-        All (row, tree) pairs descend one level per iteration over flat
-        arrays. With self-looping leaves (see :meth:`_pack`) each level is
-        three gathers, one comparison and one add, repeated exactly
-        ``max_depth`` times — leaves stay put because nothing exceeds a
-        ``+inf`` threshold. Row order does not affect a row's prediction
-        (traversals are independent), so prune-time batches and the final
-        selection see bit-identical costs for identical feature rows.
-
-        NaN feature values descend left (``NaN > t`` is false); the
-        training pipeline never produces NaN features.
+        The shared descent behind :meth:`predict` and
+        :meth:`predict_dist`: identical gathers in identical order, so
+        both entry points resolve the same leaves bit-for-bit.
         """
         if not self.trees_:
             raise NotFittedError("RandomForestRegressor.predict before fit")
@@ -192,11 +185,45 @@ class RandomForestRegressor:
                 nxt = left[nodes]
                 nxt += go_right
                 nodes = nxt
+        return nodes, n, t
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean prediction over all trees (vectorized joint traversal).
+
+        All (row, tree) pairs descend one level per iteration over flat
+        arrays. With self-looping leaves (see :meth:`_pack`) each level is
+        three gathers, one comparison and one add, repeated exactly
+        ``max_depth`` times — leaves stay put because nothing exceeds a
+        ``+inf`` threshold. Row order does not affect a row's prediction
+        (traversals are independent), so prune-time batches and the final
+        selection see bit-identical costs for identical feature rows.
+
+        NaN feature values descend left (``NaN > t`` is false); the
+        training pipeline never produces NaN features.
+        """
+        nodes, n, t = self._leaf_nodes(X)
         # sum + in-place scalar division == mean(axis=1) bit-for-bit (same
         # pairwise reduction, same true_divide), minus the _mean wrapper.
         out = self._value[nodes].reshape(n, t).sum(axis=1)
         out /= t
         return out
+
+    def predict_dist(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row ``(mean, std)`` over the per-tree predictions.
+
+        One traversal serves both moments: the leaves each (row, tree)
+        pair lands on are resolved exactly as in :meth:`predict` (the
+        mean array is bit-identical to a ``predict`` call on the same
+        rows), and the std is the population spread of the per-tree leaf
+        values — the bagged ensemble's disagreement, which Reqo-style
+        robust plan evaluation reads as predictive uncertainty. A fitted
+        single-tree forest honestly reports zero std everywhere.
+        """
+        nodes, n, t = self._leaf_nodes(X)
+        per_tree = self._value[nodes].reshape(n, t)
+        mean = per_tree.sum(axis=1)
+        mean /= t
+        return mean, per_tree.std(axis=1)
 
     def feature_importances(self) -> np.ndarray:
         """Split-count importances (how often each feature is used)."""

@@ -222,6 +222,54 @@ class RuntimeModel:
         return float(self.predict(np.asarray(x)[None, :])[0])
 
     # ------------------------------------------------------------------
+    @property
+    def supports_dist(self) -> bool:
+        """Whether the wrapped regressor offers per-ensemble uncertainty."""
+        return hasattr(self._regressor, "predict_dist")
+
+    def predict_dist(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row ``(mean, std)`` of the predicted runtime, in seconds.
+
+        The mean is **bit-identical** to :meth:`predict` on the same rows
+        (same traversal, same ``expm1`` back-transform), so callers may
+        use this as a drop-in replacement that additionally surfaces
+        uncertainty. The regressor's ensemble spread lives in log space
+        (targets are ``log1p``-transformed at fit time); it is mapped to
+        seconds with the first-order delta method,
+        ``std_seconds = exp(mean_log) * std_log`` — the local slope of
+        the inverse transform. The relative spread ``std/mean`` is
+        therefore ≈ the log-space std, which is the convention every
+        uncertainty consumer (variance guard, template selector, risk
+        ranking) shares.
+
+        A regressor without ``predict_dist`` (linear, MLP, boosting —
+        deterministic single predictors with no ensemble to disagree)
+        honestly reports zero std rather than inventing a number.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.n_features:
+            raise ModelError(
+                f"expected {self.n_features} features, got {X.shape[1]}"
+            )
+        if not self._fitted:
+            raise NotFittedError("RuntimeModel.predict_dist before train/load")
+        if not self.supports_dist:
+            out = self.predict_matrix(X)
+            return out, np.zeros_like(out)
+        log_mean, log_std = self._regressor.predict_dist(X)
+        mean = np.asarray(log_mean, dtype=np.float64).copy()
+        # d/dx expm1(x) = exp(x): scale the log-space spread by the local
+        # slope of the back-transform, *before* mean is overwritten.
+        std = np.exp(mean)
+        std *= np.asarray(log_std, dtype=np.float64)
+        np.expm1(mean, out=mean)
+        np.maximum(mean, 0.0, out=mean)
+        np.abs(std, out=std)
+        return mean, std
+
+    # ------------------------------------------------------------------
     def save(self, path) -> None:
         """Pickle the model (regressor, metadata, metrics) to disk."""
         path = Path(path)

@@ -28,6 +28,7 @@ from repro.resilience.fallback import (
     CardinalityHeuristicModel,
     CircuitBreaker,
     FallbackRuntimeModel,
+    VarianceGuard,
 )
 from repro.resilience.retry import Quarantine, RetryPolicy
 
@@ -37,6 +38,7 @@ __all__ = [
     "CircuitBreaker",
     "FallbackRuntimeModel",
     "CardinalityHeuristicModel",
+    "VarianceGuard",
     "RetryPolicy",
     "Quarantine",
     "ChaosProfile",

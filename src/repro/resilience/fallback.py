@@ -16,14 +16,25 @@ successful probe closes the breaker again. Kepler and Reqo make the same
 argument for serving learned optimizers: robustness machinery belongs
 *around* the model, not inside it.
 
+Failure is not only exceptions: a bagged model that still *answers* but
+whose trees wildly disagree is guessing, and a guess priced as a cost is
+worse than the calibrated cost model one level down. :class:`VarianceGuard`
+watches the primary's relative prediction spread (``predict_dist``, when
+the model offers it) over a sliding window of calls; sustained high
+variance counts as a soft failure — the call degrades to the fallback
+chain and the breaker sees a failure, so a model that keeps guessing
+eventually short-circuits like one that keeps crashing.
+
 Counters (ambient tracer): ``resilience.model_failure``,
 ``resilience.fallback``, ``resilience.breaker_open``,
-``resilience.breaker_short_circuit``, ``resilience.breaker_close``.
+``resilience.breaker_short_circuit``, ``resilience.breaker_close``,
+``resilience.high_variance``.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +46,7 @@ __all__ = [
     "CircuitBreaker",
     "FallbackRuntimeModel",
     "CardinalityHeuristicModel",
+    "VarianceGuard",
 ]
 
 #: Breaker states.
@@ -118,6 +130,85 @@ class CircuitBreaker:
         )
 
 
+class _HighVariance(ModelError):
+    """Internal soft-failure signal: the primary answered, but guessing."""
+
+
+class VarianceGuard:
+    """Sliding-window monitor of a model's relative prediction spread.
+
+    Each guarded ``predict`` contributes one flag: whether the batch's
+    mean relative std (``std / max(|mean|, floor_s)``) exceeded
+    ``threshold``. With the log-space delta transform in
+    :meth:`repro.ml.model.RuntimeModel.predict_dist`, relative std is ≈
+    the ensemble's log-space disagreement, so the threshold is
+    scale-free — 0.8 means the trees disagree by roughly a factor of
+    ``e^0.8 ≈ 2.2`` on a typical plan. The guard *trips* once
+    ``trip_count`` of the last ``window`` calls are flagged (default:
+    all of them — variance must be *sustained*, a single odd batch is
+    what ensembles are for).
+
+    ``floor_s`` keeps near-zero predicted runtimes from inflating the
+    ratio: sub-millisecond plans are all equally cheap, their spread is
+    not a model-health signal.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.8,
+        window: int = 8,
+        trip_count: Optional[int] = None,
+        floor_s: float = 1e-3,
+    ):
+        if not threshold > 0.0:
+            raise ReproError(f"threshold must be > 0, got {threshold}")
+        if window < 1:
+            raise ReproError(f"window must be >= 1, got {window}")
+        if trip_count is None:
+            trip_count = window
+        if not 1 <= trip_count <= window:
+            raise ReproError(
+                f"trip_count must be in [1, {window}], got {trip_count}"
+            )
+        self.threshold = float(threshold)
+        self.window = int(window)
+        self.trip_count = int(trip_count)
+        self.floor_s = float(floor_s)
+        self._flags: deque = deque(maxlen=self.window)
+        self.high_calls = 0
+
+    def observe(self, mean: np.ndarray, std: np.ndarray) -> bool:
+        """Record one batch; returns whether it was flagged high-variance."""
+        mean = np.asarray(mean, dtype=np.float64).reshape(-1)
+        std = np.asarray(std, dtype=np.float64).reshape(-1)
+        if mean.size == 0:
+            return False
+        rel = float(np.mean(std / np.maximum(np.abs(mean), self.floor_s)))
+        flagged = bool(np.isfinite(rel) and rel > self.threshold)
+        self._flags.append(flagged)
+        if flagged:
+            self.high_calls += 1
+        return flagged
+
+    @property
+    def tripped(self) -> bool:
+        """True when the window is full and flagged calls reach trip_count."""
+        return (
+            len(self._flags) == self.window
+            and sum(self._flags) >= self.trip_count
+        )
+
+    def reset(self) -> None:
+        """Forget the window — a fresh (retrained/swapped) model starts clean."""
+        self._flags.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VarianceGuard(threshold={self.threshold}, "
+            f"flags={sum(self._flags)}/{len(self._flags)} of {self.window})"
+        )
+
+
 class CardinalityHeuristicModel:
     """The terminal fallback: cost ≈ data volume pushed through the plan.
 
@@ -174,6 +265,12 @@ class FallbackRuntimeModel:
     expected_features:
         When given, primary outputs are additionally validated against
         inputs of this width (shape mismatches count as failures).
+    variance_guard:
+        Optional :class:`VarianceGuard`. When set and the primary offers
+        ``predict_dist``, every primary call is variance-checked; a
+        tripped guard is a soft failure — the call is served from the
+        fallback chain and the breaker records a failure
+        (``resilience.high_variance``).
     """
 
     def __init__(
@@ -182,6 +279,7 @@ class FallbackRuntimeModel:
         fallbacks: Sequence = (),
         breaker: Optional[CircuitBreaker] = None,
         expected_features: Optional[int] = None,
+        variance_guard: Optional[VarianceGuard] = None,
     ):
         if hasattr(primary, "predict"):
             self._loader = None
@@ -196,6 +294,7 @@ class FallbackRuntimeModel:
         self.fallbacks = list(fallbacks)
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.expected_features = expected_features
+        self.variance_guard = variance_guard
         self.last_level: Optional[str] = None
         self.last_error: Optional[str] = None
         self.level_counts = {}
@@ -208,6 +307,7 @@ class FallbackRuntimeModel:
         schema,
         cost_model=None,
         breaker: Optional[CircuitBreaker] = None,
+        variance_guard: Optional[VarianceGuard] = None,
     ) -> "FallbackRuntimeModel":
         """The standard chain: primary → calibrated cost → cardinality sum.
 
@@ -224,6 +324,7 @@ class FallbackRuntimeModel:
             fallbacks=[cost_model, CardinalityHeuristicModel(schema)],
             breaker=breaker,
             expected_features=schema.n_features,
+            variance_guard=variance_guard,
         )
 
     # ------------------------------------------------------------------
@@ -283,7 +384,22 @@ class FallbackRuntimeModel:
                         f"expected {self.expected_features} features, "
                         f"got {X.shape[1]}"
                     )
-                out = self._validated(self._resolve_primary().predict(X), n)
+                primary = self._resolve_primary()
+                guard = self.variance_guard
+                if guard is not None and hasattr(primary, "predict_dist"):
+                    # One traversal serves both the costs and the health
+                    # check: the dist mean is bit-identical to predict.
+                    mean, std = primary.predict_dist(X)
+                    out = self._validated(mean, n)
+                    guard.observe(out, std)
+                    if guard.tripped:
+                        raise _HighVariance(
+                            "sustained high prediction variance "
+                            f"({sum(guard._flags)}/{guard.window} calls over "
+                            f"threshold {guard.threshold})"
+                        )
+                else:
+                    out = self._validated(primary.predict(X), n)
                 self.breaker.record_success()
                 self._note("primary")
                 return out
@@ -291,7 +407,11 @@ class FallbackRuntimeModel:
                 self.breaker.record_failure()
                 self.last_error = f"{type(exc).__name__}: {exc}"
                 if tracer.enabled:
-                    tracer.count("resilience.model_failure")
+                    tracer.count(
+                        "resilience.high_variance"
+                        if isinstance(exc, _HighVariance)
+                        else "resilience.model_failure"
+                    )
         elif tracer.enabled:
             tracer.count("resilience.breaker_short_circuit")
         for fallback in self.fallbacks:
@@ -311,6 +431,90 @@ class FallbackRuntimeModel:
 
     def predict_one(self, x: np.ndarray) -> float:
         return float(self.predict(np.asarray(x)[None, :])[0])
+
+    # ------------------------------------------------------------------
+    def predict_dist(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row ``(mean, std)`` with honest uncertainty at every level.
+
+        The std encodes which level answered: the primary's real
+        ensemble spread when it offers ``predict_dist``; exact zeros for
+        a primary that only point-predicts (a deterministic predictor
+        has no spread to report, and inventing one would poison
+        risk-adjusted ranking); and ``+inf`` when the call was served
+        from the fallback chain — a degraded cost is an unbounded-
+        uncertainty estimate, and ``mean + k·inf`` correctly makes any
+        risk-averse consumer refuse to prefer it over a primary-priced
+        alternative.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        n = X.shape[0]
+        tracer = current_tracer()
+        if self.breaker.allow():
+            try:
+                if (
+                    self.expected_features is not None
+                    and X.shape[1] != self.expected_features
+                ):
+                    raise ModelError(
+                        f"expected {self.expected_features} features, "
+                        f"got {X.shape[1]}"
+                    )
+                primary = self._resolve_primary()
+                if hasattr(primary, "predict_dist"):
+                    mean, std = primary.predict_dist(X)
+                    mean = self._validated(mean, n)
+                    std = np.asarray(std, dtype=np.float64).reshape(-1)
+                    if std.shape != (n,):
+                        raise ModelError(
+                            f"predict_dist returned std shape {std.shape} "
+                            f"for {n} rows"
+                        )
+                else:
+                    mean = self._validated(primary.predict(X), n)
+                    std = np.zeros(n)
+                self.breaker.record_success()
+                self._note("primary")
+                return mean, std
+            except Exception as exc:
+                self.breaker.record_failure()
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                if tracer.enabled:
+                    tracer.count("resilience.model_failure")
+        elif tracer.enabled:
+            tracer.count("resilience.breaker_short_circuit")
+        for fallback in self.fallbacks:
+            try:
+                out = self._validated(fallback.predict(X), n)
+            except Exception as exc:
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            self._note(type(fallback).__name__)
+            if tracer.enabled:
+                tracer.count("resilience.fallback")
+            return out, np.full(n, np.inf)
+        raise ModelError(
+            f"every level of the fallback chain failed "
+            f"(last error: {self.last_error})"
+        )
+
+    def swap_primary(self, model) -> None:
+        """Atomically replace the primary model (a feedback-loop retrain).
+
+        A single attribute assignment — concurrent ``predict`` calls see
+        either the old model or the new one, never a half-swapped state
+        (the enumerator's cost closure holds *this* wrapper, not the
+        model it wraps). The breaker and variance guard are reset: the
+        fresh model has not earned the old one's failure record.
+        """
+        if not hasattr(model, "predict"):
+            raise ModelError("swap_primary needs a model with .predict")
+        self._primary = model
+        self._loader = None
+        self.breaker.record_success()
+        if self.variance_guard is not None:
+            self.variance_guard.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -51,6 +51,7 @@ from repro.serve.batch import (
 from repro.serve.cache import CacheStats, PlanCache, copy_result
 from repro.serve.client import ServeClient, parse_address
 from repro.serve.daemon import DaemonConfig, OptimizationDaemon
+from repro.serve.feedback import FeedbackController
 from repro.serve.fingerprint import cardinality_bucket, plan_fingerprint
 from repro.serve.template import (
     TemplateCache,
@@ -114,4 +115,6 @@ __all__ = [
     "DaemonConfig",
     "ServeClient",
     "parse_address",
+    # feedback / drift
+    "FeedbackController",
 ]

@@ -65,6 +65,7 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api import Optimizer, OptimizationResult, RunStats
@@ -88,6 +89,11 @@ __all__ = [
 ]
 
 #: Wall-clock floor for rate computations. ``plans_per_sec`` divides by
+#: Durations below this are untimed artifacts (e.g. follower outcomes
+#: published with an exact-zero duration), not measurements; they are
+#: excluded from the latency-percentile sample.
+_LATENCY_FLOOR_S = 1e-6
+
 #: ``max(wall_s, _WALL_FLOOR_S)`` — a 3.5 ms run of 2 jobs reports a
 #: bounded lower-bound rate instead of an absurd extrapolation from a
 #: sub-resolution sample.
@@ -308,19 +314,34 @@ class BatchReport:
         return sum(1 for o in self.outcomes if o.coalesced)
 
     def latency_percentiles(self) -> Dict[str, float]:
-        """Per-job latency percentiles over the completed jobs.
+        """Per-job latency percentiles over the completed *measured* jobs.
 
         Latency is each outcome's ``duration_s`` — dispatch to
         completion, the figure a client of the service experiences (a
-        cache hit counts at its near-zero lookup cost). Percentiles are
-        linear-interpolated and 0.0 for an empty batch — never NaN.
+        timed cache hit counts at its near-zero lookup cost). The sample
+        carries the same sub-resolution guard as :meth:`plans_per_sec`:
+        durations below ``_LATENCY_FLOOR_S`` are untimed artifacts
+        (batch-local follower hits are published with an exact-zero
+        duration — they never went through a timed path), not
+        measurements, and are excluded. When a batch completed jobs but
+        none were measured the tails are NaN ("no sample"), which bench
+        records store as null — previously this surfaced as a
+        misleading exact ``latency_p50_s: 0.0``. An empty or fully
+        failed batch still reports 0.0 everywhere.
         """
-        latencies = [o.duration_s for o in self.outcomes if o.ok]
-        return {
-            "p50": _percentile(latencies, 50.0),
-            "p95": _percentile(latencies, 95.0),
-            "p99": _percentile(latencies, 99.0),
-        }
+        measured = [
+            o.duration_s
+            for o in self.outcomes
+            if o.ok and o.duration_s >= _LATENCY_FLOOR_S
+        ]
+        if measured:
+            return {
+                "p50": _percentile(measured, 50.0),
+                "p95": _percentile(measured, 95.0),
+                "p99": _percentile(measured, 99.0),
+            }
+        value = float("nan") if self.n_ok else 0.0
+        return {"p50": value, "p95": value, "p99": value}
 
     def aggregate_stats(self) -> RunStats:
         """Summed RunStats over the successful, non-cached jobs.
@@ -454,6 +475,8 @@ def _build_resilient_robopt(
     breaker_threshold: int,
     breaker_cooldown_s: float,
     chaos: Any,
+    variance_threshold: Optional[float] = None,
+    risk_aversion: float = 0.0,
 ):
     from repro.core.features import FeatureSchema
     from repro.core.optimizer import Robopt
@@ -465,6 +488,7 @@ def _build_resilient_robopt(
         CircuitBreaker,
         FallbackRuntimeModel,
         FaultInjector,
+        VarianceGuard,
     )
     from repro.rheem.platforms import default_registry
 
@@ -495,6 +519,11 @@ def _build_resilient_robopt(
         primary,
         schema,
         breaker=CircuitBreaker(breaker_threshold, breaker_cooldown_s),
+        variance_guard=(
+            VarianceGuard(threshold=variance_threshold)
+            if variance_threshold is not None
+            else None
+        ),
     )
     budget = None
     if deadline_s is not None or budget_vectors is not None:
@@ -506,6 +535,7 @@ def _build_resilient_robopt(
         pruning=pruning,
         schema=schema,
         budget=budget,
+        risk_aversion=risk_aversion,
     )
     if injector is not None:
         optimizer = ChaoticOptimizer(optimizer, injector)
@@ -523,6 +553,8 @@ def resilient_robopt_factory(
     breaker_threshold: int = 3,
     breaker_cooldown_s: float = 30.0,
     chaos: Any = None,
+    variance_threshold: Optional[float] = None,
+    risk_aversion: float = 0.0,
 ) -> Callable[[], Optimizer]:
     """A picklable factory for the fully-armored Robopt stack.
 
@@ -539,7 +571,12 @@ def resilient_robopt_factory(
     * ``deadline_s`` / ``budget_vectors`` become a per-run
       :class:`~repro.resilience.budget.Budget` (anytime optimization);
     * ``chaos`` (a :class:`~repro.resilience.chaos.ChaosProfile`) wraps
-      the stack in the deterministic fault injector — test/drill only.
+      the stack in the deterministic fault injector — test/drill only;
+    * ``variance_threshold`` arms a :class:`~repro.resilience.fallback.
+      VarianceGuard` on the fallback chain (sustained relative
+      prediction spread above it degrades to the cost model);
+    * ``risk_aversion`` is Robopt's ``k`` in the ``mean + k·std``
+      risk-adjusted final ranking (0 = today's expected-runtime choice).
     """
     return functools.partial(
         _build_resilient_robopt,
@@ -553,6 +590,8 @@ def resilient_robopt_factory(
         breaker_threshold,
         breaker_cooldown_s,
         chaos,
+        variance_threshold,
+        risk_aversion,
     )
 
 
@@ -707,6 +746,19 @@ class BatchOptimizationService:
         service instance). The tally persists across batches and clears
         on a successful run — see
         :class:`~repro.resilience.retry.Quarantine`.
+    feedback:
+        An optional :class:`~repro.serve.feedback.FeedbackController`.
+        Every fresh (non-cached) successful result of a batch is handed
+        to it for execution + observation, and ``maybe_retrain`` runs
+        once per batch; when the controller has no ``install`` callback
+        it is wired to :meth:`install_model` so retrains swap in here.
+    model_path:
+        Where :meth:`install_model` persists swapped-in models
+        (atomically, tmp + rename). Pool workers build their optimizer
+        from the factory — which typically loads this path — so saving
+        before the pool restart is what propagates a retrain to them.
+        Without it, swaps still reach the serial optimizer and any
+        rebuilt pool simply reloads whatever the factory loads.
     """
 
     def __init__(
@@ -721,6 +773,8 @@ class BatchOptimizationService:
         memoize_singletons: bool = True,
         retry: Optional[RetryPolicy] = None,
         quarantine_after: int = 2,
+        feedback=None,
+        model_path=None,
     ):
         self.workers_auto = workers is None
         if workers is None:
@@ -749,6 +803,13 @@ class BatchOptimizationService:
         # batches coalesce onto it.
         self._inflight: Dict[str, Future] = {}
         self._inflight_lock = threading.Lock()
+        self.feedback = feedback
+        self.model_path = model_path
+        #: Bumped on every :meth:`install_model`; lets stats frames and
+        #: bench records tell which model era produced a number.
+        self.model_generation = 0
+        if feedback is not None and feedback.install is None:
+            feedback.install = self.install_model
         self.registry = registry if registry is not None else self._serial_optimizer().registry
 
     # ------------------------------------------------------------------
@@ -827,7 +888,84 @@ class BatchOptimizationService:
             tracer.count("serve.jobs", report.n_jobs)
             tracer.count("serve.jobs_ok", report.n_ok)
             tracer.count("serve.jobs_failed", report.n_failed)
+        if self.feedback is not None:
+            self._feed_back(report)
         return report
+
+    def _feed_back(self, report: BatchReport) -> None:
+        """Hand the batch's fresh results to the feedback controller.
+
+        Only non-cached successes are observed — a cache hit re-executes
+        nothing new and would let one popular fingerprint flood the
+        observation log with identical rows. Degraded plans are filtered
+        by the loop itself (``FeedbackLoop.observe`` rejects them). The
+        retrain check runs once per batch, after all observations.
+        """
+        for outcome in report.outcomes:
+            if outcome.ok and not outcome.cached and outcome.result is not None:
+                self.feedback.observe(outcome.result)
+        self.feedback.maybe_retrain()
+
+    def install_model(self, model) -> None:
+        """Atomically swap a freshly trained runtime model into service.
+
+        Three consumers price plans and all three are handled:
+
+        * the **serial optimizer** — the swap lands on the resilience
+          wrapper's ``swap_primary`` (one attribute assignment; the
+          enumerator's cost closure holds the wrapper, so it reprices
+          immediately) or on a bare ``Robopt.set_model``; if neither is
+          reachable the optimizer is dropped and lazily rebuilt;
+        * **pool workers** — the model is persisted to ``model_path``
+          (tmp + ``os.replace``) and the warm pool discarded, so the
+          next pooled batch warms workers that load the new file;
+        * **caches** — the exact cache is cleared (its entries carry
+          costs priced by the dead model); the template cache survives,
+          its candidates are re-costed live through the (re-probed)
+          recoster on every hit.
+        """
+        installed = False
+        probe: Any = self._serial_optimizer()
+        for _ in range(4):  # unwrap chaos/resilience layers
+            inner_model = getattr(probe, "model", None)
+            if inner_model is not None and hasattr(inner_model, "swap_primary"):
+                inner_model.swap_primary(model)
+                installed = True
+                break
+            if inner_model is not None and hasattr(probe, "set_model"):
+                probe.set_model(model)
+                installed = True
+                break
+            probe = getattr(probe, "inner", None)
+            if probe is None:
+                break
+        if not installed:
+            self._optimizer = None  # rebuild from the factory on next use
+        self._recoster = None  # re-probe: the old closure priced with the old model
+        if self.model_path is not None:
+            tmp = Path(str(self.model_path) + ".tmp")
+            model.save(tmp)
+            os.replace(tmp, self.model_path)
+        self._pool.discard()
+        if self.cache is not None:
+            self.cache.clear()
+        self.model_generation += 1
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("serve.model_swaps")
+            tracer.event(
+                "serve.model_installed",
+                generation=self.model_generation,
+                rebuilt=not installed,
+            )
+
+    def feedback_stats(self) -> Dict[str, Any]:
+        """The feedback controller's stats payload (empty when disabled)."""
+        if self.feedback is None:
+            return {}
+        out = self.feedback.stats()
+        out["model_generation"] = self.model_generation
+        return out
 
     # ------------------------------------------------------------------
     def _template_recoster(self):

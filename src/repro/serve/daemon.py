@@ -551,6 +551,7 @@ class OptimizationDaemon:
             pending=self._pending,
             draining=self._draining,
             uptime_s=time.monotonic() - self._started_at,
+            feedback=self.service.feedback_stats(),
         )
 
     # ------------------------------------------------------------------

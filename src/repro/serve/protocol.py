@@ -364,7 +364,10 @@ class StatsResponse(_Frame):
     ``counters`` are the daemon tracer's ``serve.*`` (and optimizer)
     counters; ``latency_ms`` carries ``p50``/``p95``/``p99`` over the
     recent answered-request window; ``pending`` counts accepted requests
-    not yet answered.
+    not yet answered. ``feedback`` is the feedback/drift payload (drift
+    q-error and status, observation/retrain counts, model generation) —
+    empty when the daemon runs without ``--feedback``, and absent from
+    frames of older daemons, so clients must treat it as optional.
     """
 
     TYPE = "stats"
@@ -375,6 +378,7 @@ class StatsResponse(_Frame):
     pending: int = 0
     draining: bool = False
     uptime_s: float = 0.0
+    feedback: Dict[str, Any] = field(default_factory=dict)
 
     ok = True
 
@@ -388,6 +392,7 @@ class StatsResponse(_Frame):
             pending=int(_get_number(doc, "pending", 0, rid)),
             draining=_get_bool(doc, "draining", False, rid),
             uptime_s=_get_number(doc, "uptime_s", 0.0, rid),
+            feedback=_get_dict(doc, "feedback", rid) or {},
         )
 
 

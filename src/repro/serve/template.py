@@ -377,26 +377,41 @@ class TemplateCache:
             return None
         features = template_features(plan)
         try:
-            per_tree = np.asarray(
-                [
-                    float(np.asarray(tree.predict(features[None, :])).reshape(-1)[0])
-                    for tree in selector.trees_
-                ],
-                dtype=np.float64,
-            )
-            if per_tree.size == 0 or not np.all(np.isfinite(per_tree)):
-                raise ValueError("selector produced no finite predictions")
+            if hasattr(selector, "predict_dist"):
+                # The shared uncertainty convention: ensemble (mean, std)
+                # from one joint traversal. std**2 equals the per-tree
+                # population variance the manual loop below computes, so
+                # the confidence gate is numerically unchanged.
+                dist_mean, dist_std = selector.predict_dist(features[None, :])
+                mean = float(np.asarray(dist_mean).reshape(-1)[0])
+                variance = float(np.asarray(dist_std).reshape(-1)[0]) ** 2
+            else:
+                # Injected selectors only promise ``trees_`` (see
+                # ``selector_factory``): derive the moments tree by tree.
+                per_tree = np.asarray(
+                    [
+                        float(np.asarray(tree.predict(features[None, :])).reshape(-1)[0])
+                        for tree in selector.trees_
+                    ],
+                    dtype=np.float64,
+                )
+                if per_tree.size == 0:
+                    raise ValueError("selector produced no predictions")
+                mean = float(per_tree.mean())
+                variance = float(per_tree.var())
+            if not (np.isfinite(mean) and np.isfinite(variance)):
+                raise ValueError("selector produced non-finite predictions")
         except Exception:
             self.stats.selector_errors += 1
             if tracer.enabled:
                 tracer.count("serve.template.selector_errors")
             return None
-        if float(per_tree.var()) > self.max_selector_variance:
+        if variance > self.max_selector_variance:
             self.stats.low_confidence += 1
             if tracer.enabled:
                 tracer.count("serve.template.low_confidence")
             return None
-        pick = int(round(float(per_tree.mean())))
+        pick = int(round(mean))
         return min(max(pick, 0), len(entry.candidates) - 1)
 
     def _miss(self, tracer) -> None:

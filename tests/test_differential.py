@@ -362,3 +362,133 @@ class TestTemplateGuardrail:
             outcome.result.execution_plan.assignment
             == fresh.execution_plan.assignment
         )
+
+
+class TestRiskAndFeedbackAreOptIn:
+    """ISSUE 10 acceptance: risk_aversion=0 and a disabled feedback loop
+    are *bit-identical* to the pre-feedback optimizer — the new
+    machinery costs nothing until explicitly turned on.
+    """
+
+    def test_k_zero_is_bit_identical_and_never_asks_for_dist(self, tiny_context):
+        ctx = tiny_context
+        registry = ctx["registry"]
+
+        calls = []
+        model = ctx["model"]
+        original = model.predict_dist
+
+        class SpyModel:
+            """Delegates everything, records predict_dist calls."""
+
+            def __getattr__(self, name):
+                return getattr(model, name)
+
+            def predict_dist(self, X):
+                calls.append(np.shape(X))
+                return original(X)
+
+        plain = Robopt(registry, model, schema=ctx["schema"])
+        k_zero = Robopt(registry, SpyModel(), schema=ctx["schema"], risk_aversion=0.0)
+        from repro.tdgen.jobgen import JobGenerator
+
+        gen = JobGenerator(registry, seed=11)
+        plans = [
+            t(10.0 ** (4 + i % 3))
+            for i, t in enumerate(
+                gen.templates_for_shapes(("pipeline", "juncture"), max_operators=7, count=6)
+            )
+        ]
+        for plan in plans:
+            a = plain.optimize(plan)
+            b = k_zero.optimize(plan)
+            assert a.execution_plan.assignment == b.execution_plan.assignment
+            assert a.predicted_runtime == b.predicted_runtime  # bit-identical
+            assert b.stats.predicted_std == 0.0
+        assert calls == []  # k=0 never even asks for a distribution
+
+    def test_positive_k_minimizes_the_risk_score(self, tiny_context):
+        """The risk choice is argmin(mean + k*std) over the final
+        survivors, the reported runtime stays the mean, and the std is
+        surfaced in the stats."""
+        ctx = tiny_context
+        k = 2.0
+        risky = Robopt(ctx["registry"], ctx["model"], schema=ctx["schema"], risk_aversion=k)
+        from repro.tdgen.jobgen import JobGenerator
+
+        gen = JobGenerator(ctx["registry"], seed=23)
+        checked = 0
+        for i, template in enumerate(
+            gen.templates_for_shapes(("pipeline", "juncture"), max_operators=7, count=6)
+        ):
+            plan = template(10.0 ** (4 + i % 3))
+            result = risky.optimize(plan)
+            final = result.final_enumeration
+            if final is None:
+                continue
+            mean, std = ctx["model"].predict_dist(final.features)
+            scores = mean + k * std
+            assert result.predicted_runtime + k * result.stats.predicted_std \
+                == pytest.approx(float(scores.min()))
+            assert result.stats.predicted_std >= 0.0
+            checked += 1
+        assert checked >= 4
+
+    def test_invalid_risk_aversion_rejected(self, tiny_context):
+        from repro.exceptions import EnumerationError
+
+        ctx = tiny_context
+        with pytest.raises(EnumerationError):
+            Robopt(ctx["registry"], ctx["model"], schema=ctx["schema"], risk_aversion=-0.5)
+
+    def test_service_with_inert_feedback_is_bit_identical(self):
+        """A service carrying a feedback controller that never retrains
+        must answer exactly like a service with feedback disabled —
+        observation is a pure tap off the result stream."""
+        from repro.core.features import FeatureSchema as FS
+        from repro.ml import FeedbackLoop
+        from repro.serve.feedback import FeedbackController
+
+        registry = _registry()
+
+        class _Exec:
+            def execute(self, xplan, timeout_s=3600.0):
+                class R:
+                    ok = True
+                    status = "success"
+                    runtime_s = 3.0
+                    detail = ""
+
+                return R()
+
+        ctrl = FeedbackController(
+            FeedbackLoop(FS(registry)),
+            _Exec(),
+            min_observations=10**9,  # retraining unreachable
+        )
+        plans = _random_plans(12, seed=808)
+        with_feedback = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS, seed=3),
+            registry,
+            workers=0,
+            feedback=ctrl,
+        )
+        without = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS, seed=3),
+            _registry(),
+            workers=0,
+        )
+        try:
+            a = with_feedback.optimize_batch([p.clone() for p in plans])
+            b = without.optimize_batch([p.clone() for p in plans])
+        finally:
+            with_feedback.close()
+            without.close()
+        assert ctrl.loop.n_observations == len(plans)  # the tap did run
+        for left, right in zip(a.outcomes, b.outcomes):
+            assert left.ok and right.ok
+            assert left.result.predicted_runtime == right.result.predicted_runtime
+            assert (
+                left.result.execution_plan.assignment
+                == right.result.execution_plan.assignment
+            )

@@ -39,12 +39,39 @@ class TestObservation:
         assert all(m["source"] == "observation" for m in ds.meta)
 
     def test_invalid_runtime_rejected(self, setup):
+        """Bad measurements are dropped (with counters), not raised:
+        a crashed execution must never kill the serving loop that
+        reported it."""
+        from repro.obs import Tracer, use_tracer
+
         ctx, loop = setup
         xp = single_platform_plan(build_pipeline(2), "java", ctx["registry"])
-        with pytest.raises(ModelError):
-            loop.observe(xp, -1.0)
-        with pytest.raises(ModelError):
-            loop.observe(xp, float("inf"))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert loop.observe(xp, -1.0) is False
+            assert loop.observe(xp, float("inf")) is False
+            assert loop.observe(xp, float("nan")) is False
+        assert loop.n_observations == 0
+        assert loop.rejected == 3
+        assert tracer.counters["ml.feedback.rejected"] == 3
+        assert tracer.counters["ml.feedback.rejected.nonfinite"] == 3
+
+    def test_degraded_plan_rejected(self, setup):
+        """A fallback-served plan's runtime is not a label: learning from
+        it would teach the model what the *fallback's* picks cost."""
+        from repro.api import RunStats
+        from repro.obs import Tracer, use_tracer
+
+        ctx, loop = setup
+        xp = single_platform_plan(build_pipeline(2), "java", ctx["registry"])
+        degraded = RunStats(degraded=True, degradation="cost_model")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert loop.observe(xp, 5.0, stats=degraded) is False
+            assert loop.observe(xp, 5.0, stats=RunStats()) is True
+        assert loop.n_observations == 1
+        assert tracer.counters["ml.feedback.rejected.degraded"] == 1
+        assert tracer.counters["ml.feedback.accepted"] == 1
 
     def test_schema_mismatch_rejected(self, setup):
         ctx, _ = setup

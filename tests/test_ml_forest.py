@@ -83,3 +83,68 @@ class TestPredict:
     def test_importances_before_fit(self):
         with pytest.raises(NotFittedError):
             RandomForestRegressor().feature_importances()
+
+
+class TestPredictDist:
+    def test_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict_dist(np.zeros((1, 2)))
+
+    def test_mean_is_bit_identical_to_predict(self, data):
+        """One traversal serves both moments: enabling uncertainty must
+        not perturb the ranking predictions by a single ulp."""
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=6, seed=3).fit(X, y)
+        mean, std = rf.predict_dist(X[:50])
+        assert np.array_equal(mean, rf.predict(X[:50]))
+        assert mean.shape == std.shape == (50,)
+
+    def test_std_is_per_tree_population_spread(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=5, seed=7).fit(X, y)
+        per_tree = np.stack([t.predict(X[:20]) for t in rf.trees_], axis=1)
+        _, std = rf.predict_dist(X[:20])
+        assert np.allclose(std, per_tree.std(axis=1))
+        assert np.all(std >= 0)
+
+    def test_single_tree_forest_reports_zero_std(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=1, seed=0).fit(X, y)
+        _, std = rf.predict_dist(X[:10])
+        assert np.array_equal(std, np.zeros(10))
+
+    def test_masked_fallback_path_agrees(self, data):
+        """The right==left+1 invariant can be violated by models from
+        older saves; the masked descent must yield the same moments."""
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=4, seed=5).fit(X, y)
+        mean_fast, std_fast = rf.predict_dist(X[:30])
+        # Rebuild the packed arrays as _pack leaves them when the child
+        # invariant fails: raw concatenation, leaves NOT self-looping,
+        # _max_depth = -1 routing every call through the masked loop.
+        offsets = np.cumsum([0] + [t.n_nodes for t in rf.trees_[:-1]]).astype(np.int64)
+        rf._roots = offsets
+        rf._feature = np.concatenate([t.feature_ for t in rf.trees_])
+        rf._threshold = np.concatenate([t.threshold_ for t in rf.trees_])
+        rf._left = np.concatenate([t.left_ + o for t, o in zip(rf.trees_, offsets)])
+        rf._right = np.concatenate([t.right_ + o for t, o in zip(rf.trees_, offsets)])
+        rf._value = np.concatenate([t.value_ for t in rf.trees_])
+        rf._gather_cache = {}
+        rf._max_depth = -1
+        mean_slow, std_slow = rf.predict_dist(X[:30])
+        assert np.allclose(mean_fast, mean_slow)
+        assert np.allclose(std_fast, std_slow)
+
+    def test_unpickled_old_save_repacks_lazily(self, data):
+        """Models pickled before the packed arrays existed must still
+        answer predict_dist (the descent repacks on first use)."""
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=3, seed=1).fit(X, y)
+        expect_mean, expect_std = rf.predict_dist(X[:10])
+        for attr in ("_roots", "_feature", "_threshold", "_left", "_right",
+                     "_value", "_gather_cache", "_max_depth"):
+            if hasattr(rf, attr):
+                delattr(rf, attr)
+        mean, std = rf.predict_dist(X[:10])
+        assert np.array_equal(mean, expect_mean)
+        assert np.array_equal(std, expect_std)

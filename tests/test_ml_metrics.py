@@ -53,3 +53,128 @@ class TestCorrelation:
         x = rng.normal(size=3000)
         y = rng.normal(size=3000)
         assert abs(spearman(x, y)) < 0.1
+
+
+# ---------------------------------------------------------------------------
+# Property-based edge cases (ISSUE 10 satellite): the metrics feed the
+# drift monitor, so their zero/tie/empty behavior is load-bearing.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_runtimes = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=64,
+)
+
+
+class TestQErrorProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(_runtimes, st.floats(0.0, 1.0))
+    def test_finite_and_at_least_one(self, values, quantile):
+        """Q-error is >= 1 and finite for any non-negative inputs —
+        including exact zeros, which the internal floor absorbs instead
+        of dividing by."""
+        y = np.array(values)
+        q = q_error(y, y[::-1].copy(), quantile)
+        assert np.isfinite(q)
+        assert q >= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(_runtimes, st.floats(0.0, 1.0))
+    def test_symmetric_in_arguments(self, values, quantile):
+        """max(pred/true, true/pred) does not care which side drifted."""
+        rng = np.random.default_rng(7)
+        y = np.array(values)
+        p = y * rng.uniform(0.1, 10.0, size=y.size)
+        assert q_error(y, p, quantile) == pytest.approx(
+            q_error(p, y, quantile), rel=1e-12
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_runtimes)
+    def test_perfect_predictions_score_one_above_the_floor(self, values):
+        """Identical (pred, true) pairs have q-error exactly 1 whenever
+        the values clear the zero floor."""
+        y = np.array(values)
+        y = y[y >= 1e-9]
+        if y.size == 0:
+            return
+        assert q_error(y, y.copy()) == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1e-12, allow_nan=False))
+    def test_near_zero_truths_do_not_explode(self, tiny):
+        """A sub-floor truth against a sane prediction yields a large but
+        finite q-error — the drift monitor must never see inf."""
+        q = q_error(np.array([tiny]), np.array([1.0]))
+        assert np.isfinite(q)
+        assert q >= 1.0
+
+
+class TestSpearmanProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=64,
+        )
+    )
+    def test_bounded_even_under_heavy_ties(self, values):
+        """|rho| <= 1 for any input, including lists that are mostly (or
+        entirely) one repeated value — all-tied inputs degrade to 0 via
+        the zero-variance guard, never to NaN."""
+        x = np.array(values)
+        rng = np.random.default_rng(3)
+        y = rng.permutation(x)
+        rho = spearman(x, y)
+        assert np.isfinite(rho)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=64,
+            unique=True,
+        ),
+        st.integers(0, 3),
+    )
+    def test_tie_collapse_keeps_self_correlation_positive(self, values, buckets):
+        """Quantizing a sequence against itself (heavy ties both sides)
+        keeps rho in [0, 1]: shared average ranks cannot flip the sign
+        of a self-comparison."""
+        x = np.array(values)
+        y = np.round(x, buckets)  # collapse near-equal values into ties
+        rho = spearman(x, y)
+        assert np.isfinite(rho)
+        assert rho >= 0.0 or np.allclose(y, y[0])
+
+    def test_all_tied_is_zero_not_nan(self):
+        assert spearman(np.full(8, 3.0), np.arange(8.0)) == 0.0
+        assert spearman(np.full(8, 3.0), np.full(8, 5.0)) == 0.0
+
+
+class TestEmptyInputContracts:
+    """Every metric refuses empty or mismatched inputs with ModelError —
+    the windowed q-error in ml/drift.py relies on this never silently
+    returning a number for a malformed window."""
+
+    @pytest.mark.parametrize("metric", [rmse, mae, q_error, pearson, spearman])
+    def test_empty_raises(self, metric):
+        with pytest.raises(ModelError):
+            metric(np.array([]), np.array([]))
+
+    @pytest.mark.parametrize("metric", [rmse, mae, q_error, pearson, spearman])
+    def test_shape_mismatch_raises(self, metric):
+        with pytest.raises(ModelError):
+            metric(np.arange(3.0), np.arange(4.0))
+
+    @pytest.mark.parametrize("metric", [rmse, mae, q_error, pearson, spearman])
+    def test_2d_input_raises(self, metric):
+        with pytest.raises(ModelError):
+            metric(np.ones((2, 2)), np.ones((2, 2)))

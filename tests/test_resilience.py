@@ -41,6 +41,7 @@ from repro.resilience.fallback import (
     CardinalityHeuristicModel,
     CircuitBreaker,
     FallbackRuntimeModel,
+    VarianceGuard,
 )
 from repro.resilience.retry import Quarantine, RetryPolicy
 from repro.rheem.platforms import synthetic_registry
@@ -342,6 +343,199 @@ class TestFallbackRuntimeModel:
     def test_invalid_primary_rejected(self):
         with pytest.raises(ModelError):
             FallbackRuntimeModel(object())
+
+
+# ---------------------------------------------------------------------------
+# Variance guard: sustained disagreement is a soft failure
+# ---------------------------------------------------------------------------
+
+
+class SpreadModel:
+    """predict/predict_dist double with a controllable relative spread."""
+
+    def __init__(self, n_features, rel=2.0, mean=10.0):
+        self.n_features = n_features
+        self.rel = rel
+        self.mean = mean
+
+    def predict(self, X):
+        return np.full(np.asarray(X).shape[0], self.mean)
+
+    def predict_dist(self, X):
+        out = self.predict(X)
+        return out, np.abs(out) * self.rel
+
+
+class TestVarianceGuard:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            VarianceGuard(threshold=0.0)
+        with pytest.raises(ReproError):
+            VarianceGuard(window=0)
+        with pytest.raises(ReproError):
+            VarianceGuard(window=4, trip_count=5)
+
+    def test_flags_relative_spread(self):
+        guard = VarianceGuard(threshold=0.5, window=4)
+        mean = np.array([10.0, 20.0])
+        assert guard.observe(mean, mean * 0.1) is False
+        assert guard.observe(mean, mean * 0.9) is True
+        assert guard.high_calls == 1
+
+    def test_floor_mutes_subsecond_plans(self):
+        """Near-zero predictions must not inflate the ratio: their spread
+        is not a model-health signal."""
+        guard = VarianceGuard(threshold=0.5, window=2, floor_s=1e-3)
+        tiny_mean = np.array([1e-9])
+        tiny_std = np.array([1e-7])  # 100x the mean, but absolute noise
+        assert guard.observe(tiny_mean, tiny_std) is False
+
+    def test_trips_only_when_sustained(self):
+        guard = VarianceGuard(threshold=0.5, window=3)
+        mean = np.ones(2)
+        guard.observe(mean, mean)  # high
+        guard.observe(mean, mean)  # high
+        assert not guard.tripped  # window not yet full
+        guard.observe(mean, mean * 0.0)  # one calm batch
+        assert not guard.tripped  # 2/3 flagged < trip_count=3
+        guard.observe(mean, mean)
+        guard.observe(mean, mean)
+        guard.observe(mean, mean)
+        assert guard.tripped  # the calm batch slid out
+        guard.reset()
+        assert not guard.tripped
+
+    def test_partial_trip_count(self):
+        guard = VarianceGuard(threshold=0.5, window=4, trip_count=2)
+        mean = np.ones(1)
+        guard.observe(mean, mean * 0.0)
+        guard.observe(mean, mean)
+        guard.observe(mean, mean * 0.0)
+        guard.observe(mean, mean)
+        assert guard.tripped  # 2/4 flagged >= trip_count=2
+
+    def test_sustained_variance_degrades_to_cost_model(self):
+        """A guessing primary is served from the fallback chain, counted
+        as high_variance (not model_failure), and eventually breakered."""
+        schema = FeatureSchema(_registry())
+        guard = VarianceGuard(threshold=0.8, window=2)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        chain = FallbackRuntimeModel.for_schema(
+            SpreadModel(schema.n_features, rel=3.0),
+            schema,
+            breaker=breaker,
+            variance_guard=guard,
+        )
+        X = np.ones((2, schema.n_features))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert chain.predict(X).shape == (2,)  # window filling: primary
+            assert chain.last_level == "primary"
+            chain.predict(X)  # window full -> tripped -> degraded
+            assert chain.last_level == "FeatureCostModel"
+            chain.predict(X)  # second trip opens the breaker
+            chain.predict(X)  # short-circuited
+        assert tracer.counters["resilience.high_variance"] == 2
+        assert "resilience.model_failure" not in tracer.counters
+        assert tracer.counters["resilience.breaker_open"] == 1
+        assert tracer.counters["resilience.breaker_short_circuit"] == 1
+
+    def test_calm_model_never_trips(self):
+        schema = FeatureSchema(_registry())
+        guard = VarianceGuard(threshold=0.8, window=2)
+        chain = FallbackRuntimeModel.for_schema(
+            SpreadModel(schema.n_features, rel=0.1),
+            schema,
+            variance_guard=guard,
+        )
+        X = np.ones((2, schema.n_features))
+        for _ in range(6):
+            chain.predict(X)
+            assert chain.last_level == "primary"
+        assert guard.high_calls == 0
+
+
+# ---------------------------------------------------------------------------
+# predict_dist honesty + hot model swap
+# ---------------------------------------------------------------------------
+
+
+class TestFallbackPredictDist:
+    def _schema(self):
+        return FeatureSchema(_registry())
+
+    def test_primary_with_dist_reports_real_spread(self):
+        schema = self._schema()
+        chain = FallbackRuntimeModel.for_schema(
+            SpreadModel(schema.n_features, rel=0.25), schema
+        )
+        mean, std = chain.predict_dist(np.ones((3, schema.n_features)))
+        assert np.allclose(std, mean * 0.25)
+        assert chain.last_level == "primary"
+
+    def test_point_only_primary_reports_zero_spread(self):
+        """A deterministic predictor has no spread; inventing one would
+        poison risk-adjusted ranking."""
+        schema = self._schema()
+        primary = LinearRuntimeModel(schema.n_features, seed=0)
+        chain = FallbackRuntimeModel.for_schema(primary, schema)
+        X = np.ones((3, schema.n_features))
+        mean, std = chain.predict_dist(X)
+        assert np.array_equal(mean, primary.predict(X))
+        assert np.array_equal(std, np.zeros(3))
+
+    def test_fallback_served_reports_infinite_spread(self):
+        """A degraded cost is an unbounded-uncertainty estimate: mean +
+        k*inf makes any risk-averse consumer refuse to prefer it."""
+        schema = self._schema()
+        chain = FallbackRuntimeModel.for_schema(AlwaysFailsModel(), schema)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            mean, std = chain.predict_dist(np.ones((2, schema.n_features)))
+        assert np.all(np.isfinite(mean))
+        assert np.all(np.isinf(std))
+        assert tracer.counters["resilience.fallback"] == 1
+
+
+class TestSwapPrimary:
+    def test_swap_revives_a_breakered_chain(self):
+        schema = FeatureSchema(_registry())
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=3600.0)
+        chain = FallbackRuntimeModel.for_schema(
+            AlwaysFailsModel(), schema, breaker=breaker
+        )
+        X = np.ones((2, schema.n_features))
+        chain.predict(X)
+        assert breaker.state == "open"
+        healthy = LinearRuntimeModel(schema.n_features, seed=0)
+        chain.swap_primary(healthy)
+        assert breaker.state == "closed"
+        assert np.allclose(chain.predict(X), healthy.predict(X))
+        assert chain.last_level == "primary"
+
+    def test_swap_resets_variance_guard(self):
+        schema = FeatureSchema(_registry())
+        guard = VarianceGuard(threshold=0.5, window=1)
+        chain = FallbackRuntimeModel.for_schema(
+            SpreadModel(schema.n_features, rel=3.0),
+            schema,
+            variance_guard=guard,
+        )
+        X = np.ones((1, schema.n_features))
+        chain.predict(X)
+        assert guard.tripped
+        chain.swap_primary(SpreadModel(schema.n_features, rel=0.1))
+        assert not guard.tripped  # the fresh model starts clean
+        chain.predict(X)
+        assert chain.last_level == "primary"
+
+    def test_swap_rejects_non_models(self):
+        schema = FeatureSchema(_registry())
+        chain = FallbackRuntimeModel.for_schema(
+            LinearRuntimeModel(schema.n_features, seed=0), schema
+        )
+        with pytest.raises(ModelError):
+            chain.swap_primary(object())
 
 
 # ---------------------------------------------------------------------------

@@ -522,3 +522,178 @@ class TestReportNumbers:
             for v in failed.metrics().values()
             if isinstance(v, float)
         )
+
+    def test_subfloor_durations_are_artifacts_not_samples(self):
+        """The latency_p50_s: 0.0 regression: batch-local follower hits
+        are published with an exact-zero duration (they never went
+        through a timed path). They must not drag the percentiles to 0;
+        with no measured job at all the tails are NaN ("no sample"),
+        not a confident 0.0."""
+        import math
+
+        mixed = BatchReport(
+            outcomes=[
+                self._ok("lead", 0.04),
+                self._ok("follower1", 0.0),
+                self._ok("follower2", 0.0),
+            ],
+            wall_s=0.1,
+            mode="serial",
+            workers=0,
+        )
+        tails = mixed.latency_percentiles()
+        assert tails["p50"] == tails["p95"] == tails["p99"] == 0.04
+
+        unmeasured = BatchReport(
+            outcomes=[self._ok("f1", 0.0), self._ok("f2", 0.0)],
+            wall_s=0.1,
+            mode="serial",
+            workers=0,
+        )
+        tails = unmeasured.latency_percentiles()
+        assert all(math.isnan(v) for v in tails.values())
+        # ... and the NaN travels into metrics() as "no sample", where
+        # the bench trajectory stores it as null rather than 0.0.
+        assert math.isnan(unmeasured.metrics()["latency_p50_s"])
+
+
+class _ScriptedExecutor:
+    """Execution double: constant runtime, never fails."""
+
+    class _Report:
+        ok = True
+        status = "success"
+        detail = ""
+
+        def __init__(self, runtime_s):
+            self.runtime_s = runtime_s
+
+    def __init__(self, runtime_s=12.0):
+        self.runtime_s = runtime_s
+        self.calls = 0
+
+    def execute(self, xplan, timeout_s=3600.0):
+        self.calls += 1
+        return self._Report(self.runtime_s)
+
+
+class TestFeedbackWiring:
+    """ISSUE 10 tentpole: the service feeds executed outcomes to the
+    feedback controller and swaps retrained models in atomically."""
+
+    def _controller(self, registry, **kwargs):
+        from repro.core.features import FeatureSchema
+        from repro.ml import DriftMonitor, FeedbackLoop
+        from repro.serve.feedback import FeedbackController
+
+        kwargs.setdefault("retrain_after", 0)  # drift-only by default
+        kwargs.setdefault("min_observations", 2)
+        kwargs.setdefault("drift", DriftMonitor(min_samples=2))
+        loop = FeedbackLoop(FeatureSchema(registry), n_estimators=3, max_depth=6)
+        return FeedbackController(loop, _ScriptedExecutor(), **kwargs)
+
+    def test_fresh_results_are_observed_cached_are_not(self, registry):
+        # min_observations high enough that no retrain (and hence no
+        # cache-clearing install) can fire during this test.
+        ctrl = self._controller(registry, min_observations=100)
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS),
+            registry,
+            workers=0,
+            cache=PlanCache(),
+            feedback=ctrl,
+        )
+        try:
+            jobs = [_named(build_pipeline(3), "a"), _named(build_pipeline(4), "b")]
+            service.optimize_batch(jobs)
+            assert ctrl.executions == 2
+            assert ctrl.loop.n_observations == 2
+            # The same fingerprints again: served from cache, re-executing
+            # nothing — one popular plan must not flood the log.
+            report = service.optimize_batch(
+                [_named(build_pipeline(3), "a"), _named(build_pipeline(4), "b")]
+            )
+            assert report.cache_hits == 2
+            assert ctrl.executions == 2
+            assert ctrl.loop.n_observations == 2
+        finally:
+            service.close()
+
+    def test_feedback_off_means_no_controller_calls(self, registry):
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS), registry, workers=0
+        )
+        try:
+            service.optimize_batch([build_pipeline(3)])
+            assert service.feedback_stats() == {}
+        finally:
+            service.close()
+
+    def test_install_model_swaps_and_invalidates(self, registry, tmp_path):
+        from repro.serve.testing import LinearRuntimeModel
+        from repro.core.features import FeatureSchema
+
+        model_path = tmp_path / "model.pkl"
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS),
+            registry,
+            workers=0,
+            cache=PlanCache(),
+            model_path=model_path,
+        )
+        try:
+            service.optimize_batch([_named(build_pipeline(3), "a")])
+            assert len(service.cache) == 1
+            schema = FeatureSchema(registry)
+            fresh = LinearRuntimeModel(schema.n_features, seed=9)
+            fresh.save = lambda path: __import__("pathlib").Path(path).write_bytes(
+                b"model-bytes"
+            )
+            tracer = Tracer()
+            with use_tracer(tracer):
+                service.install_model(fresh)
+            assert service.model_generation == 1
+            assert len(service.cache) == 0  # old-model costs evicted
+            assert model_path.read_bytes() == b"model-bytes"  # pool workers reload
+            assert not model_path.with_name("model.pkl.tmp").exists()
+            assert tracer.counters["serve.model_swaps"] == 1
+            # The swapped-in model actually prices the next batch.
+            report = service.optimize_batch([_named(build_pipeline(3), "a")])
+            assert report.n_ok == 1 and report.cache_hits == 0
+        finally:
+            service.close()
+
+    def test_drift_triggers_retrain_and_generation_bump(self, registry):
+        """The closed loop end to end: mispredictions accumulate, drift
+        trips, the service retrains and installs — generation moves."""
+        from repro.ml import DriftMonitor
+
+        # q-error is >= 1.0 by construction, so this monitor flags any
+        # two observations as drifted — the trigger is deterministic.
+        ctrl = self._controller(
+            registry,
+            drift=DriftMonitor(
+                min_samples=2, warn_threshold=1.0, drift_threshold=1.0
+            ),
+            min_observations=2,
+        )
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS),
+            registry,
+            workers=0,
+            feedback=ctrl,
+        )
+        try:
+            # The controller's install hook was auto-wired to the service.
+            assert ctrl.install == service.install_model
+            service.optimize_batch(
+                [_named(build_pipeline(3), "a"), _named(build_pipeline(4), "b")]
+            )
+            ctrl.join()
+            assert ctrl.loop.n_retrains >= 1
+            assert service.model_generation >= 1
+            stats = service.feedback_stats()
+            assert stats["retrains"] >= 1
+            assert stats["model_generation"] == service.model_generation
+        finally:
+            service.close()

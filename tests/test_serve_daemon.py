@@ -133,6 +133,50 @@ class TestOptimizePath:
                 assert stats.pending == 0
                 assert not stats.draining
                 assert stats.uptime_s > 0.0
+                # no --feedback: the frame carries an empty feedback dict
+                assert stats.feedback == {}
+
+    def test_stats_frame_carries_feedback_health(self, tmp_path):
+        """With a feedback controller attached, the stats frame reports
+        the drift/retrain health block so operators can watch the loop
+        without shell access to the daemon host."""
+        from repro.core.features import FeatureSchema
+        from repro.ml.drift import DriftMonitor
+        from repro.ml.feedback import FeedbackLoop
+        from repro.serve.feedback import FeedbackController
+
+        class _InstantExecutor:
+            def execute(self, xplan, timeout_s=3600.0):
+                class _Report:
+                    ok = True
+                    status = "success"
+                    runtime_s = 12.0
+                    detail = ""
+
+                return _Report()
+
+        registry = synthetic_registry(N_PLATFORMS)
+        controller = FeedbackController(
+            FeedbackLoop(FeatureSchema(registry), n_estimators=3, max_depth=6),
+            _InstantExecutor(),
+            drift=DriftMonitor(min_samples=2),
+            retrain_after=0,
+            min_observations=10**9,  # observe-only: never retrain here
+        )
+        service = BatchOptimizationService(
+            linear_robopt_factory(platforms=N_PLATFORMS),
+            registry,
+            workers=0,
+            feedback=controller,
+        )
+        with run_daemon(service, unix_path=str(tmp_path / "d.sock")) as harness:
+            with ServeClient(harness.address) as client:
+                client.optimize(_plan_request(build_pipeline(2)))
+                stats = client.stats()
+                assert stats.feedback["observations_total"] == 1
+                assert stats.feedback["model_generation"] == 0
+                assert stats.feedback["status"] in ("ok", "warn", "drifted")
+                assert stats.feedback["retrains"] == 0
 
 
 class TestCoalescing:

@@ -150,6 +150,38 @@ class TestRoundTrip:
             assert back == frame
             assert back.to_json() == text
 
+    def test_stats_feedback_payload_round_trips(self):
+        """The ISSUE 10 stats extension: drift health + retrain counters
+        ride the stats frame, and frames from older daemons (no
+        ``feedback`` key) parse to an empty dict."""
+        frame = StatsResponse(
+            request_id="s3",
+            counters={"serve.jobs": 1.0},
+            latency_ms={"p50": 1.0, "p95": 2.0, "p99": 3.0},
+            pending=0,
+            draining=False,
+            uptime_s=1.0,
+            feedback={
+                "q_error": 2.5,
+                "status": "warn",
+                "retrains": 1,
+                "model_generation": 1,
+                "observations_total": 40,
+            },
+        )
+        text = frame.to_json()
+        back = parse_response(text)
+        assert back == frame
+        assert back.feedback["status"] == "warn"
+        # An old daemon's frame has no feedback key at all.
+        doc = json.loads(text)
+        del doc["feedback"]
+        old = parse_response(json.dumps(doc))
+        assert old.feedback == {}
+        # A no-sample q_error travels as null (to_json forbids NaN).
+        frame.feedback["q_error"] = None
+        assert parse_response(frame.to_json()).feedback["q_error"] is None
+
     def test_every_frame_carries_version_and_type(self):
         doc = json.loads(OptimizeRequest(workload="WordCount").to_json())
         assert doc["v"] == PROTOCOL_VERSION
